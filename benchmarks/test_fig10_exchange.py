@@ -1,0 +1,31 @@
+"""Fig. 10 — effectiveness of the information-exchange strategies.
+
+Paper: energy savings over default Hadoop grow with time; machine-level
+exchange improves savings ~7 %, job-level ~10 %, both together ~15 % over
+the no-exchange strategy.
+"""
+
+from repro.experiments import fig10_exchange_effectiveness
+
+from .conftest import heading
+
+
+def test_fig10_exchange_strategies(once):
+    curves = once(fig10_exchange_effectiveness, seeds=(1, 2, 4), jobs_per_app=12)
+    heading("Fig 10: cumulative energy saving vs default Hadoop (kJ)")
+    for setting, curve in curves.items():
+        trajectory = "  ".join(f"{s:6.0f}" for s in curve.savings_kj[::2])
+        print(f"{setting:15s} {trajectory}   final {curve.final_saving_kj:7.1f}")
+
+    finals = {setting: curve.final_saving_kj for setting, curve in curves.items()}
+    # Shape: savings grow as jobs progress, and exchange helps.
+    both = curves["+both"].savings_kj
+    assert both[-1] > both[1]
+    assert finals["+both"] > finals["non-exchange"]
+    best_single = max(finals["+machine-level"], finals["+job-level"])
+    print(
+        f"improvement over non-exchange: machine {finals['+machine-level'] - finals['non-exchange']:+.0f} kJ, "
+        f"job {finals['+job-level'] - finals['non-exchange']:+.0f} kJ, "
+        f"both {finals['+both'] - finals['non-exchange']:+.0f} kJ"
+    )
+    assert finals["+both"] >= best_single * 0.8  # both is competitive with the best single

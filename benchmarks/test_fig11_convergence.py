@@ -1,0 +1,36 @@
+"""Figs. 11(a)-(b) — impact of homogeneity on E-Ant's search speed.
+
+Paper: convergence time falls as the number of homogeneous machines
+(1 -> 8) or homogeneous jobs (10 -> 40) grows, because the exchange
+strategies get more evidence per control interval.
+"""
+
+from repro.experiments import fig11a_machine_homogeneity, fig11b_job_homogeneity
+
+from .conftest import heading
+
+
+def test_fig11a_machine_homogeneity(once):
+    points = once(fig11a_machine_homogeneity, counts=(1, 2, 3, 8))
+    heading("Fig 11(a): convergence time vs # homogeneous machines")
+    for point in points:
+        print(
+            f"machines {point.homogeneity:2d}: {point.mean_convergence_s/60:5.1f} min "
+            f"({point.converged_colonies}/{point.total_colonies} colonies converged)"
+        )
+    # Shape: more homogeneous machines converge no slower than fewer.
+    assert points[-1].mean_convergence_s <= points[0].mean_convergence_s
+
+
+def test_fig11b_job_homogeneity(once):
+    points = once(fig11b_job_homogeneity, counts=(10, 25, 40))
+    heading("Fig 11(b): convergence time vs # homogeneous jobs")
+    for point in points:
+        print(
+            f"jobs {point.homogeneity:2d}: stabilized in {point.mean_converged_only_s/60:5.1f} min, "
+            f"{point.converged_fraction:4.0%} of colonies stabilized "
+            f"({point.converged_colonies}/{point.total_colonies})"
+        )
+    # Shape: more homogeneous jobs -> a larger share of jobs reaches a
+    # stable assignment (the exchange strategies get more evidence).
+    assert points[-1].converged_fraction >= points[0].converged_fraction

@@ -1,0 +1,24 @@
+"""Fig. 4 — accuracy of the Eq. 2 task-energy model.
+
+The paper reports NRMSE of 7.9 % (Wordcount), 10.5 % (Terasort) and
+11.6 % (Grep) between measured and estimated energy.
+"""
+
+from repro.experiments import fig4_model_accuracy
+
+from .conftest import heading
+
+
+def test_fig4_model_accuracy(once):
+    rows = once(fig4_model_accuracy, input_gb=3.0, utilization_sigma=0.20)
+    heading("Fig 4: measured vs estimated machine energy")
+    for row in rows:
+        print(
+            f"{row.machine:8s} {row.workload:10s} measured {row.measured_joules/1000:7.1f} kJ  "
+            f"estimated {row.estimated_joules/1000:7.1f} kJ  "
+            f"rel.err {row.relative_error:5.1%}  task NRMSE {row.task_nrmse:5.1%} "
+            f"(paper NRMSE: 7.9-11.6 %)"
+        )
+    # Shape: estimates track measurements closely on every machine/app.
+    assert all(row.relative_error < 0.20 for row in rows)
+    assert all(row.task_nrmse < 0.20 for row in rows)

@@ -1,0 +1,21 @@
+"""Fig. 6 — impact of data locality on job completion time.
+
+The paper's Wordcount completion times fall monotonically as the fraction
+of node-local input grows from 10 % to 80 %.
+"""
+
+from repro.experiments import fig6_locality_impact
+
+from .conftest import heading
+
+
+def test_fig6_locality(once):
+    points = once(fig6_locality_impact, fractions=(0.1, 0.4, 0.8), input_gb=20.0)
+    heading("Fig 6: completion time vs % local data")
+    for point in points:
+        print(
+            f"local {point.local_fraction:4.0%}: JCT {point.completion_time_s/60:5.1f} min "
+            f"(achieved locality {point.locality_rate:4.0%})"
+        )
+    times = [p.completion_time_s for p in points]
+    assert times[0] > times[1] > times[2]

@@ -1,0 +1,19 @@
+"""Fig. 7 — impact of system noise on per-task energy estimates."""
+
+from repro.experiments import fig7_noise_scatter
+
+from .conftest import heading
+
+
+def test_fig7_noise_scatter(once):
+    scatter = once(fig7_noise_scatter, input_gb=6.0)
+    heading("Fig 7: per-task energy scatter under system noise (T420)")
+    print(
+        f"tasks {len(scatter.task_energies)}  mean {scatter.mean_joules:6.1f} J  "
+        f"std {scatter.std_joules:6.1f} J  min {scatter.min_joules:6.1f}  "
+        f"max {scatter.max_joules:6.1f}  CV {scatter.coefficient_of_variation:.2f}"
+    )
+    # Shape: noise makes individual estimates scatter by multiples, the
+    # effect the exchange strategies exist to damp.
+    assert scatter.max_joules > 2.0 * scatter.min_joules
+    assert scatter.coefficient_of_variation > 0.2

@@ -1,0 +1,64 @@
+"""Figs. 9(a)-(b) — adaptiveness of E-Ant's task assignment.
+
+Paper: the T420 hosts more Wordcount (CPU-bound) tasks and more map tasks;
+desktops and the Atom host relatively more Grep/Terasort (IO-bound) tasks
+and more reduces.
+"""
+
+from repro.experiments import fig9_adaptiveness, run_msd_comparison
+
+from .conftest import heading
+
+
+def test_fig9_assignment_distributions(once):
+    comparison = once(run_msd_comparison, seed=3, schedulers=("fair", "e-ant"))
+    dist = fig9_adaptiveness(comparison)
+
+    heading("Fig 9(a): completed tasks per machine (by application)")
+    for model, row in dist["by_app"].items():
+        print(
+            f"{model:8s} wordcount {row['wordcount']:7.1f}  grep {row['grep']:7.1f}  "
+            f"terasort {row['terasort']:7.1f}"
+        )
+    heading("Fig 9(b): completed tasks per machine (by kind)")
+    for model, row in dist["by_kind"].items():
+        print(f"{model:8s} map {row['map']:7.1f}  reduce {row['reduce']:7.1f}")
+
+    by_app = dist["by_app"]
+    # The T420 dominates Wordcount per machine (Fig. 9(a)).
+    assert by_app["T420"]["wordcount"] > by_app["Desktop"]["wordcount"]
+    assert by_app["T420"]["wordcount"] > by_app["Atom"]["wordcount"]
+    # Desktops carry relatively more IO-bound work than the T420 does:
+    # compare each machine's wordcount share of its own total.
+    def wordcount_share(model):
+        row = by_app[model]
+        return row["wordcount"] / max(sum(row.values()), 1e-9)
+
+    assert wordcount_share("T420") > wordcount_share("Desktop")
+    assert wordcount_share("T420") > wordcount_share("Atom")
+
+    # Fig. 9(b)'s underlying claim: CPU-bound work concentrates on the
+    # compute-optimized servers while IO-bound work spreads to the wimpy
+    # tier.  Compare each type's share of (CPU-bound) wordcount maps with
+    # its share of (IO-bound) reduces.
+    collector = comparison.runs["e-ant"].metrics.collector
+    by_app_raw = collector.tasks_by_machine_and_app()
+    by_kind_raw = collector.tasks_by_machine_and_kind()
+    total_wc = sum(row.get("wordcount", 0) for row in by_app_raw.values())
+    total_red = sum(row.get("reduce", 0) for row in by_kind_raw.values())
+
+    def wc_share(model):
+        return by_app_raw.get(model, {}).get("wordcount", 0) / total_wc
+
+    def reduce_share(model):
+        return by_kind_raw.get(model, {}).get("reduce", 0) / total_red
+
+    for model in ("T420", "Desktop", "Atom"):
+        print(
+            f"{model:8s} share of wordcount maps {wc_share(model):5.1%}  "
+            f"share of reduces {reduce_share(model):5.1%}"
+        )
+    # The T420 pair takes a far larger share of CPU-bound maps than of
+    # IO-bound reduces; the Atom leans the other way.
+    assert wc_share("T420") > reduce_share("T420")
+    assert reduce_share("Atom") >= wc_share("Atom")

@@ -1,0 +1,38 @@
+"""Micro-benchmarks of the simulation substrate itself."""
+
+from repro.simulation import Simulator
+
+from .conftest import heading
+
+
+def _run_events(n):
+    sim = Simulator()
+
+    def chain():
+        for _ in range(n):
+            yield sim.timeout(1.0)
+
+    sim.process(chain())
+    sim.run()
+    return sim.now
+
+
+def test_event_throughput(benchmark):
+    result = benchmark(_run_events, 20_000)
+    heading("DES kernel: 20k sequential timeout events")
+    assert result == 20_000.0
+
+
+def _run_cluster_minute():
+    from repro.experiments import run_scenario
+    from repro.workloads import puma_job
+
+    return run_scenario([puma_job("wordcount", 2.0)], scheduler="fair", seed=0)
+
+
+def test_cluster_simulation_rate(benchmark):
+    result = benchmark.pedantic(_run_cluster_minute, rounds=2, iterations=1)
+    heading("full-stack: one 2 GB wordcount job on the 16-node fleet")
+    metrics = result.metrics
+    print(f"simulated {metrics.makespan:.0f} s of cluster time")
+    assert metrics.job_results

@@ -1,0 +1,26 @@
+"""Section VI-D — scheduling overhead (paper: ~120 ms per ACO solve)."""
+
+from repro.experiments import measure_update_overhead
+from repro.experiments import testbed_problem as build_testbed_problem
+from repro.core import AcoSolver
+
+from .conftest import heading
+
+
+def test_aco_solver_overhead(benchmark):
+    problem = build_testbed_problem()
+    solver = AcoSolver(n_ants=8, n_iterations=20, seed=1)
+    solution = benchmark(solver.solve, problem)
+    heading("ACO batch solve on a 16-machine x 96-task instance")
+    print(f"best cost {solution.cost:.0f} J (paper overhead: ~120 ms per solve)")
+    assert solution.cost > 0
+
+
+def test_pheromone_update_overhead(benchmark):
+    result = benchmark.pedantic(
+        measure_update_overhead, kwargs={"repetitions": 10}, rounds=1, iterations=1
+    )
+    heading("online E-Ant per-interval pheromone update")
+    print(f"mean {result.mean_seconds*1000:.2f} ms per control interval")
+    # Negligible against the 5-minute control interval, as the paper notes.
+    assert result.mean_seconds < 0.3

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Validate the Eq. 2 task-energy model against the simulated wall meter,
+and identify machine power parameters by least squares — the workflow of
+Sections IV-B and V (Fig. 4).
+
+Run:  python examples/energy_model_validation.py
+"""
+
+from repro.cluster import DESKTOP, T420, Cluster, paper_fleet
+from repro.energy import ClusterMeter, fit_power_model
+from repro.experiments import fig4_model_accuracy, run_scenario
+from repro.simulation import Simulator
+from repro.workloads import puma_job
+
+
+def identify_power_model() -> None:
+    """Recover a machine's (P_idle, alpha) from metered observations."""
+    print("-- System identification (least squares, Section IV-B) --")
+    result = run_scenario(
+        [puma_job("wordcount", 6.0), puma_job("terasort", 6.0, submit_time=30.0)],
+        scheduler="fair",
+        seed=1,
+        with_meter=True,
+        meter_interval=3.0,
+    )
+    # Identify every machine that saw enough load variation to fit.
+    for machine in result.cluster:
+        utils, powers = result.meter.identification_data(machine.machine_id)
+        if max(utils) - min(utils) < 0.05:
+            continue  # too lightly loaded to identify
+        fitted = fit_power_model(utils, powers)
+        truth = machine.spec.power
+        print(
+            f"{machine.hostname:12s} fitted idle {fitted.idle_watts:6.1f} W "
+            f"(true {truth.idle_watts:5.1f}), alpha {fitted.alpha_watts:6.1f} W "
+            f"(true {truth.alpha_watts:5.1f})"
+        )
+
+
+def validate_task_model() -> None:
+    """Fig. 4: measured vs estimated energy per machine and application."""
+    print("\n-- Task-energy model accuracy (Fig. 4) --")
+    for row in fig4_model_accuracy(machines=(DESKTOP, T420), input_gb=2.0):
+        print(
+            f"{row.machine:8s} {row.workload:10s} "
+            f"measured {row.measured_joules / 1000:6.1f} kJ  "
+            f"estimated {row.estimated_joules / 1000:6.1f} kJ  "
+            f"error {row.relative_error:5.1%}"
+        )
+
+
+if __name__ == "__main__":
+    identify_power_model()
+    validate_task_model()

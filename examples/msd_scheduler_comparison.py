@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""The paper's headline experiment as a script: Fair vs Tarazu vs E-Ant
+on the Microsoft-derived (MSD) workload of Section V-C.
+
+Reproduces the content of Figs. 8(a)-(c): per-machine-type energy, CPU
+utilization, and normalized completion times, plus the E-Ant savings
+percentages the abstract reports (paper: 17 % vs Fair, 12 % vs Tarazu;
+see EXPERIMENTS.md for the reproduction's measured factors).
+
+Run:  python examples/msd_scheduler_comparison.py [n_jobs] [seed]
+"""
+
+import sys
+
+from repro.experiments import fig9_adaptiveness, run_msd_comparison
+
+
+def main() -> None:
+    n_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+
+    print(f"Replaying {n_jobs} MSD jobs (seed {seed}) under three schedulers...")
+    comparison = run_msd_comparison(seed=seed, n_jobs=n_jobs)
+
+    print("\n-- Fig 8(a): energy by machine type (kJ) --")
+    energy = comparison.energy_by_type()
+    models = ("Desktop", "T110", "T420", "T620", "T320", "Atom")
+    for scheduler in ("fair", "tarazu", "e-ant"):
+        row = "  ".join(f"{m}:{energy[scheduler].get(m, 0.0):7.0f}" for m in models)
+        print(f"{scheduler:7s} {row}  total {comparison.total_energy_kj(scheduler):8.0f}")
+    print(
+        f"\nE-Ant total-energy saving: {comparison.saving_vs('fair'):+.1%} vs Fair, "
+        f"{comparison.saving_vs('tarazu'):+.1%} vs Tarazu"
+    )
+    print(f"E-Ant dynamic-energy saving vs Fair: {comparison.dynamic_saving_vs('fair'):+.1%}")
+
+    print("\n-- Fig 8(b): mean CPU utilization by machine type --")
+    for scheduler, row in comparison.utilization_by_type().items():
+        cells = "  ".join(f"{m}:{row.get(m, 0.0):5.1%}" for m in models)
+        print(f"{scheduler:7s} {cells}")
+
+    print("\n-- Fig 9: E-Ant task placement (per machine of each type) --")
+    adaptiveness = fig9_adaptiveness(comparison)
+    for model, row in adaptiveness["by_app"].items():
+        print(
+            f"{model:8s} wordcount {row['wordcount']:6.0f}  grep {row['grep']:6.0f}  "
+            f"terasort {row['terasort']:6.0f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

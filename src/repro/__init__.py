@@ -1,0 +1,77 @@
+"""E-Ant: energy-efficient adaptive task assignment for heterogeneous
+Hadoop clusters — a full reproduction of Cheng et al., ICDCS 2015.
+
+The library has three layers:
+
+* **Substrates** — a discrete-event simulation kernel
+  (:mod:`repro.simulation`), a heterogeneous cluster with calibrated power
+  models (:mod:`repro.cluster`), a Hadoop 1.x MapReduce model
+  (:mod:`repro.hadoop`), workload generators (:mod:`repro.workloads`),
+  energy metering and the Eq. 2 task-energy model (:mod:`repro.energy`),
+  and noise injection (:mod:`repro.noise`).
+* **The contribution** — the E-Ant ACO scheduler (:mod:`repro.core`) and
+  the baseline schedulers it is compared against
+  (:mod:`repro.schedulers`: FIFO, Fair, Tarazu, LATE).
+* **Evaluation** — metrics (:mod:`repro.metrics`) and one harness per
+  paper figure/table (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import run_msd_comparison
+    result = run_msd_comparison(seed=7)
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"
+
+from .cluster import Cluster, MachineSpec, PowerModel, paper_fleet
+from .core import EAntConfig, EAntScheduler, ExchangeLevel
+from .experiments import run_msd_comparison, run_scenario
+from .hadoop import HadoopConfig
+from .noise import DEFAULT_NOISE, NO_NOISE, NoiseModel
+from .schedulers import FairScheduler, FifoScheduler, LateScheduler, Scheduler, TarazuScheduler
+from .simulation import RandomStreams, Simulator
+from .workloads import (
+    GREP,
+    PUMA,
+    TERASORT,
+    WORDCOUNT,
+    JobSpec,
+    MSDConfig,
+    WorkloadProfile,
+    generate_msd_workload,
+    puma_job,
+)
+
+__all__ = [
+    "__version__",
+    "Simulator",
+    "RandomStreams",
+    "Cluster",
+    "MachineSpec",
+    "PowerModel",
+    "paper_fleet",
+    "HadoopConfig",
+    "JobSpec",
+    "WorkloadProfile",
+    "WORDCOUNT",
+    "GREP",
+    "TERASORT",
+    "PUMA",
+    "puma_job",
+    "MSDConfig",
+    "generate_msd_workload",
+    "NoiseModel",
+    "NO_NOISE",
+    "DEFAULT_NOISE",
+    "Scheduler",
+    "FifoScheduler",
+    "FairScheduler",
+    "TarazuScheduler",
+    "LateScheduler",
+    "EAntScheduler",
+    "EAntConfig",
+    "ExchangeLevel",
+    "run_scenario",
+    "run_msd_comparison",
+]

@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro`` or the ``eant-repro`` script.
+
+Subcommands
+-----------
+``catalog``
+    Print the calibrated machine catalog (Table I / Section V-B).
+``run``
+    Simulate a PUMA job mix under a chosen scheduler.
+``compare``
+    The headline Fair vs Tarazu vs E-Ant comparison on the MSD workload
+    (Figs. 8-9).
+``figure``
+    Regenerate one paper figure's data (fig1a, fig1b, fig1c, fig1d, fig4,
+    fig6, fig7, fig10, fig11a, fig11b, fig12a, fig12b).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .cluster import CATALOG, paper_fleet
+from .experiments import (
+    SCHEDULER_NAMES,
+    crossover_rate,
+    fig1a_hardware_impact,
+    fig1b_power_split,
+    fig1c_workload_impact,
+    fig1d_phase_breakdown,
+    fig4_model_accuracy,
+    fig6_locality_impact,
+    fig7_noise_scatter,
+    fig9_adaptiveness,
+    fig10_exchange_effectiveness,
+    fig11a_machine_homogeneity,
+    fig11b_job_homogeneity,
+    fig12a_beta_sweep,
+    fig12b_interval_sweep,
+    peak_rate,
+    run_msd_comparison,
+    run_scenario,
+)
+from .workloads import PUMA, puma_job
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="eant-repro",
+        description="E-Ant (ICDCS 2015) reproduction: simulate energy-aware "
+        "task assignment on a heterogeneous Hadoop cluster.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("catalog", help="print the calibrated machine catalog")
+
+    run = sub.add_parser("run", help="simulate a PUMA job mix")
+    run.add_argument("--scheduler", choices=SCHEDULER_NAMES, default="e-ant")
+    run.add_argument(
+        "--jobs",
+        nargs="+",
+        default=["wordcount:4", "grep:4", "terasort:4"],
+        metavar="APP:GB",
+        help="jobs as application:input_gb (submitted a minute apart)",
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--timeline",
+        action="store_true",
+        help="print per-machine power sparklines (attaches a meter)",
+    )
+
+    compare = sub.add_parser("compare", help="Fair vs Tarazu vs E-Ant on MSD")
+    compare.add_argument("--jobs", type=int, default=60, dest="n_jobs")
+    compare.add_argument("--seed", type=int, default=3)
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure's data")
+    figure.add_argument(
+        "name",
+        choices=[
+            "fig1a", "fig1b", "fig1c", "fig1d", "fig4", "fig6", "fig7",
+            "fig10", "fig11a", "fig11b", "fig12a", "fig12b",
+        ],
+    )
+    return parser
+
+
+def _cmd_catalog() -> int:
+    print(f"{'model':8s} {'cores':>5s} {'cpu':>5s} {'io':>5s} {'mem':>5s} "
+          f"{'idle W':>7s} {'alpha W':>8s} {'slots':>6s}")
+    for spec in CATALOG.values():
+        print(
+            f"{spec.model:8s} {spec.cores:5d} {spec.cpu_speed:5.2f} "
+            f"{spec.io_speed:5.2f} {spec.memory_gb:5d} "
+            f"{spec.power.idle_watts:7.1f} {spec.power.alpha_watts:8.1f} "
+            f"{spec.map_slots}+{spec.reduce_slots:d}"
+        )
+    fleet = ", ".join(f"{count}x {spec.model}" for spec, count in paper_fleet())
+    print(f"\npaper fleet (Section V-B): {fleet}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    jobs = []
+    for index, item in enumerate(args.jobs):
+        try:
+            app, _, gb = item.partition(":")
+            size = float(gb) if gb else 4.0
+        except ValueError:
+            print(f"bad job spec {item!r}; expected APP:GB", file=sys.stderr)
+            return 2
+        if app not in PUMA:
+            print(f"unknown application {app!r}; known: {sorted(PUMA)}", file=sys.stderr)
+            return 2
+        jobs.append(puma_job(app, input_gb=size, submit_time=index * 60.0))
+    result = run_scenario(
+        jobs,
+        scheduler=args.scheduler,
+        seed=args.seed,
+        with_meter=args.timeline,
+        meter_interval=10.0,
+    )
+    print(result.metrics.summary())
+    print("\nenergy by machine type (kJ):")
+    for model, joules in sorted(result.metrics.energy_by_type.items()):
+        print(f"  {model:8s} {joules / 1000:8.1f}")
+    if args.timeline and result.meter is not None:
+        from .metrics import timeline_report
+
+        print("\nper-machine power over time:")
+        print(timeline_report(result.meter))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    comparison = run_msd_comparison(seed=args.seed, n_jobs=args.n_jobs)
+    for name in ("fair", "tarazu", "e-ant"):
+        metrics = comparison.metrics(name)
+        print(
+            f"{name:7s} total {metrics.total_energy_kj:8.0f} kJ  "
+            f"dynamic {metrics.dynamic_energy_joules / 1000:7.0f} kJ  "
+            f"makespan {metrics.makespan / 60:5.1f} min  "
+            f"mean JCT {metrics.mean_jct() / 60:5.2f} min"
+        )
+    print(
+        f"\nE-Ant saving: {comparison.saving_vs('fair'):+.1%} vs Fair, "
+        f"{comparison.saving_vs('tarazu'):+.1%} vs Tarazu "
+        f"(paper: 17% / 12%); dynamic saving vs Fair "
+        f"{comparison.dynamic_saving_vs('fair'):+.1%}"
+    )
+    adaptiveness = fig9_adaptiveness(comparison)
+    print("\nE-Ant placement per machine (Fig 9a):")
+    for model, row in adaptiveness["by_app"].items():
+        print(f"  {model:8s} {row}")
+    return 0
+
+
+def _cmd_figure(name: str) -> int:
+    if name == "fig1a":
+        curves = fig1a_hardware_impact()
+        for machine, points in curves.items():
+            for p in points:
+                print(f"{machine}\t{p.rate_per_min}\t{p.throughput_per_watt:.5f}")
+        print(f"# crossover ~{crossover_rate(curves):.1f} tasks/min (paper: ~12)")
+    elif name == "fig1b":
+        for (machine, load), p in fig1b_power_split().items():
+            print(f"{machine}\t{load}\t{p.idle_power_watts:.1f}\t{p.dynamic_power_watts:.1f}")
+    elif name == "fig1c":
+        for workload, points in fig1c_workload_impact().items():
+            for p in points:
+                print(f"{workload}\t{p.rate_per_min}\t{p.throughput_per_watt:.5f}")
+            print(f"# {workload} peak at {peak_rate(points):.0f}/min")
+    elif name == "fig1d":
+        for app, parts in fig1d_phase_breakdown().items():
+            print(f"{app}\t{parts['map']:.2f}\t{parts['shuffle']:.2f}\t{parts['reduce']:.2f}")
+    elif name == "fig4":
+        for row in fig4_model_accuracy():
+            print(
+                f"{row.machine}\t{row.workload}\t{row.measured_joules:.0f}\t"
+                f"{row.estimated_joules:.0f}\t{row.task_nrmse:.3f}"
+            )
+    elif name == "fig6":
+        for point in fig6_locality_impact():
+            print(f"{point.local_fraction}\t{point.completion_time_s:.0f}")
+    elif name == "fig7":
+        scatter = fig7_noise_scatter()
+        for index, energy in enumerate(scatter.task_energies):
+            print(f"{index}\t{energy:.1f}")
+    elif name == "fig10":
+        for setting, curve in fig10_exchange_effectiveness().items():
+            for t, saving in zip(curve.times_s, curve.savings_kj):
+                print(f"{setting}\t{t:.0f}\t{saving:.1f}")
+    elif name == "fig11a":
+        for point in fig11a_machine_homogeneity():
+            print(f"{point.homogeneity}\t{point.mean_convergence_s:.0f}")
+    elif name == "fig11b":
+        for point in fig11b_job_homogeneity():
+            print(f"{point.homogeneity}\t{point.mean_converged_only_s:.0f}\t{point.converged_fraction:.2f}")
+    elif name == "fig12a":
+        for point in fig12a_beta_sweep():
+            print(f"{point.beta}\t{point.energy_saving_kj:.1f}\t{point.fairness:.4f}")
+    elif name == "fig12b":
+        for point in fig12b_interval_sweep():
+            print(f"{point.interval_s:.0f}\t{point.energy_saving_kj:.1f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "catalog":
+        return _cmd_catalog()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "figure":
+        return _cmd_figure(args.name)
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""Heterogeneous cluster substrate: machine types, power models, topology."""
+
+from .catalog import (
+    ATOM,
+    CATALOG,
+    CORE_I7,
+    DESKTOP,
+    T110,
+    T320,
+    T420,
+    T620,
+    XEON_E5,
+    paper_fleet,
+    spec_by_name,
+)
+from .machine import Machine, MachineSpec
+from .power import EnergyAccumulator, PowerModel
+from .topology import Cluster, Network
+
+__all__ = [
+    "Machine",
+    "MachineSpec",
+    "PowerModel",
+    "EnergyAccumulator",
+    "Cluster",
+    "Network",
+    "CATALOG",
+    "DESKTOP",
+    "ATOM",
+    "T110",
+    "T320",
+    "T420",
+    "T620",
+    "XEON_E5",
+    "CORE_I7",
+    "paper_fleet",
+    "spec_by_name",
+]

@@ -1,0 +1,149 @@
+"""Machine-type catalog calibrated to the paper's testbed.
+
+Table I and Section V-B together describe seven machine types.  Absolute
+power figures were not published, so the affine power models below are
+calibrated to reproduce the *relationships* the paper measures:
+
+* Fig. 1(a): the Core i7 desktop beats the Xeon E5 server in
+  throughput-per-watt below ~12 tasks/min and loses above it — so the
+  desktop gets a low idle floor with a steep dynamic slope, and the Xeon a
+  high idle floor with a shallow slope (Fig. 1(b)'s split).
+* Fig. 9(a): compute-optimized types (T420/T620) must be the cheapest hosts
+  for CPU-bound tasks under the Eq. 2 per-task energy accounting, while
+  desktops and the Atom win on IO-bound tasks.
+* The i7-vs-Atom Wordcount anecdote of Section I (desktop: 63 min / 183 kJ;
+  Atom: 178 min / 136 kJ — 2.8x slower yet 26 % less energy) pins the
+  Atom's full-load power at roughly one fifth of the desktop's.
+
+CPU speeds are per-core, relative to the Core i7 @ 3.4 GHz (= 1.0).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .machine import MachineSpec
+from .power import PowerModel
+
+__all__ = [
+    "DESKTOP",
+    "ATOM",
+    "T110",
+    "T320",
+    "T420",
+    "T620",
+    "XEON_E5",
+    "CORE_I7",
+    "CATALOG",
+    "paper_fleet",
+    "spec_by_name",
+]
+
+#: Dell desktop — Core i7, 8 x 3.4 GHz, 16 GB (Table I "Desktop").
+DESKTOP = MachineSpec(
+    model="Desktop",
+    cores=8,
+    cpu_speed=1.00,
+    io_speed=1.0,
+    memory_gb=16,
+    disk_tb=1.0,
+    power=PowerModel(idle_watts=45.0, alpha_watts=150.0),
+)
+
+#: Atom microserver — 4 cores, 8 GB (Section V-B).
+ATOM = MachineSpec(
+    model="Atom",
+    cores=4,
+    cpu_speed=0.25,
+    io_speed=0.45,
+    memory_gb=8,
+    disk_tb=1.0,
+    power=PowerModel(idle_watts=18.0, alpha_watts=20.0),
+    io_channels=3,
+)
+
+#: Dell PowerEdge T110 — 8 cores, 16 GB.
+T110 = MachineSpec(
+    model="T110",
+    cores=8,
+    cpu_speed=0.75,
+    io_speed=1.0,
+    memory_gb=16,
+    disk_tb=1.0,
+    power=PowerModel(idle_watts=55.0, alpha_watts=45.0),
+)
+
+#: Dell PowerEdge T320 — 12 cores, 24 GB.
+T320 = MachineSpec(
+    model="T320",
+    cores=12,
+    cpu_speed=0.72,
+    io_speed=1.0,
+    memory_gb=24,
+    disk_tb=1.0,
+    power=PowerModel(idle_watts=65.0, alpha_watts=50.0),
+)
+
+#: Dell PowerEdge T420 — Xeon E5, 24 x 1.9 GHz, 32 GB (Table I "PowerEdge").
+T420 = MachineSpec(
+    model="T420",
+    cores=24,
+    cpu_speed=0.95,
+    io_speed=1.0,
+    memory_gb=32,
+    disk_tb=1.0,
+    power=PowerModel(idle_watts=75.0, alpha_watts=55.0),
+)
+
+#: Dell PowerEdge T620 — 24 cores, 16 GB.
+T620 = MachineSpec(
+    model="T620",
+    cores=24,
+    cpu_speed=0.90,
+    io_speed=1.0,
+    memory_gb=16,
+    disk_tb=1.0,
+    power=PowerModel(idle_watts=85.0, alpha_watts=60.0),
+)
+
+#: Table I aliases used by the Section II motivation study.
+XEON_E5 = T420
+CORE_I7 = DESKTOP
+
+#: All distinct machine types, by model name.
+CATALOG: Dict[str, MachineSpec] = {
+    spec.model: spec for spec in (DESKTOP, ATOM, T110, T320, T420, T620)
+}
+
+
+def spec_by_name(name: str) -> MachineSpec:
+    """Look up a machine type by model name (case-insensitive).
+
+    ``"Xeon E5"`` and ``"Core i7"`` resolve to their Table I aliases.
+    """
+    normalized = name.strip().lower().replace(" ", "").replace("_", "").replace("-", "")
+    aliases = {"xeone5": T420, "corei7": DESKTOP, "poweredge": T420}
+    if normalized in aliases:
+        return aliases[normalized]
+    for model, spec in CATALOG.items():
+        if model.lower() == normalized:
+            return spec
+    raise KeyError(f"unknown machine type: {name!r}")
+
+
+def paper_fleet() -> List[Tuple[MachineSpec, int]]:
+    """The Section V-B slave fleet: (type, count) pairs, 16 slaves total.
+
+    1 Atom + 3 T110 + 2 T420 + 1 T320 + 1 T620 + 8 Desktops.  The master
+    node (one extra desktop in the paper) is not modelled: it runs no tasks
+    and its constant power draw is identical under every scheduler, so it
+    cancels out of all comparisons.
+    """
+    return [
+        (DESKTOP, 8),
+        (T110, 3),
+        (T420, 2),
+        (T620, 1),
+        (T320, 1),
+        (ATOM, 1),
+    ]

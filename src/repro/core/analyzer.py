@@ -1,0 +1,93 @@
+"""The task analyzer: Eq. 2 energy estimates from TaskTracker reports.
+
+The analyzer owns one :class:`~repro.energy.model.TaskEnergyModel` per
+machine and converts each :class:`~repro.hadoop.job.TaskReport`'s noisy
+CPU-utilization samples into the task's estimated energy — the feedback
+signal the adaptive task assigner optimizes on.  It buffers one control
+interval's worth of estimates and drains them as
+:class:`~repro.core.pheromone.TaskFeedback` items at each tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..cluster import Cluster
+from ..energy.model import TaskEnergyModel
+from ..hadoop.job import TaskReport
+from .pheromone import TaskFeedback
+
+__all__ = ["TaskAnalyzer"]
+
+
+@dataclass
+class TaskAnalyzer:
+    """Per-machine energy models plus the interval feedback buffer.
+
+    Parameters
+    ----------
+    cluster:
+        Source of machine specs (one model per machine instance).
+    models:
+        Optional explicit models per machine id; by default each machine's
+        model is instantiated from its spec's power law — i.e. assuming a
+        prior system-identification pass recovered the parameters exactly.
+        Pass models fitted by :func:`repro.energy.estimation.fit_power_model`
+        to study identification error.
+    """
+
+    cluster: Cluster
+    models: Optional[Dict[int, TaskEnergyModel]] = None
+    _buffer: List[TaskFeedback] = field(default_factory=list)
+    #: every (report, estimate) this analyzer ever produced (diagnostics)
+    history: List[Tuple[TaskReport, float]] = field(default_factory=list)
+    keep_history: bool = False
+
+    def __post_init__(self) -> None:
+        if self.models is None:
+            self.models = {
+                machine.machine_id: TaskEnergyModel.for_spec(machine.spec)
+                for machine in self.cluster
+            }
+
+    # ------------------------------------------------------------- estimates
+    def estimate(self, report: TaskReport) -> float:
+        """Eq. 2 energy estimate (J) for one completed task."""
+        model = self.models[report.machine_id]
+        if report.samples:
+            return model.estimate(report.samples)
+        return model.estimate_from_average(report.avg_utilization, report.duration)
+
+    def colony_key(self, report: TaskReport) -> Hashable:
+        """The ant colony a task belongs to: its job and task kind."""
+        return (report.job_id, report.kind)
+
+    def job_group_key(self, report: TaskReport) -> Hashable:
+        """Demand-similarity key for job-level exchange (Section IV-D)."""
+        return (report.resource_signature, report.kind)
+
+    # ---------------------------------------------------------------- buffer
+    def observe(self, report: TaskReport) -> float:
+        """Ingest one completion report; returns its energy estimate."""
+        energy = self.estimate(report)
+        feedback = TaskFeedback(
+            colony=self.colony_key(report),
+            machine_id=report.machine_id,
+            energy_joules=energy,
+            job_group=self.job_group_key(report),
+        )
+        self._buffer.append(feedback)
+        if self.keep_history:
+            self.history.append((report, energy))
+        return energy
+
+    def drain(self) -> List[TaskFeedback]:
+        """Return and clear the current interval's feedback."""
+        drained, self._buffer = self._buffer, []
+        return drained
+
+    @property
+    def pending_count(self) -> int:
+        """Feedback items accumulated since the last drain."""
+        return len(self._buffer)

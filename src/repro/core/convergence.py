@@ -1,0 +1,97 @@
+"""Convergence detection for E-Ant's search speed (Section VI-C).
+
+The paper defines a *stable* solution as a control interval in which more
+than 80 % of a job's tasks "revisit the same machines compared with the
+assignment in the previous interval".  We measure that as the overlap of
+the per-machine assignment distributions of two consecutive intervals::
+
+    overlap = sum_m min( share_t(m), share_{t-1}(m) )
+
+which is 1.0 for identical distributions and 0.0 for disjoint ones.  The
+convergence time of a job is the first interval end at which the overlap
+crosses the threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional
+
+__all__ = ["ConvergenceDetector", "distribution_overlap"]
+
+
+def distribution_overlap(
+    previous: Dict[int, int],
+    current: Dict[int, int],
+) -> float:
+    """Overlap in [0, 1] between two per-machine assignment count maps."""
+    total_prev = sum(previous.values())
+    total_cur = sum(current.values())
+    if total_prev == 0 or total_cur == 0:
+        return 0.0
+    overlap = 0.0
+    for machine_id in set(previous) | set(current):
+        share_prev = previous.get(machine_id, 0) / total_prev
+        share_cur = current.get(machine_id, 0) / total_cur
+        overlap += min(share_prev, share_cur)
+    return overlap
+
+
+@dataclass
+class ConvergenceDetector:
+    """Tracks per-colony assignment distributions across control intervals.
+
+    Call :meth:`record_assignment` for every launch, then
+    :meth:`close_interval` at each control-interval tick.
+    """
+
+    threshold: float = 0.8
+    _current: Dict[Hashable, Dict[int, int]] = field(default_factory=dict)
+    _previous: Dict[Hashable, Dict[int, int]] = field(default_factory=dict)
+    #: colony -> first time the overlap crossed the threshold
+    converged_at: Dict[Hashable, float] = field(default_factory=dict)
+    #: colony -> first time an assignment was observed
+    first_seen: Dict[Hashable, float] = field(default_factory=dict)
+    #: (time, colony, overlap) rows for diagnostics
+    history: List[tuple] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+
+    def record_assignment(self, colony: Hashable, machine_id: int, now: float) -> None:
+        """Note one task launch of ``colony`` onto ``machine_id``."""
+        per_machine = self._current.setdefault(colony, {})
+        per_machine[machine_id] = per_machine.get(machine_id, 0) + 1
+        self.first_seen.setdefault(colony, now)
+
+    def close_interval(self, now: float) -> Dict[Hashable, float]:
+        """End the interval; returns the overlap per colony measured."""
+        overlaps: Dict[Hashable, float] = {}
+        for colony, current in self._current.items():
+            previous = self._previous.get(colony)
+            if previous:
+                overlap = distribution_overlap(previous, current)
+                overlaps[colony] = overlap
+                self.history.append((now, colony, overlap))
+                if overlap >= self.threshold and colony not in self.converged_at:
+                    self.converged_at[colony] = now
+        # Current distributions become the baseline for the next interval.
+        for colony, current in self._current.items():
+            self._previous[colony] = current
+        self._current = {}
+        return overlaps
+
+    def convergence_time(self, colony: Hashable) -> Optional[float]:
+        """Seconds from the colony's first assignment to stability."""
+        if colony not in self.converged_at:
+            return None
+        return self.converged_at[colony] - self.first_seen.get(colony, 0.0)
+
+    def mean_convergence_time(self) -> Optional[float]:
+        """Mean convergence time over converged colonies (None if none)."""
+        times = [self.convergence_time(c) for c in self.converged_at]
+        times = [t for t in times if t is not None]
+        if not times:
+            return None
+        return sum(times) / len(times)

@@ -1,0 +1,72 @@
+"""The heuristic function of Eq. 7: data locality and job fairness.
+
+The heuristic multiplies into the assignment probability (Eq. 8) as
+``eta^beta``.  Its two cases:
+
+* a node-local pending task -> ``eta = infinity``, i.e. local tasks always
+  win the slot (the scheduler short-circuits rather than multiplying by
+  infinity);
+* otherwise ``eta`` measures the job's *unfairness*: below its min-share
+  the value exceeds 1 (boosting the starved job), above it the value drops
+  below 1 (throttling the hog).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["fairness_eta", "FairnessView"]
+
+
+def fairness_eta(min_share: float, occupied: float, pool_slots: float) -> float:
+    """Eq. 7's second branch: 1 / (1 - (S_min - S_occ) / S_pool).
+
+    Parameters
+    ----------
+    min_share:
+        ``S_min`` — the job's minimum slot share.
+    occupied:
+        ``S_occ`` — slots the job currently holds.
+    pool_slots:
+        ``S_pool`` — the pool's total slots (single-user system: the whole
+        cluster, and ``sum_j S_min_j = S_pool``).
+
+    Notes
+    -----
+    ``S_occ = S_min`` gives exactly 1 (fair share reached, no influence).
+    ``S_occ < S_min`` gives > 1, growing with the deficit.  The expression
+    is clamped to stay positive if a job ever holds nearly the whole pool
+    (the raw formula would blow up at ``S_occ - S_min = S_pool``).
+    """
+    if pool_slots <= 0:
+        raise ValueError("pool must have slots")
+    if min_share < 0 or occupied < 0:
+        raise ValueError("shares must be non-negative")
+    denominator = 1.0 - (min_share - occupied) / pool_slots
+    # occupied >= 0 and min_share <= pool imply denominator > 0 in normal
+    # operation; guard against degenerate configurations anyway.
+    denominator = max(denominator, 1e-3)
+    return 1.0 / denominator
+
+
+@dataclass(frozen=True)
+class FairnessView:
+    """Per-interval snapshot used to evaluate Eq. 7 for every job.
+
+    Single-user system (Section IV-C.4): every active job's min-share is an
+    equal split of the pool.
+    """
+
+    pool_slots: int
+    active_jobs: int
+
+    @property
+    def min_share(self) -> float:
+        """``S_min`` of each job under equal splitting."""
+        if self.active_jobs <= 0:
+            return float(self.pool_slots)
+        return self.pool_slots / self.active_jobs
+
+    def eta(self, occupied_slots: int) -> float:
+        """Eq. 7 fairness term for a job holding ``occupied_slots``."""
+        return fairness_eta(self.min_share, occupied_slots, self.pool_slots)

@@ -1,0 +1,358 @@
+"""Pheromone bookkeeping (Eqs. 4-6) with exchange strategies (Section IV-D).
+
+Each *colony* — a job's map tasks or reduce tasks — keeps one pheromone
+value per machine.  At the end of every control interval the table is
+updated from the interval's completed-task energy feedback::
+
+    tau_{t+1}(j, m) = (1 - rho) * tau_t(j, m) + rho * sum_n dtau_n(j, m)   (Eq. 4)
+
+    dtau_n(j, m) = (mean energy of job j's completed tasks) / E(T_n(m))    (Eq. 5)
+
+so machines that complete more tasks with below-average energy accumulate
+pheromone fastest.  Cross-job negative feedback (Eq. 6) subtracts the other
+colonies' gains on the same machine, making colonies compete for
+energy-efficient hosts.
+
+The exchange strategies replace per-machine (and per-job) evidence with
+group averages over hardware-identical machines and demand-similar jobs,
+damping the estimate noise studied in Figs. 7 and 10.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+__all__ = ["ExchangeLevel", "TaskFeedback", "PheromoneTable"]
+
+ColonyKey = Hashable  # typically (job_id, TaskKind)
+
+
+class ExchangeLevel(enum.Flag):
+    """Which information-exchange strategies are active (Fig. 10's four)."""
+
+    NONE = 0
+    MACHINE = enum.auto()
+    JOB = enum.auto()
+    BOTH = MACHINE | JOB
+
+
+@dataclass(frozen=True)
+class TaskFeedback:
+    """Energy feedback of one completed task, as the analyzer reports it."""
+
+    colony: ColonyKey
+    machine_id: int
+    energy_joules: float
+    #: demand-similarity key for job-level exchange (resource signature + kind)
+    job_group: Hashable = None
+
+
+@dataclass
+class PheromoneTable:
+    """Per-colony, per-machine pheromone values with Eq. 4-6 updates.
+
+    Parameters
+    ----------
+    machine_ids:
+        All machines in the cluster.
+    rho:
+        Evaporation coefficient of Eq. 4 (paper example: 0.5).
+    initial:
+        Starting pheromone of every path (paper example: 1.0).
+    tau_min, tau_max:
+        Absolute clamps keeping probabilities well-defined under negative
+        feedback (standard MAX-MIN ant system practice).
+    relative_floor:
+        After each update, no machine in a colony's row may fall below
+        ``relative_floor * max(row)``.  This bounds how extreme the
+        assignment distribution can get, preserving the exploration that
+        Section IV-C.2 calls Randomness — without it, repeated
+        count-weighted deposits drive winner-take-all lock-in that
+        hard-partitions the cluster by job type.
+    negative_feedback:
+        Weight of the Eq. 6 cross-colony term (1.0 = paper; 0 disables,
+        used by the ablation benchmark).
+    machine_groups:
+        Hardware-identical machine groups (machine-level exchange).
+    exchange:
+        Which exchange strategies to apply.
+    """
+
+    machine_ids: Sequence[int]
+    rho: float = 0.5
+    initial: float = 1.0
+    tau_min: float = 0.05
+    tau_max: float = 1e9
+    relative_floor: float = 0.05
+    negative_feedback: float = 1.0
+    machine_groups: Sequence[Sequence[int]] = ()
+    exchange: ExchangeLevel = ExchangeLevel.BOTH
+    _tau: Dict[ColonyKey, Dict[int, float]] = field(default_factory=dict)
+    _group_of: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    #: colony -> job-similarity group (set via ensure_colony)
+    _colony_group: Dict[ColonyKey, Hashable] = field(default_factory=dict)
+    #: persistent per-group pheromone profiles new colonies inherit
+    _group_profiles: Dict[Hashable, Dict[int, float]] = field(default_factory=dict)
+    #: EMA weight folding a depositing colony's row into its group profile
+    profile_ema: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rho <= 1.0:
+            raise ValueError("rho must be in (0, 1]")
+        if self.tau_min <= 0 or self.tau_max <= self.tau_min:
+            raise ValueError("need 0 < tau_min < tau_max")
+        if not 0.0 <= self.relative_floor < 1.0:
+            raise ValueError("relative_floor must be in [0, 1)")
+        if self.negative_feedback < 0:
+            raise ValueError("negative feedback weight must be non-negative")
+        self.machine_ids = list(self.machine_ids)
+        if not self.machine_ids:
+            raise ValueError("need at least one machine")
+        for group in self.machine_groups:
+            members = tuple(sorted(group))
+            for machine_id in members:
+                self._group_of[machine_id] = members
+        for machine_id in self.machine_ids:
+            self._group_of.setdefault(machine_id, (machine_id,))
+
+    # -------------------------------------------------------------- colonies
+    def ensure_colony(self, colony: ColonyKey, group: Hashable = None) -> None:
+        """Create a colony's row.
+
+        With job-level exchange active and a known ``group`` that has a
+        stored profile (built from earlier homogeneous jobs), the new
+        colony inherits that profile — this is how short jobs benefit from
+        the experiences of similar jobs that ran before them
+        (Section IV-D's job-level exchange).  Otherwise the row starts
+        uniform at ``initial``.
+        """
+        if group is not None:
+            self._colony_group.setdefault(colony, group)
+        if colony in self._tau:
+            return
+        profile = None
+        if group is not None and self.exchange & ExchangeLevel.JOB:
+            profile = self._group_profiles.get(group)
+        if profile is not None:
+            self._tau[colony] = dict(profile)
+        else:
+            self._tau[colony] = {m: self.initial for m in self.machine_ids}
+
+    def drop_colony(self, colony: ColonyKey) -> None:
+        """Forget a finished job's colony (its group profile persists)."""
+        self._tau.pop(colony, None)
+        self._colony_group.pop(colony, None)
+
+    @property
+    def colonies(self) -> List[ColonyKey]:
+        return list(self._tau)
+
+    # --------------------------------------------------------------- queries
+    def tau(self, colony: ColonyKey, machine_id: int) -> float:
+        """Current pheromone of one path."""
+        self.ensure_colony(colony)
+        return self._tau[colony][machine_id]
+
+    def attractiveness(self, colony: ColonyKey, machine_id: int) -> float:
+        """Eq. 3: tau(j, m) normalized over all machines for the colony."""
+        self.ensure_colony(colony)
+        row = self._tau[colony]
+        total = sum(row.values())
+        return row[machine_id] / total
+
+    def attractiveness_row(self, colony: ColonyKey) -> Dict[int, float]:
+        """Eq. 3 for every machine at once."""
+        self.ensure_colony(colony)
+        row = self._tau[colony]
+        total = sum(row.values())
+        return {m: value / total for m, value in row.items()}
+
+    def relative_quality(self, colony: ColonyKey, machine_id: int) -> float:
+        """Attractiveness of ``machine_id`` relative to the colony's best.
+
+        1.0 on the colony's best machine; < 1 elsewhere.  This drives the
+        gated acceptance in the scheduler: a slot on a poor machine is
+        left idle with high probability.
+        """
+        self.ensure_colony(colony)
+        row = self._tau[colony]
+        best = max(row.values())
+        return row[machine_id] / best
+
+    # --------------------------------------------------------------- updates
+    def update(self, feedback: Iterable[TaskFeedback]) -> Dict[ColonyKey, Dict[int, float]]:
+        """Apply one control interval's feedback (Eqs. 4-6 + exchange).
+
+        Returns the per-colony, per-machine deposit sums ``S(j, m)``
+        actually applied (before evaporation), for diagnostics.
+        """
+        items = [f for f in feedback if f.energy_joules > 0]
+        deposits = self._compute_deposits(items)
+
+        # Record job-group membership observed in the feedback itself.
+        for item in items:
+            if item.job_group is not None:
+                self._colony_group.setdefault(item.colony, item.job_group)
+
+        # Eq. 6: colonies competing for a machine push each other down.
+        # The cross-colony term is the *mean* of the other colonies'
+        # deposits, so its magnitude stays comparable to one colony's own
+        # deposit regardless of how many jobs share the cluster.
+        effective: Dict[ColonyKey, Dict[int, float]] = {}
+        machine_totals: Dict[int, float] = {}
+        depositors = max(len(deposits), 1)
+        for colony, per_machine in deposits.items():
+            for machine_id, value in per_machine.items():
+                machine_totals[machine_id] = machine_totals.get(machine_id, 0.0) + value
+        for colony in self._tau:
+            effective[colony] = {}
+            own = deposits.get(colony, {})
+            others_count = depositors - (1 if colony in deposits else 0)
+            for machine_id in self.machine_ids:
+                own_value = own.get(machine_id, 0.0)
+                others_sum = machine_totals.get(machine_id, 0.0) - own_value
+                others_mean = others_sum / others_count if others_count else 0.0
+                effective[colony][machine_id] = (
+                    own_value - self.negative_feedback * others_mean
+                )
+
+        # Eq. 4: evaporate and deposit, clamped.
+        for colony, row in self._tau.items():
+            updates = effective.get(colony, {})
+            for machine_id in self.machine_ids:
+                new = (1.0 - self.rho) * row[machine_id] + self.rho * updates.get(
+                    machine_id, 0.0
+                )
+                row[machine_id] = min(self.tau_max, max(self.tau_min, new))
+            if self.relative_floor > 0:
+                floor = self.relative_floor * max(row.values())
+                for machine_id in self.machine_ids:
+                    if row[machine_id] < floor:
+                        row[machine_id] = floor
+
+        self._fold_into_group_profiles(deposits)
+        return deposits
+
+    def _fold_into_group_profiles(
+        self, deposits: Dict[ColonyKey, Dict[int, float]]
+    ) -> None:
+        """EMA each *depositing* colony's row into its group profile.
+
+        Only colonies with fresh evidence contribute — idle or just-arrived
+        colonies would otherwise dilute the accumulated group experience
+        back toward uniform, and the whole point of job-level exchange is
+        that a finished job's experience outlives it."""
+        if not self.exchange & ExchangeLevel.JOB:
+            return
+        for colony in deposits:
+            group = self._colony_group.get(colony)
+            if group is None or colony not in self._tau:
+                continue
+            row = self._tau[colony]
+            profile = self._group_profiles.get(group)
+            if profile is None:
+                self._group_profiles[group] = dict(row)
+            else:
+                w = self.profile_ema
+                for m in self.machine_ids:
+                    profile[m] = (1.0 - w) * profile[m] + w * row[m]
+
+    def group_profile(self, group: Hashable) -> Dict[int, float]:
+        """Inheritable pheromone profile of a job group (copy)."""
+        return dict(self._group_profiles.get(group, {}))
+
+    # ------------------------------------------------------------- internals
+    def _compute_deposits(
+        self, items: Sequence[TaskFeedback]
+    ) -> Dict[ColonyKey, Dict[int, float]]:
+        """Per-colony ``S(j, m) = sum_n dtau_n`` with exchange averaging."""
+        if not items:
+            return {}
+
+        # Colony mean energies (the numerator of Eq. 5).
+        by_colony: Dict[ColonyKey, List[TaskFeedback]] = {}
+        for item in items:
+            by_colony.setdefault(item.colony, []).append(item)
+
+        deposits: Dict[ColonyKey, Dict[int, float]] = {}
+        for colony, colony_items in by_colony.items():
+            self.ensure_colony(colony)
+            mean_energy = sum(f.energy_joules for f in colony_items) / len(colony_items)
+            # Raw per-task deltas, grouped by machine.
+            per_machine: Dict[int, List[float]] = {}
+            for item in colony_items:
+                delta = mean_energy / item.energy_joules
+                per_machine.setdefault(item.machine_id, []).append(delta)
+
+            if self.exchange & ExchangeLevel.MACHINE:
+                per_machine = self._machine_exchange(per_machine)
+
+            deposits[colony] = {m: sum(values) for m, values in per_machine.items()}
+
+        if self.exchange & ExchangeLevel.JOB:
+            deposits = self._job_exchange(deposits, by_colony)
+        return deposits
+
+    def _machine_exchange(
+        self, per_machine: Mapping[int, List[float]]
+    ) -> Dict[int, List[float]]:
+        """Replace each machine's deltas with its hardware group's average.
+
+        Every member of a group with evidence receives the group's mean
+        per-task delta, replicated ``N_G / |G|`` times — total deposited
+        pheromone mass is preserved, only redistributed across the group.
+        """
+        grouped: Dict[Tuple[int, ...], List[float]] = {}
+        for machine_id, deltas in per_machine.items():
+            grouped.setdefault(self._group_of[machine_id], []).extend(deltas)
+        result: Dict[int, List[float]] = {}
+        for group, deltas in grouped.items():
+            mean_delta = sum(deltas) / len(deltas)
+            share = len(deltas) / len(group)
+            for machine_id in group:
+                result[machine_id] = [mean_delta * share]
+        return result
+
+    def _job_exchange(
+        self,
+        deposits: Dict[ColonyKey, Dict[int, float]],
+        by_colony: Mapping[ColonyKey, List[TaskFeedback]],
+    ) -> Dict[ColonyKey, Dict[int, float]]:
+        """Average deposits across demand-similar colonies (job groups).
+
+        Every *live* colony of a group receives the group's averaged
+        deposit — including colonies that completed nothing themselves this
+        interval, which is exactly how a fresh job benefits from its
+        homogeneous siblings' experience (Section IV-D)."""
+        group_of_colony: Dict[ColonyKey, Hashable] = {}
+        for colony, colony_items in by_colony.items():
+            group_of_colony[colony] = colony_items[0].job_group
+        groups: Dict[Hashable, List[ColonyKey]] = {}
+        for colony, group in group_of_colony.items():
+            groups.setdefault(group, []).append(colony)
+
+        result: Dict[ColonyKey, Dict[int, float]] = {}
+        for group, contributors in groups.items():
+            if group is None:
+                for colony in contributors:
+                    result[colony] = deposits[colony]
+                continue
+            merged: Dict[int, float] = {}
+            for colony in contributors:
+                for machine_id, value in deposits[colony].items():
+                    merged[machine_id] = merged.get(machine_id, 0.0) + value
+            averaged = {m: v / len(contributors) for m, v in merged.items()}
+            # All live members of the group share the averaged experience.
+            # (Iteration stays in dict-insertion order — sets would make
+            # downstream float folds depend on hash randomization.)
+            recipients = [
+                colony
+                for colony, colony_group in self._colony_group.items()
+                if colony_group == group and colony in self._tau
+            ]
+            recipients += [c for c in contributors if c not in recipients]
+            for colony in recipients:
+                result[colony] = dict(averaged)
+        return result

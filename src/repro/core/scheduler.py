@@ -1,0 +1,477 @@
+"""The E-Ant adaptive task assigner (Sections III-IV).
+
+E-Ant treats each job's map tasks and reduce tasks as ant colonies and
+each (colony, machine) pair as a path whose pheromone encodes observed
+energy efficiency.  Assignment on each TaskTracker heartbeat follows
+Eq. 8 — pheromone attractiveness times the fairness heuristic — with two
+paper-faithful behaviours:
+
+* **Locality short-circuit**: with ``beta > 0`` a node-local pending map
+  always wins the slot (Eq. 7's infinite-eta branch).  With ``beta = 0``
+  locality is ignored, reproducing the energy dip at beta = 0 in
+  Fig. 12(a).
+* **Gated acceptance**: a slot on machine ``m`` is granted to the sampled
+  colony only with probability proportional to ``m``'s pheromone relative
+  to the colony's best machine, so energy-inefficient machines are left
+  partially idle rather than greedily filled.  This is the mechanism that
+  converts heterogeneity awareness into the Fig. 8(a) energy savings.
+  During the first control interval no feedback exists yet, so E-Ant
+  "initially follows Hadoop's default behavior" (Section III-A) and fills
+  slots unconditionally.
+
+Every control interval (default 5 min) the pheromone table is updated from
+the task analyzer's Eq. 2 energy estimates via Eqs. 4-6 with the
+configured exchange strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from ..hadoop.job import Job, Task, TaskKind, TaskReport
+from ..hadoop.tasktracker import TrackerStatus
+from ..schedulers.base import Scheduler
+from .analyzer import TaskAnalyzer
+from .convergence import ConvergenceDetector
+from .heuristics import FairnessView
+from .pheromone import ExchangeLevel, PheromoneTable
+
+__all__ = ["EAntConfig", "EAntScheduler"]
+
+
+@dataclass(frozen=True)
+class EAntConfig:
+    """Tuning parameters of E-Ant.
+
+    Parameters
+    ----------
+    beta:
+        Weight of the heuristic (locality + fairness) term in Eq. 8.
+        The paper's sensitivity analysis (Fig. 12(a)) peaks energy saving
+        at ~0.1 and fairness grows with beta.  beta = 0 disables both the
+        locality short-circuit and the fairness term entirely, exactly as
+        the paper describes.
+    beta_reference:
+        The beta value at which the heuristic term enters with exponent 1
+        (so the default beta equals the paper's recommended 0.1 operating
+        point); the effective exponent is ``beta / beta_reference``.
+    rho:
+        Pheromone evaporation coefficient (Eq. 4).
+    negative_feedback:
+        Weight of the Eq. 6 cross-job term, applied against the *mean* of
+        the competing colonies' deposits (0 disables; ablation knob).
+    exchange:
+        Active information-exchange strategies (Fig. 10's four settings).
+    gating:
+        Whether gated acceptance is applied at all.  Disabled gives an
+        accept-first-sample variant (ablation knob).
+    work_conserving:
+        Whether a slot whose sampled candidates all rejected it is filled
+        with the best candidate anyway while work is pending.  True by
+        default; False restores strict gating, which idles slots and
+        trades completion time for dynamic energy (ablation knob).
+    fallback_quality_floor:
+        Minimum relative machine quality for the work-conserving fallback.
+        0 (default) never idles a slot while work pends; positive values
+        let E-Ant keep machines idle that are this unattractive for every
+        sampled colony, trading completion time for dynamic energy (the
+        strict-gating ablation).
+    gating_sharpness:
+        Exponent applied to the relative machine quality in the acceptance
+        probability.  The paper specifies assignment *probabilities*
+        (Eq. 8) but not the slot-level acceptance mechanism; the exponent
+        controls how aggressively below-best machines are left idle.
+    min_acceptance:
+        Floor of the gated-acceptance probability, guaranteeing progress
+        even on the least attractive machine.
+    candidates_per_slot:
+        How many colonies are sampled for one slot before it is left
+        idle — a rejected slot is offered to other colonies first.
+    deterministic_selection:
+        Replace probabilistic sampling with argmax over the Eq. 8 weights.
+        Sampling noise in queue service order costs measurable completion
+        time versus the Fair Scheduler's deterministic deficit ordering;
+        argmax removes it while pheromone dynamics retain exploration.
+    deficit_power:
+        Exponent on the slot-deficit factor in sampling weights.  Above 1
+        lets a starved job's deficit overpower the pheromone matching, so
+        a job type whose favorite machines cover less capacity than its
+        share of the work still drains steadily through overflow machines.
+    selection_sharpness:
+        Exponent on the pheromone attractiveness in the cross-job slot
+        competition for MAP slots, analogous to ACO's alpha exponent;
+        values above 1 sharpen the job-to-machine matching.  Reduce-slot
+        competition always uses the literal Eq. 8 weight (exponent 1):
+        reduce colonies see far fewer completions per interval, and
+        sharpening that noisier evidence steers shuffle-heavy reduces onto
+        slow machines during the reduce-bound drain phase.
+    convergence_threshold:
+        Revisit fraction defining a stable assignment (Section VI-C: 80 %).
+    tau_min, tau_max:
+        Pheromone clamps.
+    """
+
+    beta: float = 0.1
+    beta_reference: float = 0.1
+    rho: float = 0.5
+    negative_feedback: float = 0.3
+    exchange: ExchangeLevel = ExchangeLevel.BOTH
+    gating: bool = True
+    gating_sharpness: float = 3.0
+    work_conserving: bool = True
+    fallback_quality_floor: float = 0.0
+    min_acceptance: float = 0.05
+    candidates_per_slot: int = 3
+    selection_sharpness: float = 2.0
+    deficit_power: float = 2.0
+    deterministic_selection: bool = False
+    convergence_threshold: float = 0.8
+    tau_min: float = 0.05
+    tau_max: float = 1e9
+
+    def __post_init__(self) -> None:
+        if self.beta < 0:
+            raise ValueError("beta must be non-negative")
+        if self.gating_sharpness <= 0:
+            raise ValueError("gating_sharpness must be positive")
+        if not 0.0 < self.rho <= 1.0:
+            raise ValueError("rho must be in (0, 1]")
+        if not 0.0 <= self.min_acceptance <= 1.0:
+            raise ValueError("min_acceptance must be in [0, 1]")
+        if self.candidates_per_slot < 1:
+            raise ValueError("candidates_per_slot must be >= 1")
+
+    def with_exchange(self, exchange: ExchangeLevel) -> "EAntConfig":
+        """Copy with a different exchange setting (Fig. 10 sweeps)."""
+        return replace(self, exchange=exchange)
+
+
+class EAntScheduler(Scheduler):
+    """Heterogeneity-aware, energy-driven ACO task assignment."""
+
+    name = "e-ant"
+
+    def __init__(
+        self,
+        config: EAntConfig = EAntConfig(),
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.config = config
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.pheromones: Optional[PheromoneTable] = None
+        self.analyzer: Optional[TaskAnalyzer] = None
+        self.convergence = ConvergenceDetector(threshold=config.convergence_threshold)
+        self.intervals_elapsed = 0
+        #: (time, colony, machine_id) of every launch (adaptiveness figures)
+        self.assignment_log: List[Tuple[float, Hashable, int]] = []
+        #: slot-offer telemetry: offered/filled/idled per task kind
+        self.slot_stats: Dict[str, int] = {
+            "map_offered": 0,
+            "map_filled": 0,
+            "map_no_work": 0,
+            "reduce_offered": 0,
+            "reduce_filled": 0,
+            "reduce_no_work": 0,
+        }
+
+    # ------------------------------------------------------------- lifecycle
+    def bind(self, jobtracker) -> None:
+        super().bind(jobtracker)
+        cluster = jobtracker.cluster
+        groups = list(cluster.homogeneous_groups().values())
+        self.pheromones = PheromoneTable(
+            machine_ids=cluster.machine_ids,
+            rho=self.config.rho,
+            negative_feedback=self.config.negative_feedback,
+            machine_groups=groups,
+            exchange=self.config.exchange,
+            tau_min=self.config.tau_min,
+            tau_max=self.config.tau_max,
+        )
+        self.analyzer = TaskAnalyzer(cluster)
+        # Convergence is tracked at hardware-group granularity: exchange
+        # treats same-type machines as interchangeable, so "revisiting the
+        # same machines" (Section VI-C) means revisiting the same types.
+        self._machine_group = {
+            machine_id: signature
+            for signature, ids in cluster.homogeneous_groups().items()
+            for machine_id in ids
+        }
+        jobtracker.start_control_loop()
+
+    def on_job_added(self, job: Job) -> None:
+        assert self.pheromones is not None
+        signature = job.profile.resource_signature()
+        self.pheromones.ensure_colony(
+            (job.job_id, TaskKind.MAP), group=(signature, TaskKind.MAP)
+        )
+        if job.num_reduces:
+            self.pheromones.ensure_colony(
+                (job.job_id, TaskKind.REDUCE), group=(signature, TaskKind.REDUCE)
+            )
+
+    def on_job_removed(self, job: Job) -> None:
+        assert self.pheromones is not None
+        self.pheromones.drop_colony((job.job_id, TaskKind.MAP))
+        self.pheromones.drop_colony((job.job_id, TaskKind.REDUCE))
+
+    def on_task_completed(self, report: TaskReport) -> None:
+        assert self.analyzer is not None
+        self.analyzer.observe(report)
+
+    def on_control_interval(self, now: float) -> None:
+        """The adaptive step: pheromone update from the interval's feedback."""
+        assert self.analyzer is not None and self.pheromones is not None
+        feedback = self.analyzer.drain()
+        self.pheromones.update(feedback)
+        # Feedback for jobs that finished mid-interval resurrects their
+        # colonies just long enough to fold their experience into group
+        # profiles; drop those zombies now.
+        active_keys = set()
+        for job in self.jt.active_jobs:
+            active_keys.add((job.job_id, TaskKind.MAP))
+            active_keys.add((job.job_id, TaskKind.REDUCE))
+        for colony in self.pheromones.colonies:
+            if colony not in active_keys:
+                self.pheromones.drop_colony(colony)
+        self.convergence.close_interval(now)
+        self.intervals_elapsed += 1
+
+    # ------------------------------------------------------------ assignment
+    def select_tasks(self, status: TrackerStatus) -> List[Task]:
+        assignments: List[Task] = []
+        fairness = FairnessView(
+            pool_slots=self.total_cluster_slots(),
+            active_jobs=max(1, len(self.jt.active_jobs)),
+        )
+        for _ in range(status.free_map_slots):
+            self.slot_stats["map_offered"] += 1
+            if not self.jobs_with_pending_maps():
+                self.slot_stats["map_no_work"] += 1
+                continue
+            task = self._fill_map_slot(status.machine_id, fairness)
+            if task is not None:
+                self.slot_stats["map_filled"] += 1
+                assignments.append(task)
+        for _ in range(status.free_reduce_slots):
+            self.slot_stats["reduce_offered"] += 1
+            if not self.jobs_with_schedulable_reduces():
+                self.slot_stats["reduce_no_work"] += 1
+                continue
+            task = self._fill_reduce_slot(status.machine_id, fairness)
+            if task is not None:
+                self.slot_stats["reduce_filled"] += 1
+                assignments.append(task)
+        return assignments
+
+    # --------------------------------------------------------------- helpers
+    def _eta(self, job: Job, kind: TaskKind, fairness: FairnessView) -> float:
+        """The Eq. 7 fairness heuristic raised to the Eq. 8 exponent.
+
+        The heuristic combines the paper's eta with the quantitative slot
+        deficit (see ``_deficit``); ``beta`` scales its overall influence,
+        normalized so that ``beta == beta_reference`` gives exponent 1.
+        """
+        if self.config.beta == 0:
+            return 1.0
+        term = fairness.eta(job.occupied_slots) * self._deficit(job, kind) ** (
+            self.config.deficit_power
+        )
+        return term ** (self.config.beta / self.config.beta_reference)
+
+    def _deficit(self, job: Job, kind: TaskKind) -> float:
+        """How far the job is below its per-kind fair share, >= 0.5.
+
+        Multiplying the Eq. 8 sampling weight by the slot deficit serves
+        the most-starved jobs first in expectation — the quantitative form
+        of Eq. 7's 'the higher the degree of unfairness, the greater the
+        need to schedule the tasks belonging to this job'.  The floor
+        keeps at-share jobs sampleable."""
+        map_slots, reduce_slots = self.jt.cluster.total_slots()
+        pool = map_slots if kind is TaskKind.MAP else reduce_slots
+        share = pool / max(1, len(self.jt.active_jobs))
+        running = job.running_maps if kind is TaskKind.MAP else job.running_reduces
+        return max(share - running, 0.5)
+
+    def _sample_job(
+        self,
+        jobs: List[Job],
+        kind: TaskKind,
+        machine_id: int,
+        fairness: FairnessView,
+    ) -> Optional[Job]:
+        """Sample one colony: Eq. 8 weights (pheromone x heuristic) scaled
+        by the job's slot deficit."""
+        assert self.pheromones is not None
+        sharpness = self.config.selection_sharpness if kind is TaskKind.MAP else 1.0
+        weights = np.array(
+            [
+                self.pheromones.attractiveness((job.job_id, kind), machine_id)
+                ** sharpness
+                * self._eta(job, kind, fairness)
+                for job in jobs
+            ]
+        )
+        total = weights.sum()
+        if total <= 0:
+            return jobs[int(self.rng.integers(len(jobs)))]
+        if self.config.deterministic_selection:
+            return jobs[int(np.argmax(weights))]
+        index = int(self.rng.choice(len(jobs), p=weights / total))
+        return jobs[index]
+
+    def _accepts(
+        self, job: Job, kind: TaskKind, machine_id: int, fairness: FairnessView
+    ) -> bool:
+        """Gated acceptance: keep the slot only if this machine is good
+        enough for the colony (relative to its best-known machine).
+
+        A job with no running task of this kind bypasses the gate (it is
+        maximally starved in Eq. 7 terms): gating may slow a job down but
+        never stall it outright."""
+        if not self.config.gating or self.intervals_elapsed == 0:
+            return True
+        running = job.running_maps if kind is TaskKind.MAP else job.running_reduces
+        if running == 0:
+            return True
+        assert self.pheromones is not None
+        quality = self.pheromones.relative_quality((job.job_id, kind), machine_id)
+        probability = max(
+            self.config.min_acceptance, quality**self.config.gating_sharpness
+        )
+        return bool(self.rng.random() < probability)
+
+    def _record(self, task: Task, machine_id: int) -> None:
+        colony = (task.job.job_id, task.kind)
+        self.convergence.record_assignment(
+            colony, self._machine_group[machine_id], self.jt.sim.now
+        )
+        self.assignment_log.append((self.jt.sim.now, colony, machine_id))
+
+    def _priority_tier(self, jobs: List[Job], kind: TaskKind) -> List[Job]:
+        """Jobs below their per-kind fair share, if any; else all jobs.
+
+        Eq. 7's fairness term alone has too small a dynamic range to keep
+        starved jobs from waiting behind wide jobs, so — "similar to the
+        Hadoop Fair Scheduler" (Section IV-C.4) — jobs under their minimum
+        share form a strict priority tier.  Eq. 8 sampling applies within
+        the tier, preserving the energy-aware job-to-machine matching.
+        """
+        map_slots, reduce_slots = self.jt.cluster.total_slots()
+        pool = map_slots if kind is TaskKind.MAP else reduce_slots
+        active = max(1, len(self.jt.active_jobs))
+        share = pool / active
+        if kind is TaskKind.MAP:
+            starved = [j for j in jobs if j.running_maps < share]
+        else:
+            starved = [j for j in jobs if j.running_reduces < share]
+        return starved if starved else jobs
+
+    def _fill_map_slot(self, machine_id: int, fairness: FairnessView) -> Optional[Task]:
+        jobs = self._priority_tier(self.jobs_with_pending_maps(), TaskKind.MAP)
+        if not jobs:
+            return None
+
+        # Locality short-circuit (eta = infinity branch of Eq. 7).
+        if self.config.beta > 0:
+            local_jobs = [j for j in jobs if j.local_pending_map(machine_id) is not None]
+            if local_jobs:
+                job = self._sample_job(local_jobs, TaskKind.MAP, machine_id, fairness)
+                task = job.take_map(machine_id, prefer_local=True)
+                if task is not None:
+                    self._record(task, machine_id)
+                    return task
+
+        return self._gated_fill(jobs, TaskKind.MAP, machine_id, fairness)
+
+    def _fill_reduce_slot(self, machine_id: int, fairness: FairnessView) -> Optional[Task]:
+        candidates = self._priority_tier(
+            self.jobs_with_schedulable_reduces(), TaskKind.REDUCE
+        )
+        if not candidates:
+            return None
+        return self._gated_fill(candidates, TaskKind.REDUCE, machine_id, fairness)
+
+    def _take(self, job: Job, kind: TaskKind, machine_id: int) -> Optional[Task]:
+        if kind is TaskKind.MAP:
+            task = job.take_map(machine_id, prefer_local=True)
+        else:
+            task = job.take_reduce()
+        if task is not None:
+            self._record(task, machine_id)
+        return task
+
+    def _work_conserving(self, jobs: List[Job], kind: TaskKind) -> bool:
+        """Should a fully-rejected slot be filled anyway?
+
+        Leaving a slot idle only saves energy when the pending work can
+        complete elsewhere without extending any job's critical path; the
+        cluster's idle floor is paid either way, and map/reduce work is
+        short relative to job lifetimes.  E-Ant therefore falls back to
+        the best sampled candidate whenever pending work of this kind
+        exists (``work_conserving = True``, the default) — gating then
+        shapes *which* colony wins a slot rather than whether it is used.
+        Setting ``EAntConfig.work_conserving = False`` restores strict
+        gating (the configuration the ablation benchmark exercises)."""
+        if not self.config.work_conserving:
+            return False
+        pending = sum(
+            j.pending_map_count if kind is TaskKind.MAP else j.pending_reduce_count
+            for j in jobs
+        )
+        return pending > 0
+
+    def _gated_fill(
+        self,
+        jobs: List[Job],
+        kind: TaskKind,
+        machine_id: int,
+        fairness: FairnessView,
+    ) -> Optional[Task]:
+        """Sample colonies for the slot; gate; fall back under backlog."""
+        assert self.pheromones is not None
+        candidates = list(jobs)
+        sampled: List[Job] = []
+        for _ in range(min(self.config.candidates_per_slot, len(candidates))):
+            job = self._sample_job(candidates, kind, machine_id, fairness)
+            if job is None:
+                return None
+            sampled.append(job)
+            if self._accepts(job, kind, machine_id, fairness):
+                task = self._take(job, kind, machine_id)
+                if task is not None:
+                    return task
+            candidates.remove(job)
+            if not candidates:
+                break
+        if sampled and self._work_conserving(jobs, kind):
+            best = max(
+                sampled,
+                key=lambda j: self.pheromones.relative_quality((j.job_id, kind), machine_id),
+            )
+            quality = self.pheromones.relative_quality((best.job_id, kind), machine_id)
+            if quality >= self._effective_floor(jobs, kind):
+                return self._take(best, kind, machine_id)
+        return None  # slot left idle this heartbeat
+
+    def _effective_floor(self, jobs: List[Job], kind: TaskKind) -> float:
+        """Quality floor for the fallback, relaxed under heavy backlog.
+
+        This realizes the Section II observation that the energy-optimal
+        *number* of tasks per machine depends on the arrival rate: at low
+        pressure E-Ant keeps inefficient machines idle (floor active); when
+        pending work exceeds twice the slot pool, every machine is needed
+        and the floor drops away."""
+        map_slots, reduce_slots = self.jt.cluster.total_slots()
+        pool = map_slots if kind is TaskKind.MAP else reduce_slots
+        pending = sum(
+            j.pending_map_count if kind is TaskKind.MAP else j.pending_reduce_count
+            for j in jobs
+        )
+        if pending > 2 * pool:
+            return 0.0
+        return self.config.fallback_quality_floor

@@ -1,0 +1,30 @@
+"""Energy substrate: Eq. 2 task model, system identification, wall meter."""
+
+from .estimation import fit_power_model, nrmse, rmse
+from .meter import ClusterMeter, MeterReading
+from .powermgmt import PowerManager, SleepPolicy, pick_covering_subset
+from .model import (
+    DEFAULT_DELTA_T,
+    SampledTrace,
+    TaskEnergyModel,
+    UtilizationSample,
+    estimate_task_energy,
+    samples_from_phases,
+)
+
+__all__ = [
+    "TaskEnergyModel",
+    "UtilizationSample",
+    "SampledTrace",
+    "estimate_task_energy",
+    "samples_from_phases",
+    "DEFAULT_DELTA_T",
+    "fit_power_model",
+    "nrmse",
+    "rmse",
+    "ClusterMeter",
+    "PowerManager",
+    "SleepPolicy",
+    "pick_covering_subset",
+    "MeterReading",
+]

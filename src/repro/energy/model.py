@@ -1,0 +1,230 @@
+"""The task-level energy model of Eq. 2.
+
+The energy consumed by task ``T_n^j`` on machine ``m`` is estimated from
+the per-heartbeat CPU-utilization samples of its execution process::
+
+    E(T_n^j(m)) = sum_{t = T_start}^{T_finish}
+                  ( P_idle_m / mslot  +  alpha_m * u(T_n^j(m)) ) * dt
+
+where ``u`` is the task process's machine-wide CPU utilization during each
+sample window ``dt`` (Δt = 3 s, Hadoop's heartbeat interval), ``P_idle_m``
+is the machine's idle power, ``mslot`` its total slot count and ``alpha_m``
+the machine's dynamic power range.  Both ``P_idle_m`` and ``alpha_m`` are
+per-machine-type constants obtained by least-squares system identification
+(:mod:`repro.energy.estimation`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ..cluster import MachineSpec
+
+__all__ = [
+    "UtilizationSample",
+    "TaskEnergyModel",
+    "estimate_task_energy",
+    "samples_from_phases",
+]
+
+#: Hadoop's default heartbeat interval (Section IV-B sets Δt to this).
+DEFAULT_DELTA_T = 3.0
+
+
+@dataclass(frozen=True)
+class UtilizationSample:
+    """One heartbeat-window CPU sample of a task process.
+
+    Parameters
+    ----------
+    utilization:
+        The task process's CPU utilization, as a fraction of the whole
+        machine's CPU capacity (so a single saturated core on a 24-core
+        machine reports 1/24).
+    duration:
+        Window length in seconds (normally Δt; the final window of a task
+        is usually shorter).
+    """
+
+    utilization: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError("sample duration must be non-negative")
+
+
+@dataclass
+class TaskEnergyModel:
+    """Per-machine-type instantiation of Eq. 2.
+
+    Parameters
+    ----------
+    idle_watts, alpha_watts:
+        The machine type's power-law parameters.  In a deployment these
+        come from system identification against a wall-power meter; tests
+        may pass the catalog's ground-truth values directly.
+    total_slots:
+        ``mslot`` — how many ways the idle floor is split.
+    """
+
+    idle_watts: float
+    alpha_watts: float
+    total_slots: int
+
+    @classmethod
+    def for_spec(cls, spec: MachineSpec) -> "TaskEnergyModel":
+        """Model parameterized straight from a catalog spec (exact fit)."""
+        return cls(
+            idle_watts=spec.power.idle_watts,
+            alpha_watts=spec.power.alpha_watts,
+            total_slots=spec.total_slots,
+        )
+
+    @property
+    def idle_share_watts(self) -> float:
+        """``P_idle / mslot`` — the idle power billed to each running task."""
+        return self.idle_watts / max(self.total_slots, 1)
+
+    def sample_energy(self, sample: UtilizationSample) -> float:
+        """Joules attributed to the task for one sample window."""
+        return (self.idle_share_watts + self.alpha_watts * sample.utilization) * sample.duration
+
+    def estimate(self, samples: Sequence[UtilizationSample]) -> float:
+        """Eq. 2: total estimated energy of a task from its sample trace."""
+        return sum(self.sample_energy(sample) for sample in samples)
+
+    def estimate_from_average(self, avg_utilization: float, duration: float) -> float:
+        """Closed form when only the average utilization is known.
+
+        Exact for the affine law: the sum over windows collapses to the
+        time-weighted mean utilization.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        return (self.idle_share_watts + self.alpha_watts * avg_utilization) * duration
+
+
+def estimate_task_energy(
+    spec: MachineSpec,
+    samples: Sequence[UtilizationSample],
+) -> float:
+    """One-shot Eq. 2 estimate using the spec's own power parameters."""
+    return TaskEnergyModel.for_spec(spec).estimate(samples)
+
+
+def samples_from_phases(
+    phases: Sequence[Tuple[float, float]],
+    delta_t: float = DEFAULT_DELTA_T,
+    noise_factor=None,
+) -> List[UtilizationSample]:
+    """Chop a multi-phase execution into heartbeat-window samples.
+
+    Parameters
+    ----------
+    phases:
+        ``(duration_s, utilization)`` pairs in execution order; utilization
+        is the machine-wide fraction the task's process shows during that
+        phase.
+    delta_t:
+        Sampling window (Hadoop heartbeat interval).
+    noise_factor:
+        Optional zero-argument callable returning a multiplicative factor
+        applied independently to each sample — the measurement noise of
+        Section IV-D.  ``None`` reports exact samples.
+
+    Notes
+    -----
+    Windows are aligned to the task's start, as Hadoop's per-process CPU
+    counters are.  A window spanning a phase boundary reports the
+    time-weighted mean utilization of its parts, which is what a counter
+    diff over the window would show.
+    """
+    if delta_t <= 0:
+        raise ValueError("delta_t must be positive")
+    boundaries: List[Tuple[float, float]] = []  # (end_time, utilization)
+    clock = 0.0
+    for duration, utilization in phases:
+        if duration < 0:
+            raise ValueError("phase durations must be non-negative")
+        if duration == 0:
+            continue
+        clock += duration
+        boundaries.append((clock, utilization))
+    total = clock
+    samples: List[UtilizationSample] = []
+    window_start = 0.0
+    phase_index = 0
+    while window_start < total - 1e-12:
+        window_end = min(window_start + delta_t, total)
+        # Time-weighted mean utilization across phases inside the window.
+        weighted = 0.0
+        cursor = window_start
+        index = phase_index
+        while cursor < window_end - 1e-12:
+            phase_end, utilization = boundaries[index]
+            segment_end = min(phase_end, window_end)
+            weighted += (segment_end - cursor) * utilization
+            cursor = segment_end
+            if cursor >= phase_end - 1e-12 and index < len(boundaries) - 1:
+                index += 1
+        duration = window_end - window_start
+        mean_util = weighted / duration if duration > 0 else 0.0
+        if noise_factor is not None:
+            mean_util = max(0.0, mean_util * float(noise_factor()))
+        samples.append(UtilizationSample(mean_util, duration))
+        window_start = window_end
+        # Advance the persistent phase pointer for the next window.
+        while phase_index < len(boundaries) - 1 and boundaries[phase_index][0] <= window_start + 1e-12:
+            phase_index += 1
+    return samples
+
+
+@dataclass
+class SampledTrace:
+    """Helper that chops a task execution into heartbeat windows.
+
+    Given a task that ran ``duration`` seconds with (possibly noisy)
+    per-window utilizations, produce the sample list a TaskTracker would
+    report.  Used by the Hadoop model and the Fig. 4 / Fig. 7 experiments.
+    """
+
+    duration: float
+    delta_t: float = DEFAULT_DELTA_T
+    samples: List[UtilizationSample] = field(default_factory=list)
+
+    def windows(self) -> List[float]:
+        """Window lengths covering ``duration`` (last one may be short)."""
+        if self.duration <= 0:
+            return []
+        full_windows, remainder = divmod(self.duration, self.delta_t)
+        lengths = [self.delta_t] * int(full_windows)
+        if remainder > 1e-9:
+            lengths.append(remainder)
+        return lengths
+
+    def fill_constant(self, utilization: float) -> "SampledTrace":
+        """Populate samples with a constant utilization (noise-free)."""
+        self.samples = [UtilizationSample(utilization, w) for w in self.windows()]
+        return self
+
+    def fill_noisy(
+        self,
+        utilization: float,
+        sigma: float,
+        rng,
+    ) -> "SampledTrace":
+        """Populate samples with multiplicative lognormal noise.
+
+        The noise models measurement jitter in process-level CPU accounting
+        (Section IV-D's "fluctuation in CPU utilization").
+        """
+        self.samples = [
+            UtilizationSample(
+                max(0.0, utilization * float(rng.lognormal(0.0, sigma))),
+                w,
+            )
+            for w in self.windows()
+        ]
+        return self

@@ -1,0 +1,92 @@
+"""Experiment harnesses: one module per paper figure/table (see DESIGN.md).
+
+* :mod:`.motivation` — Figs. 1(a)-1(d) (Section II case study)
+* :mod:`.energy_model` — Fig. 4 (Eq. 2 accuracy) and Fig. 7 (noise)
+* :mod:`.locality` — Fig. 6 (data-locality impact)
+* :mod:`.comparison` — Figs. 8(a)-(c) and Fig. 9 (headline evaluation)
+* :mod:`.exchange` — Fig. 10 (exchange-strategy effectiveness)
+* :mod:`.convergence_exp` — Figs. 11(a)-(b) (search speed)
+* :mod:`.sensitivity` — Figs. 12(a)-(b) (beta / control interval)
+* :mod:`.overhead` — Section VI-D scheduling overhead
+"""
+
+from .comparison import ComparisonResult, fig9_adaptiveness, run_msd_comparison
+from .convergence_exp import (
+    ConvergenceMeasurement,
+    fig11a_machine_homogeneity,
+    fig11b_job_homogeneity,
+)
+from .energy_model import (
+    ModelAccuracy,
+    NoiseScatter,
+    fig4_model_accuracy,
+    fig7_noise_scatter,
+)
+from .exchange import EXCHANGE_SETTINGS, ExchangeCurve, fig10_exchange_effectiveness
+from .harness import SCHEDULER_NAMES, ScenarioResult, make_scheduler, run_scenario
+from .locality import LocalityPoint, fig6_locality_impact
+from .motivation import (
+    EfficiencyPoint,
+    crossover_rate,
+    fig1a_hardware_impact,
+    fig1b_power_split,
+    fig1c_workload_impact,
+    fig1d_phase_breakdown,
+    peak_rate,
+    throughput_per_watt,
+)
+from .overhead import (
+    OverheadResult,
+    measure_solver_overhead,
+    measure_update_overhead,
+    testbed_problem,
+)
+from .scenarios import exchange_workload, motivation_rig, msd_scenario, open_loop_jobs
+from .sensitivity import (
+    BetaPoint,
+    IntervalPoint,
+    fig12a_beta_sweep,
+    fig12b_interval_sweep,
+)
+
+__all__ = [
+    "run_scenario",
+    "make_scheduler",
+    "ScenarioResult",
+    "SCHEDULER_NAMES",
+    "msd_scenario",
+    "motivation_rig",
+    "open_loop_jobs",
+    "exchange_workload",
+    "EfficiencyPoint",
+    "throughput_per_watt",
+    "crossover_rate",
+    "peak_rate",
+    "fig1a_hardware_impact",
+    "fig1b_power_split",
+    "fig1c_workload_impact",
+    "fig1d_phase_breakdown",
+    "ModelAccuracy",
+    "NoiseScatter",
+    "fig4_model_accuracy",
+    "fig7_noise_scatter",
+    "LocalityPoint",
+    "fig6_locality_impact",
+    "ComparisonResult",
+    "run_msd_comparison",
+    "fig9_adaptiveness",
+    "ExchangeCurve",
+    "EXCHANGE_SETTINGS",
+    "fig10_exchange_effectiveness",
+    "ConvergenceMeasurement",
+    "fig11a_machine_homogeneity",
+    "fig11b_job_homogeneity",
+    "BetaPoint",
+    "IntervalPoint",
+    "fig12a_beta_sweep",
+    "fig12b_interval_sweep",
+    "OverheadResult",
+    "testbed_problem",
+    "measure_solver_overhead",
+    "measure_update_overhead",
+]

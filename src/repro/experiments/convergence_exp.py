@@ -1,0 +1,150 @@
+"""Search-speed experiments (Figs. 11(a) and 11(b)).
+
+The paper measures the time E-Ant needs to find a *stable* assignment
+(>80 % of tasks revisiting the same machines across consecutive control
+intervals) as a function of how much homogeneity the exchange strategies
+can exploit: the number of hardware-identical machines, and the number of
+demand-identical jobs.  Both curves fall as homogeneity grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..cluster import DESKTOP, T420, MachineSpec, paper_fleet
+from ..core import EAntConfig
+from ..hadoop import HadoopConfig
+from ..noise import NoiseModel
+from ..simulation import RandomStreams
+from ..workloads import JobSpec, uniform_job_stream
+from .harness import run_scenario
+from .scenarios import noisy_model
+
+__all__ = [
+    "ConvergenceMeasurement",
+    "fig11a_machine_homogeneity",
+    "fig11b_job_homogeneity",
+]
+
+#: Short control interval so convergence resolves within small test runs.
+_FAST_INTERVAL = HadoopConfig(control_interval=60.0)
+
+
+@dataclass(frozen=True)
+class ConvergenceMeasurement:
+    """Mean convergence time at one homogeneity level.
+
+    ``mean_convergence_s`` pads colonies that never stabilized with the
+    observation horizon (a censored-observation lower bound);
+    ``mean_converged_only_s`` averages the colonies that did stabilize."""
+
+    homogeneity: int
+    mean_convergence_s: float
+    mean_converged_only_s: float
+    converged_colonies: int
+    total_colonies: int
+
+    @property
+    def converged_fraction(self) -> float:
+        if self.total_colonies == 0:
+            return 0.0
+        return self.converged_colonies / self.total_colonies
+
+
+def _measure(
+    fleet: Sequence[Tuple[MachineSpec, int]],
+    jobs: Sequence[JobSpec],
+    homogeneity: int,
+    seed: int,
+    noise: NoiseModel,
+) -> ConvergenceMeasurement:
+    result = run_scenario(
+        jobs,
+        scheduler="e-ant",
+        fleet=fleet,
+        hadoop=_FAST_INTERVAL,
+        noise=noise,
+        seed=seed,
+    )
+    detector = result.eant.convergence
+    times = [
+        detector.convergence_time(colony)
+        for colony in detector.converged_at
+    ]
+    times = [t for t in times if t is not None]
+    total = len(detector.first_seen)
+    # Colonies that never stabilized count as the full observation window,
+    # so "slower than we could measure" is not reported as "fast".
+    horizon = result.metrics.makespan
+    unconverged = total - len(times)
+    padded = times + [horizon] * unconverged
+    mean_time = sum(padded) / len(padded) if padded else float("nan")
+    converged_only = sum(times) / len(times) if times else float("nan")
+    return ConvergenceMeasurement(
+        homogeneity=homogeneity,
+        mean_convergence_s=mean_time,
+        mean_converged_only_s=converged_only,
+        converged_colonies=len(times),
+        total_colonies=total,
+    )
+
+
+def fig11a_machine_homogeneity(
+    counts: Sequence[int] = (1, 2, 3, 8),
+    jobs_per_app: int = 4,
+    seed: int = 2,
+) -> List[ConvergenceMeasurement]:
+    """Fig. 11(a): convergence time vs number of homogeneous machines.
+
+    The fleet holds ``n`` identical desktops plus two T420 servers; more
+    identical desktops give machine-level exchange more samples per
+    interval, so convergence accelerates.
+    """
+    noise = noisy_model(2.0)
+    out: List[ConvergenceMeasurement] = []
+    for n in counts:
+        streams = RandomStreams(seed + n)
+        jobs = uniform_job_stream(
+            applications=("wordcount", "grep"),
+            jobs_per_app=jobs_per_app,
+            input_gb=5.0,
+            mean_interarrival_s=30.0,
+            rng=streams.stream("fig11a"),
+        )
+        fleet = [(DESKTOP, n), (T420, 2)]
+        out.append(_measure(fleet, jobs, homogeneity=n, seed=seed, noise=noise))
+    return out
+
+
+def fig11b_job_homogeneity(
+    counts: Sequence[int] = (10, 20, 30, 40),
+    seed: int = 2,
+) -> List[ConvergenceMeasurement]:
+    """Fig. 11(b): convergence time vs number of homogeneous jobs.
+
+    All jobs share one profile (Wordcount); more of them give job-level
+    exchange more shared evidence per interval.  Jobs are sized to span
+    several control intervals so stability is observable at all.
+    """
+    noise = noisy_model(2.0)
+    out: List[ConvergenceMeasurement] = []
+    for n in counts:
+        streams = RandomStreams(seed + 100 * n)
+        jobs = uniform_job_stream(
+            applications=("wordcount",),
+            jobs_per_app=n,
+            input_gb=8.0,
+            mean_interarrival_s=25.0,
+            rng=streams.stream("fig11b"),
+        )
+        out.append(
+            _measure(
+                fleet=paper_fleet(),
+                jobs=jobs,
+                homogeneity=n,
+                seed=seed,
+                noise=noise,
+            )
+        )
+    return out

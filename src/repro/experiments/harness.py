@@ -1,0 +1,221 @@
+"""The experiment harness: wire a scenario together, run it, collect results.
+
+One call to :func:`run_scenario` assembles simulator + cluster + HDFS +
+TaskTrackers + JobTracker + scheduler + workload submission, runs to
+completion and returns a :class:`ScenarioResult` with the
+:class:`~repro.metrics.RunMetrics` every figure harness consumes.
+
+Scheduler identity is passed by *name* (``"fifo" | "fair" | "tarazu" |
+"late" | "e-ant"``) or as a factory; runs with different schedulers but the
+same seed see identical workloads, block placements, and noise draws
+(common random numbers via named RNG streams).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..cluster import Cluster, MachineSpec, Network, paper_fleet
+from ..core import EAntConfig, EAntScheduler
+from ..energy import ClusterMeter
+from ..hadoop import BlockPlacer, HadoopConfig, JobTracker, TaskTracker
+from ..metrics import MetricsCollector, RunMetrics, build_job_results
+from ..noise import DEFAULT_NOISE, NoiseModel
+from ..schedulers import (
+    CapacityScheduler,
+    CoveringSubsetScheduler,
+    FairScheduler,
+    FifoScheduler,
+    LateScheduler,
+    Scheduler,
+    TarazuScheduler,
+)
+from ..simulation import RandomStreams, Simulator
+from ..workloads import JobSpec
+
+__all__ = ["ScenarioResult", "run_scenario", "make_scheduler", "SCHEDULER_NAMES"]
+
+SchedulerFactory = Callable[[RandomStreams], Scheduler]
+
+SCHEDULER_NAMES = ("fifo", "fair", "capacity", "tarazu", "late", "covering-subset", "e-ant")
+
+
+def make_scheduler(
+    name: str,
+    streams: RandomStreams,
+    eant_config: Optional[EAntConfig] = None,
+) -> Scheduler:
+    """Instantiate a scheduler by name with its own RNG stream."""
+    key = name.strip().lower()
+    if key == "fifo":
+        return FifoScheduler()
+    if key == "fair":
+        return FairScheduler()
+    if key == "capacity":
+        return CapacityScheduler()
+    if key == "covering-subset":
+        return CoveringSubsetScheduler()
+    if key == "tarazu":
+        return TarazuScheduler()
+    if key == "late":
+        return LateScheduler()
+    if key in ("e-ant", "eant"):
+        return EAntScheduler(
+            config=eant_config or EAntConfig(),
+            rng=streams.stream("eant"),
+        )
+    raise ValueError(f"unknown scheduler {name!r}; known: {SCHEDULER_NAMES}")
+
+
+@dataclass
+class ScenarioResult:
+    """Everything observable from one run."""
+
+    metrics: RunMetrics
+    scheduler: Scheduler
+    jobtracker: JobTracker
+    cluster: Cluster
+    meter: Optional[ClusterMeter] = None
+
+    @property
+    def eant(self) -> EAntScheduler:
+        """The scheduler, asserted to be E-Ant (adaptiveness experiments)."""
+        if not isinstance(self.scheduler, EAntScheduler):
+            raise TypeError(f"scheduler is {self.scheduler.name!r}, not e-ant")
+        return self.scheduler
+
+
+def run_scenario(
+    jobs: Sequence[JobSpec],
+    scheduler: Union[str, SchedulerFactory] = "fair",
+    fleet: Optional[Sequence[Tuple[MachineSpec, int]]] = None,
+    hadoop: Optional[HadoopConfig] = None,
+    noise: NoiseModel = DEFAULT_NOISE,
+    seed: int = 0,
+    eant_config: Optional[EAntConfig] = None,
+    with_meter: bool = False,
+    meter_interval: float = 30.0,
+    placements: Optional[Dict[int, List[Tuple[int, ...]]]] = None,
+    network: Optional[Network] = None,
+    max_sim_time: float = 10_000_000.0,
+) -> ScenarioResult:
+    """Run one complete scenario and return its results.
+
+    Parameters
+    ----------
+    jobs:
+        The workload, in any order (sorted by submit time internally).
+    scheduler:
+        Scheduler name or a factory ``streams -> Scheduler``.
+    fleet:
+        ``(spec, count)`` pairs; defaults to the paper's 16-slave fleet.
+    hadoop, noise, seed:
+        Framework config, noise model, master RNG seed.
+    eant_config:
+        E-Ant tuning (only used when ``scheduler == "e-ant"``).
+    with_meter:
+        Attach a periodic wall-power meter (adds readings to the result).
+    placements:
+        Optional per-job replica overrides: index in the submitted job
+        list -> replica host tuples (locality experiments).
+    network:
+        Custom network fabric (e.g. a blocking switch for the locality
+        experiment); defaults to non-blocking Gigabit Ethernet.
+    max_sim_time:
+        Hard cap guarding against non-terminating configurations.
+    """
+    if not jobs:
+        raise ValueError("scenario needs at least one job")
+    ordered = sorted(jobs, key=lambda j: j.submit_time)
+
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    cluster = Cluster(sim, fleet if fleet is not None else paper_fleet(), network or Network())
+    config = hadoop if hadoop is not None else HadoopConfig()
+    placer = BlockPlacer(cluster, config.replication, streams.stream("hdfs"))
+
+    if callable(scheduler):
+        policy = scheduler(streams)
+    else:
+        policy = make_scheduler(scheduler, streams, eant_config)
+
+    jobtracker = JobTracker(
+        sim,
+        cluster,
+        config,
+        policy,
+        placer,
+        skew_noise=noise,
+        rng=streams.stream("skew"),
+    )
+    jobtracker.expect_jobs(len(ordered))
+
+    collector = MetricsCollector(cluster)
+    jobtracker.add_report_listener(collector.on_report)
+
+    for machine in cluster:
+        tracker = TaskTracker(
+            sim,
+            machine,
+            config,
+            noise=noise,
+            rng=streams.stream(f"tt-{machine.machine_id}"),
+        )
+        tracker.start(jobtracker)
+
+    meter: Optional[ClusterMeter] = None
+    if with_meter:
+        meter = ClusterMeter(cluster, sample_interval=meter_interval)
+        meter.attach(sim, stop_when=lambda: jobtracker.is_shutdown)
+
+    def submit_all():
+        for index, spec in enumerate(ordered):
+            if spec.submit_time > sim.now:
+                yield sim.timeout(spec.submit_time - sim.now)
+            override = placements.get(index) if placements else None
+            jobtracker.submit(spec, replica_hosts=override)
+
+    sim.process(submit_all(), name="job-submitter")
+
+    # Snapshot energy at the instant the workload completes, so trailing
+    # heartbeat ticks do not blur the comparison between schedulers.
+    snapshot: Dict[str, object] = {}
+
+    def on_all_done(_event):
+        cluster.finish_energy_accounting()
+        snapshot["energy_by_type"] = cluster.energy_by_type()
+        snapshot["idle"] = sum(m.energy.idle_joules for m in cluster)
+        snapshot["dynamic"] = sum(m.energy.dynamic_joules for m in cluster)
+        snapshot["utilization_by_type"] = cluster.utilization_by_type()
+        snapshot["makespan"] = sim.now
+
+    jobtracker.all_done_event.add_callback(on_all_done)
+
+    sim.run(until=max_sim_time)
+    if "makespan" not in snapshot:
+        raise RuntimeError(
+            f"scenario did not complete within {max_sim_time} simulated seconds "
+            f"({len(jobtracker.completed_jobs)}/{len(ordered)} jobs done)"
+        )
+
+    energy_by_type: Dict[str, float] = snapshot["energy_by_type"]  # type: ignore[assignment]
+    metrics = RunMetrics(
+        scheduler_name=policy.name,
+        seed=seed,
+        makespan=float(snapshot["makespan"]),  # type: ignore[arg-type]
+        total_energy_joules=sum(energy_by_type.values()),
+        energy_by_type=energy_by_type,
+        idle_energy_joules=float(snapshot["idle"]),  # type: ignore[arg-type]
+        dynamic_energy_joules=float(snapshot["dynamic"]),  # type: ignore[arg-type]
+        utilization_by_type=snapshot["utilization_by_type"],  # type: ignore[assignment]
+        job_results=build_job_results(jobtracker, cluster, config),
+        collector=collector,
+    )
+    return ScenarioResult(
+        metrics=metrics,
+        scheduler=policy,
+        jobtracker=jobtracker,
+        cluster=cluster,
+        meter=meter,
+    )

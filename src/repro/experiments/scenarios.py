@@ -1,0 +1,122 @@
+"""Standard experiment scenarios shared by the figure harnesses.
+
+Each function returns the ingredients for :func:`repro.experiments.run_scenario`
+so that every figure regenerates from the same operating points:
+
+* :func:`msd_scenario` — the Section V-C workload on the Section V-B fleet,
+  at the load level where the cluster sustains multi-job contention
+  (the Fig. 8/9/10/12 operating point).
+* :func:`motivation_rig` — a single-machine open-loop rig for the
+  Section II case study (Fig. 1), where tasks arrive at a controlled rate.
+* :func:`exchange_workload` — a stream of same-sized jobs with adjustable
+  application mix, used by the exchange and convergence experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..cluster import MachineSpec, T420, paper_fleet
+from ..hadoop import HadoopConfig
+from ..noise import DEFAULT_NOISE, NoiseModel
+from ..simulation import RandomStreams
+from ..workloads import (
+    JobSpec,
+    MSDConfig,
+    WorkloadProfile,
+    generate_msd_workload,
+    poisson_arrivals,
+    uniform_job_stream,
+)
+
+__all__ = [
+    "msd_scenario",
+    "motivation_rig",
+    "open_loop_jobs",
+    "exchange_workload",
+    "MOTIVATION_TASK_SCALE",
+]
+
+#: The Section II rig uses lighter tasks than the PUMA jobs (smaller splits),
+#: calibrated so the Fig. 1(a) efficiency crossover lands near the paper's
+#: 12 tasks/min.
+MOTIVATION_TASK_SCALE = 0.6
+
+
+def msd_scenario(
+    seed: int = 3,
+    n_jobs: int = 87,
+    mean_interarrival_s: float = 30.0,
+    max_maps: int = 400,
+) -> Tuple[List[JobSpec], HadoopConfig]:
+    """The headline evaluation workload (Figs. 8, 9, 12)."""
+    config = MSDConfig(
+        n_jobs=n_jobs,
+        mean_interarrival_s=mean_interarrival_s,
+        max_maps=max_maps,
+        seed_label=f"msd{seed}",
+    )
+    jobs = generate_msd_workload(config, RandomStreams(seed))
+    return jobs, HadoopConfig()
+
+
+def motivation_rig(
+    spec: MachineSpec,
+    map_slots: int = 6,
+) -> List[Tuple[MachineSpec, int]]:
+    """A one-machine fleet for the open-loop Section II experiments.
+
+    The rig exposes ``map_slots`` map slots (the case study predates the
+    Section V-B slot config, and saturating the machine needs more than 4)
+    and no reduce slots.
+    """
+    return [(spec.with_slots(map_slots, 0), 1)]
+
+
+def open_loop_jobs(
+    profile: WorkloadProfile,
+    rate_per_min: float,
+    duration_s: float,
+    streams: RandomStreams,
+    block_mb: float = 64.0,
+    label: str = "arrivals",
+) -> List[JobSpec]:
+    """Single-map jobs arriving at a Poisson rate (one task per job).
+
+    This realizes the paper's "task submission rate" on a machine: each
+    arrival is an independent map task with one block of input.
+    """
+    scaled = profile.scaled(MOTIVATION_TASK_SCALE)
+    times = poisson_arrivals(rate_per_min, duration_s, streams.stream(label))
+    return [
+        JobSpec(
+            profile=scaled,
+            input_mb=block_mb,
+            num_reduces=0,
+            submit_time=t,
+            name=f"{profile.name}-task{i:05d}",
+        )
+        for i, t in enumerate(times)
+    ]
+
+
+def exchange_workload(
+    streams: RandomStreams,
+    applications: Sequence[str] = ("wordcount", "grep", "terasort"),
+    jobs_per_app: int = 8,
+    input_gb: float = 4.0,
+    mean_interarrival_s: float = 45.0,
+) -> List[JobSpec]:
+    """Equal-sized job stream for the exchange/convergence experiments."""
+    return uniform_job_stream(
+        applications=applications,
+        jobs_per_app=jobs_per_app,
+        input_gb=input_gb,
+        mean_interarrival_s=mean_interarrival_s,
+        rng=streams.stream("exchange-jobs"),
+    )
+
+
+def noisy_model(intensity: float = 2.0, base: Optional[NoiseModel] = None) -> NoiseModel:
+    """A noise model scaled up from the default (Figs. 7, 10, 11)."""
+    return (base or DEFAULT_NOISE).scaled(intensity)

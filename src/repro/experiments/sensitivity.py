@@ -1,0 +1,116 @@
+"""Sensitivity analysis of E-Ant's design parameters (Figs. 12(a), 12(b)).
+
+* Fig. 12(a): sweeping the heuristic weight ``beta`` trades energy saving
+  (vs the deployed default scheduler — Fair, as on the paper's cluster)
+  against job fairness (1 / variance of slowdowns).
+  The paper sees an energy dip at beta = 0 (locality disabled), a peak
+  near 0.1, decline beyond, and fairness rising with beta.
+* Fig. 12(b): sweeping the control interval; too short gives the task
+  analyzer too few samples per update, too long adapts too rarely —
+  energy saving peaks in between (the paper: at 5 minutes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core import EAntConfig
+from ..hadoop import HadoopConfig
+from .harness import run_scenario
+from .scenarios import msd_scenario
+
+__all__ = [
+    "BetaPoint",
+    "IntervalPoint",
+    "fig12a_beta_sweep",
+    "fig12b_interval_sweep",
+]
+
+
+@dataclass(frozen=True)
+class BetaPoint:
+    """One beta setting's energy saving and fairness."""
+
+    beta: float
+    energy_saving_kj: float
+    fairness: float
+    mean_jct_s: float
+
+
+@dataclass(frozen=True)
+class IntervalPoint:
+    """One control-interval setting's energy saving."""
+
+    interval_s: float
+    energy_saving_kj: float
+    mean_jct_s: float
+
+
+def fig12a_beta_sweep(
+    betas: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4),
+    seeds: Sequence[int] = (3, 11, 23),
+    n_jobs: int = 60,
+) -> List[BetaPoint]:
+    """Fig. 12(a): beta vs (energy saving over default Hadoop, fairness).
+
+    Each point is averaged over several workload draws — single-draw
+    makespan variance otherwise swamps the beta effect.
+    """
+    saving: dict = {b: [] for b in betas}
+    fairness: dict = {b: [] for b in betas}
+    jct: dict = {b: [] for b in betas}
+    for seed in seeds:
+        jobs, hadoop = msd_scenario(seed=seed, n_jobs=n_jobs)
+        baseline = run_scenario(jobs, scheduler="fair", hadoop=hadoop, seed=seed).metrics
+        for beta in betas:
+            run = run_scenario(
+                jobs,
+                scheduler="e-ant",
+                hadoop=hadoop,
+                seed=seed,
+                eant_config=EAntConfig(beta=beta),
+            ).metrics
+            saving[beta].append(baseline.total_energy_kj - run.total_energy_kj)
+            fairness[beta].append(run.fairness)
+            jct[beta].append(run.mean_jct())
+    return [
+        BetaPoint(
+            beta=beta,
+            energy_saving_kj=float(np.mean(saving[beta])),
+            fairness=float(np.mean(fairness[beta])),
+            mean_jct_s=float(np.mean(jct[beta])),
+        )
+        for beta in betas
+    ]
+
+
+def fig12b_interval_sweep(
+    intervals_min: Sequence[float] = (2, 3, 5, 8),
+    seeds: Sequence[int] = (3, 11, 23),
+    n_jobs: int = 60,
+) -> List[IntervalPoint]:
+    """Fig. 12(b): control interval vs energy saving over default Hadoop,
+    seed-averaged like the beta sweep."""
+    saving: dict = {m: [] for m in intervals_min}
+    jct: dict = {m: [] for m in intervals_min}
+    for seed in seeds:
+        jobs, _ = msd_scenario(seed=seed, n_jobs=n_jobs)
+        baseline = run_scenario(jobs, scheduler="fair", seed=seed).metrics
+        for minutes in intervals_min:
+            hadoop = HadoopConfig(control_interval=minutes * 60.0)
+            run = run_scenario(
+                jobs, scheduler="e-ant", hadoop=hadoop, seed=seed
+            ).metrics
+            saving[minutes].append(baseline.total_energy_kj - run.total_energy_kj)
+            jct[minutes].append(run.mean_jct())
+    return [
+        IntervalPoint(
+            interval_s=minutes * 60.0,
+            energy_saving_kj=float(np.mean(saving[minutes])),
+            mean_jct_s=float(np.mean(jct[minutes])),
+        )
+        for minutes in intervals_min
+    ]

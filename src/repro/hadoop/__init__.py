@@ -1,0 +1,21 @@
+"""Hadoop 1.x MapReduce substrate: jobs, trackers, HDFS, heartbeats."""
+
+from .config import HadoopConfig
+from .hdfs import BlockPlacer
+from .job import Job, Task, TaskAttempt, TaskKind, TaskReport, TaskState
+from .jobtracker import JobTracker
+from .tasktracker import TaskTracker, TrackerStatus
+
+__all__ = [
+    "HadoopConfig",
+    "BlockPlacer",
+    "Job",
+    "Task",
+    "TaskAttempt",
+    "TaskKind",
+    "TaskState",
+    "TaskReport",
+    "JobTracker",
+    "TaskTracker",
+    "TrackerStatus",
+]

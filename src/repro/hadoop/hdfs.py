@@ -1,0 +1,105 @@
+"""HDFS block placement and data locality.
+
+Only the properties the schedulers interact with are modelled: which
+machines hold a replica of each map task's input block (drives node-local
+vs remote reads) and the capacity-weighted random placement Hadoop's
+balancer converges to.  Placement supports a *locality bias* so the Fig. 6
+experiment can synthesize job inputs with a controlled fraction of blocks
+local to the schedulable machines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cluster import Cluster
+
+__all__ = ["BlockPlacer"]
+
+
+class BlockPlacer:
+    """Chooses replica hosts for the input blocks of submitted jobs.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster whose machines can hold replicas.
+    replication:
+        Replicas per block (distinct machines; capped at cluster size).
+    rng:
+        RNG for placement draws (stream ``"hdfs"`` by convention).
+    """
+
+    def __init__(self, cluster: Cluster, replication: int, rng: np.random.Generator) -> None:
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        self.cluster = cluster
+        self.replication = min(replication, len(cluster))
+        self.rng = rng
+        # Hadoop spreads blocks roughly uniformly across DataNodes of equal
+        # disk size (all Table I machines have 1 TB disks).
+        self._machine_ids = np.array(cluster.machine_ids)
+
+    def place_block(self) -> Tuple[int, ...]:
+        """Replica host ids for one block (distinct machines)."""
+        chosen = self.rng.choice(self._machine_ids, size=self.replication, replace=False)
+        return tuple(int(m) for m in chosen)
+
+    def place_job_blocks(self, num_blocks: int) -> List[Tuple[int, ...]]:
+        """Replica host tuples for all blocks of one job."""
+        if num_blocks < 0:
+            raise ValueError("block count must be non-negative")
+        return [self.place_block() for _ in range(num_blocks)]
+
+    def place_with_locality(
+        self,
+        num_blocks: int,
+        local_fraction: float,
+        local_hosts: Optional[Sequence[int]] = None,
+    ) -> List[Tuple[int, ...]]:
+        """Placement where only ``local_fraction`` of blocks are local.
+
+        Used by the Fig. 6 experiment: blocks outside the local fraction
+        get an empty replica tuple, forcing every read of them to be
+        remote regardless of where the task runs.  Blocks inside the
+        fraction are placed normally (optionally restricted to
+        ``local_hosts``).
+        """
+        if not 0.0 <= local_fraction <= 1.0:
+            raise ValueError("local fraction must be in [0, 1]")
+        hosts = (
+            np.array(sorted(local_hosts), dtype=int)
+            if local_hosts is not None
+            else self._machine_ids
+        )
+        if local_hosts is not None and len(hosts) == 0:
+            raise ValueError("local_hosts must not be empty")
+        placements: List[Tuple[int, ...]] = []
+        n_local = int(round(num_blocks * local_fraction))
+        for index in range(num_blocks):
+            if index < n_local:
+                k = min(self.replication, len(hosts))
+                chosen = self.rng.choice(hosts, size=k, replace=False)
+                placements.append(tuple(int(m) for m in chosen))
+            else:
+                placements.append(())
+        # Shuffle so local blocks are not clustered at the job's start.
+        self.rng.shuffle(placements)
+        return placements
+
+    def pick_remote_source(self, replica_hosts: Tuple[int, ...], reader_id: int) -> int:
+        """Machine a remote read streams from (any replica but the reader).
+
+        With an empty replica tuple (synthetic off-cluster data, as in the
+        locality experiment), the read streams from a uniformly random
+        other machine, modelling an off-rack fetch.
+        """
+        candidates = [h for h in replica_hosts if h != reader_id]
+        if not candidates:
+            others = [m for m in self.cluster.machine_ids if m != reader_id]
+            if not others:  # single-machine cluster: read is effectively local
+                return reader_id
+            return int(self.rng.choice(others))
+        return int(self.rng.choice(candidates))

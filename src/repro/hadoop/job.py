@@ -1,0 +1,418 @@
+"""Runtime job/task entities of the simulated Hadoop framework.
+
+A submitted :class:`~repro.workloads.profiles.JobSpec` becomes a live
+:class:`Job` holding :class:`Task` objects (one per map block plus the
+reduces).  Each execution of a task on a machine is a :class:`TaskAttempt`;
+its completion produces a :class:`TaskReport` — the exact record a modified
+TaskTracker ships to the JobTracker in the paper's implementation
+(Section V-A: ``taskEner`` / ``TaskReport`` tagged with AttemptTaskID).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..energy.model import UtilizationSample
+from ..simulation import Event, Simulator
+from ..workloads import JobSpec, WorkloadProfile
+
+__all__ = ["TaskKind", "TaskState", "Task", "TaskAttempt", "TaskReport", "Job"]
+
+
+class TaskKind(enum.Enum):
+    """Map or reduce."""
+
+    MAP = "map"
+    REDUCE = "reduce"
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a task (not an attempt)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+
+
+@dataclass
+class Task:
+    """One logical map or reduce task of a job."""
+
+    job: "Job"
+    index: int
+    kind: TaskKind
+    input_mb: float
+    #: Machines holding a replica of this map's input block (empty for reduces).
+    preferred_hosts: Tuple[int, ...] = ()
+    state: TaskState = TaskState.PENDING
+    attempts: List["TaskAttempt"] = field(default_factory=list)
+
+    @property
+    def task_id(self) -> str:
+        """Stable id, e.g. ``j3-m-0017``."""
+        letter = "m" if self.kind is TaskKind.MAP else "r"
+        return f"j{self.job.job_id}-{letter}-{self.index:04d}"
+
+    @property
+    def is_map(self) -> bool:
+        return self.kind is TaskKind.MAP
+
+    def new_attempt(self, machine_id: int, start_time: float) -> "TaskAttempt":
+        """Register a new execution attempt on ``machine_id``."""
+        attempt = TaskAttempt(
+            task=self,
+            attempt_number=len(self.attempts),
+            machine_id=machine_id,
+            start_time=start_time,
+        )
+        self.attempts.append(attempt)
+        return attempt
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Task {self.task_id} {self.state.value}>"
+
+
+@dataclass
+class TaskAttempt:
+    """One execution of a task on one machine."""
+
+    task: Task
+    attempt_number: int
+    machine_id: int
+    start_time: float
+    finish_time: Optional[float] = None
+    #: Wall-clock seconds per phase, e.g. {"io": 4.1, "cpu": 17.5} for maps
+    #: or {"shuffle": 30.2, "sort": 3.0, "reduce": 12.8} for reduces.
+    phases: Dict[str, float] = field(default_factory=dict)
+    #: True mean machine-fraction CPU utilization of the attempt's process.
+    avg_utilization: float = 0.0
+    #: Noisy per-heartbeat samples, as the TaskTracker would report them.
+    samples: List[UtilizationSample] = field(default_factory=list)
+    #: Whether the map input was read node-locally.
+    local: bool = True
+    succeeded: bool = False
+    killed: bool = False
+
+    @property
+    def attempt_id(self) -> str:
+        """Hadoop-style attempt id, e.g. ``attempt_j3-m-0017_0``."""
+        return f"attempt_{self.task.task_id}_{self.attempt_number}"
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock runtime (finish - start); requires a finish time."""
+        if self.finish_time is None:
+            raise ValueError(f"{self.attempt_id} has not finished")
+        return self.finish_time - self.start_time
+
+    def to_report(self) -> "TaskReport":
+        """Flatten into the record shipped to the JobTracker."""
+        job = self.task.job
+        return TaskReport(
+            job_id=job.job_id,
+            job_name=job.name,
+            pool=job.spec.pool,
+            resource_signature=job.profile.resource_signature(),
+            task_id=self.task.task_id,
+            attempt_id=self.attempt_id,
+            kind=self.task.kind,
+            machine_id=self.machine_id,
+            start_time=self.start_time,
+            finish_time=self.finish_time if self.finish_time is not None else self.start_time,
+            avg_utilization=self.avg_utilization,
+            samples=tuple(self.samples),
+            input_mb=self.task.input_mb,
+            local=self.local,
+            phases=dict(self.phases),
+        )
+
+
+@dataclass(frozen=True)
+class TaskReport:
+    """Completion record of one task attempt (Section V-A's ``TaskReport``).
+
+    This is the only task-level information E-Ant's task analyzer sees:
+    identity, placement, timing, and the noisy CPU-utilization samples from
+    which Eq. 2 estimates energy.
+    """
+
+    job_id: int
+    job_name: str
+    pool: str
+    resource_signature: str
+    task_id: str
+    attempt_id: str
+    kind: TaskKind
+    machine_id: int
+    start_time: float
+    finish_time: float
+    avg_utilization: float
+    samples: Tuple[UtilizationSample, ...]
+    input_mb: float
+    local: bool
+    phases: Dict[str, float]
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock runtime of the attempt."""
+        return self.finish_time - self.start_time
+
+
+class Job:
+    """A live job: task inventory, progress counters, completion events.
+
+    Created by the JobTracker at submission time; exposes the pending-task
+    queues every scheduler draws from and the events the reduce barrier and
+    drivers wait on.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        job_id: int,
+        spec: JobSpec,
+        block_mb: float,
+        map_input_sizes: Optional[Sequence[float]] = None,
+        replica_hosts: Optional[Sequence[Tuple[int, ...]]] = None,
+    ) -> None:
+        self.sim = sim
+        self.job_id = job_id
+        self.spec = spec
+        self.submit_time = spec.submit_time
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+
+        num_maps = spec.num_maps(block_mb)
+        if map_input_sizes is None:
+            map_input_sizes = [block_mb] * num_maps
+        if len(map_input_sizes) != num_maps:
+            raise ValueError("one input size per map task required")
+        if replica_hosts is None:
+            replica_hosts = [()] * num_maps
+        if len(replica_hosts) != num_maps:
+            raise ValueError("one replica tuple per map task required")
+
+        self.maps: List[Task] = [
+            Task(
+                job=self,
+                index=i,
+                kind=TaskKind.MAP,
+                input_mb=float(map_input_sizes[i]),
+                preferred_hosts=tuple(replica_hosts[i]),
+            )
+            for i in range(num_maps)
+        ]
+        shuffle_per_reduce = spec.shuffle_mb_per_reduce()
+        self.reduces: List[Task] = [
+            Task(job=self, index=i, kind=TaskKind.REDUCE, input_mb=shuffle_per_reduce)
+            for i in range(spec.num_reduces)
+        ]
+
+        # Pending queues (schedulers pop from these via take_*).
+        self._pending_maps: List[Task] = list(self.maps)
+        self._pending_reduces: List[Task] = list(self.reduces)
+        self._maps_by_host: Dict[int, List[Task]] = {}
+        for task in self.maps:
+            for host in task.preferred_hosts:
+                self._maps_by_host.setdefault(host, []).append(task)
+
+        self.running_maps = 0
+        self.running_reduces = 0
+        self.completed_maps = 0
+        self.completed_reduces = 0
+
+        self.maps_done_event: Event = sim.event()
+        self.done_event: Event = sim.event()
+        if not self.maps:
+            raise ValueError("job must have at least one map task")
+        if not self.reduces:
+            # Map-only job: the maps-done barrier is the job barrier.
+            pass
+
+    # -------------------------------------------------------------- identity
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def profile(self) -> WorkloadProfile:
+        return self.spec.profile
+
+    @property
+    def num_maps(self) -> int:
+        return len(self.maps)
+
+    @property
+    def num_reduces(self) -> int:
+        return len(self.reduces)
+
+    # -------------------------------------------------------------- progress
+    @property
+    def is_done(self) -> bool:
+        return self.done_event.triggered
+
+    @property
+    def maps_done(self) -> bool:
+        return self.completed_maps >= len(self.maps)
+
+    @property
+    def occupied_slots(self) -> int:
+        """``S_occ`` of Eq. 7 — slots this job currently holds."""
+        return self.running_maps + self.running_reduces
+
+    @property
+    def pending_map_count(self) -> int:
+        return len(self._pending_maps)
+
+    @property
+    def pending_reduce_count(self) -> int:
+        return len(self._pending_reduces)
+
+    @property
+    def has_pending_work(self) -> bool:
+        return bool(self._pending_maps or self._pending_reduces)
+
+    def reduces_schedulable(self, slowstart: float) -> bool:
+        """Whether reduce tasks may be launched yet (slowstart gate)."""
+        if not self._pending_reduces:
+            return False
+        needed = slowstart * len(self.maps)
+        return self.completed_maps >= needed
+
+    @property
+    def completion_time(self) -> float:
+        """Submission-to-finish latency (requires the job to be done)."""
+        if self.finish_time is None:
+            raise ValueError(f"job {self.job_id} has not finished")
+        return self.finish_time - self.submit_time
+
+    # --------------------------------------------------------- task dispatch
+    def local_pending_map(self, machine_id: int) -> Optional[Task]:
+        """A pending map task whose input block lives on ``machine_id``."""
+        queue = self._maps_by_host.get(machine_id)
+        if not queue:
+            return None
+        # Lazily skip tasks already taken through another replica's queue.
+        while queue:
+            task = queue[-1]
+            if task.state is TaskState.PENDING:
+                return task
+            queue.pop()
+        return None
+
+    def take_map(self, machine_id: int, prefer_local: bool = True) -> Optional[Task]:
+        """Pop a pending map for assignment to ``machine_id``.
+
+        With ``prefer_local``, node-local tasks are taken first; otherwise
+        (or when none are local) the oldest pending map is taken.
+        """
+        task: Optional[Task] = None
+        if prefer_local:
+            task = self.local_pending_map(machine_id)
+        if task is None:
+            while self._pending_maps:
+                candidate = self._pending_maps[0]
+                if candidate.state is TaskState.PENDING:
+                    task = candidate
+                    break
+                self._pending_maps.pop(0)
+        if task is None:
+            return None
+        self._mark_running(task)
+        return task
+
+    def take_reduce(self) -> Optional[Task]:
+        """Pop a pending reduce for assignment."""
+        while self._pending_reduces:
+            candidate = self._pending_reduces[0]
+            if candidate.state is TaskState.PENDING:
+                self._mark_running(candidate)
+                return candidate
+            self._pending_reduces.pop(0)
+        return None
+
+    def _mark_running(self, task: Task) -> None:
+        if task.state is not TaskState.PENDING:
+            raise ValueError(f"{task.task_id} is not pending")
+        task.state = TaskState.RUNNING
+        if task.is_map:
+            self.running_maps += 1
+            try:
+                self._pending_maps.remove(task)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        else:
+            self.running_reduces += 1
+            try:
+                self._pending_reduces.remove(task)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        if self.start_time is None:
+            self.start_time = self.sim.now
+
+    def requeue(self, task: Task) -> None:
+        """Return a running task to the pending queue (killed attempt)."""
+        if task.state is not TaskState.RUNNING:
+            raise ValueError(f"{task.task_id} is not running")
+        task.state = TaskState.PENDING
+        if task.is_map:
+            self.running_maps -= 1
+            self._pending_maps.append(task)
+        else:
+            self.running_reduces -= 1
+            self._pending_reduces.append(task)
+
+    def complete_task(self, task: Task) -> None:
+        """Mark a running task completed; fires barriers when crossed."""
+        if task.state is TaskState.COMPLETED:
+            # A concurrent (speculative) attempt already finished the task.
+            return
+        if task.state is not TaskState.RUNNING:
+            raise ValueError(f"{task.task_id} completed while {task.state.value}")
+        task.state = TaskState.COMPLETED
+        if task.is_map:
+            self.running_maps -= 1
+            self.completed_maps += 1
+            if self.maps_done and not self.maps_done_event.triggered:
+                self.maps_done_event.succeed(self.sim.now)
+        else:
+            self.running_reduces -= 1
+            self.completed_reduces += 1
+        if (
+            self.completed_maps >= len(self.maps)
+            and self.completed_reduces >= len(self.reduces)
+            and not self.done_event.triggered
+        ):
+            self.finish_time = self.sim.now
+            self.done_event.succeed(self.sim.now)
+
+    # ----------------------------------------------------------- breakdowns
+    def phase_breakdown(self) -> Dict[str, float]:
+        """Aggregate wall-clock seconds spent per phase across attempts.
+
+        This is the quantity behind Fig. 1(d): the share of total task time
+        a job spends in map vs shuffle vs reduce work.
+        """
+        totals: Dict[str, float] = {"map": 0.0, "shuffle": 0.0, "reduce": 0.0}
+        for task in self.maps + self.reduces:
+            for attempt in task.attempts:
+                if not attempt.succeeded:
+                    continue
+                for phase, seconds in attempt.phases.items():
+                    if phase in ("io", "cpu"):
+                        totals["map"] += seconds
+                    elif phase in ("shuffle", "sort"):
+                        # Hadoop reports copy + sort/merge together as the
+                        # shuffle stage of a reduce attempt.
+                        totals["shuffle"] += seconds
+                    else:
+                        totals["reduce"] += seconds
+        return totals
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Job {self.job_id} {self.name!r} maps {self.completed_maps}/{len(self.maps)} "
+            f"reduces {self.completed_reduces}/{len(self.reduces)}>"
+        )

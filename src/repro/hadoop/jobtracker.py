@@ -1,0 +1,278 @@
+"""The JobTracker: job admission, heartbeat dispatch, completion tracking.
+
+The JobTracker owns the job inventory and delegates every assignment
+decision to a pluggable :class:`~repro.schedulers.base.Scheduler` — the
+same control surface the paper modifies in Hadoop 1.2.1 (Section V-A).  It
+also runs the periodic control-interval tick E-Ant's adaptive task assigner
+re-optimizes on, and fans completed-task reports out to the scheduler and
+any registered listeners (metrics collectors, task analyzers).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Generator, List, Optional
+
+import numpy as np
+
+from ..cluster import Cluster
+from ..noise import NoiseModel
+from ..simulation import Event, Simulator
+from ..workloads import JobSpec
+from .config import HadoopConfig
+from .hdfs import BlockPlacer
+from .job import Job, Task, TaskAttempt, TaskReport
+from .tasktracker import TaskTracker
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..schedulers.base import Scheduler
+
+__all__ = ["JobTracker"]
+
+ReportListener = Callable[[TaskReport], None]
+
+
+class JobTracker:
+    """Master daemon of the simulated Hadoop cluster.
+
+    Parameters
+    ----------
+    sim, cluster, config:
+        Simulation clock, the cluster, framework configuration.
+    scheduler:
+        The task-assignment policy under test.
+    placer:
+        HDFS block placer used for new jobs' inputs.
+    skew_noise:
+        Noise model supplying per-task input-size skew at job creation.
+    rng:
+        RNG stream for skew draws.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        config: HadoopConfig,
+        scheduler: "Scheduler",
+        placer: BlockPlacer,
+        skew_noise: Optional[NoiseModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.config = config
+        self.scheduler = scheduler
+        self.placer = placer
+        self.skew_noise = skew_noise
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+        self.jobs: Dict[int, Job] = {}
+        self.active_jobs: List[Job] = []
+        self.completed_jobs: List[Job] = []
+        self.trackers: Dict[int, TaskTracker] = {}
+        self.last_heartbeat: Dict[int, float] = {}
+        self.expired_trackers: List[int] = []
+        self.reports: List[TaskReport] = []
+        self._listeners: List[ReportListener] = []
+        self._next_job_id = 0
+        self._expected_jobs: Optional[int] = None
+        self._shutdown = False
+        self.all_done_event: Event = sim.event()
+        self._interval_process = None
+
+        scheduler.bind(self)
+
+    # ------------------------------------------------------------- lifecycle
+    def register_tracker(self, tracker: TaskTracker) -> None:
+        """Called by each TaskTracker when it starts."""
+        self.trackers[tracker.machine.machine_id] = tracker
+
+    def expect_jobs(self, count: int) -> None:
+        """Declare the total number of jobs this run will submit.
+
+        The JobTracker shuts down (stopping heartbeats, draining the event
+        heap) once that many jobs have completed.
+        """
+        if count < 1:
+            raise ValueError("expected job count must be >= 1")
+        self._expected_jobs = count
+
+    @property
+    def is_shutdown(self) -> bool:
+        return self._shutdown
+
+    def start_control_loop(self) -> None:
+        """Begin the periodic control-interval tick (idempotent)."""
+        if self._interval_process is None:
+            self._interval_process = self.sim.process(
+                self._control_loop(), name="jt-control-loop"
+            )
+
+    def _control_loop(self) -> Generator:
+        while not self._shutdown:
+            yield self.sim.timeout(self.config.control_interval)
+            if self._shutdown:
+                return
+            self.scheduler.on_control_interval(self.sim.now)
+
+    # ------------------------------------------------------------- admission
+    def submit(self, spec: JobSpec, replica_hosts=None) -> Job:
+        """Admit a job: place its blocks, apply data skew, notify scheduler.
+
+        ``replica_hosts`` overrides HDFS placement (one tuple of machine
+        ids per map task) — used by the data-locality experiments.
+        """
+        job_id = self._next_job_id
+        self._next_job_id += 1
+        num_maps = spec.num_maps(self.config.block_mb)
+        if replica_hosts is None:
+            replica_hosts = self.placer.place_job_blocks(num_maps)
+        sizes = [self.config.block_mb] * num_maps
+        if self.skew_noise is not None and self.skew_noise.skew_sigma > 0:
+            sizes = [s * self.skew_noise.skew_factor(self.rng) for s in sizes]
+        job = Job(
+            sim=self.sim,
+            job_id=job_id,
+            spec=spec,
+            block_mb=self.config.block_mb,
+            map_input_sizes=sizes,
+            replica_hosts=replica_hosts,
+        )
+        self.jobs[job_id] = job
+        self.active_jobs.append(job)
+        job.done_event.add_callback(lambda _e, j=job: self._job_done(j))
+        self.scheduler.on_job_added(job)
+        return job
+
+    def submit_prepared(self, job: Job) -> Job:
+        """Admit a pre-built job (experiments that control placement)."""
+        if job.job_id in self.jobs:
+            raise ValueError(f"job id {job.job_id} already admitted")
+        self._next_job_id = max(self._next_job_id, job.job_id + 1)
+        self.jobs[job.job_id] = job
+        self.active_jobs.append(job)
+        job.done_event.add_callback(lambda _e, j=job: self._job_done(j))
+        self.scheduler.on_job_added(job)
+        return job
+
+    def next_job_id(self) -> int:
+        """Reserve the next job id (for submit_prepared callers)."""
+        job_id = self._next_job_id
+        self._next_job_id += 1
+        return job_id
+
+    def _job_done(self, job: Job) -> None:
+        self.active_jobs.remove(job)
+        self.completed_jobs.append(job)
+        self.scheduler.on_job_removed(job)
+        if self._expected_jobs is not None and len(self.completed_jobs) >= self._expected_jobs:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop heartbeats and periodic loops; fires ``all_done_event``."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        if not self.all_done_event.triggered:
+            self.all_done_event.succeed(self.sim.now)
+
+    # -------------------------------------------------------------- heartbeat
+    def heartbeat(self, tracker: TaskTracker) -> List[Task]:
+        """Handle one TaskTracker heartbeat; returns tasks to launch.
+
+        The scheduler sees the tracker's free slots and may return at most
+        that many tasks of each kind (the slot constraint of Eq. 1).
+        Stale trackers are expired lazily on every live heartbeat, as in
+        Hadoop.
+        """
+        if self._shutdown:
+            return []
+        self.last_heartbeat[tracker.machine.machine_id] = self.sim.now
+        self._expire_dead_trackers()
+        if tracker.machine.machine_id not in self.trackers:
+            return []  # this tracker was itself expired
+        status = tracker.status()
+        assignments = self.scheduler.select_tasks(status)
+        maps = sum(1 for t in assignments if t.is_map)
+        reduces = len(assignments) - maps
+        if maps > status.free_map_slots or reduces > status.free_reduce_slots:
+            raise RuntimeError(
+                f"scheduler over-assigned {tracker.machine.hostname}: "
+                f"{maps} maps into {status.free_map_slots} slots, "
+                f"{reduces} reduces into {status.free_reduce_slots}"
+            )
+        return assignments
+
+    # ----------------------------------------------------------- failures
+    def _expire_dead_trackers(self) -> None:
+        """Declare silent trackers dead and requeue their running tasks."""
+        expiry = self.config.tracker_expiry
+        if expiry <= 0:
+            return
+        now = self.sim.now
+        for machine_id, tracker in list(self.trackers.items()):
+            last = self.last_heartbeat.get(machine_id)
+            if last is None or now - last < expiry:
+                continue
+            self.expire_tracker(machine_id)
+
+    def expire_tracker(self, machine_id: int) -> None:
+        """Remove a tracker from service and recover its in-flight tasks.
+
+        Running tasks whose latest attempt sat on the dead machine go back
+        to their jobs' pending queues, so later heartbeats re-execute them
+        elsewhere (Hadoop's task re-execution on TaskTracker failure).
+        """
+        tracker = self.trackers.pop(machine_id, None)
+        if tracker is None:
+            return
+        self.expired_trackers.append(machine_id)
+        for job in list(self.active_jobs):
+            for task in job.maps + job.reduces:
+                if task.state.value != "running" or not task.attempts:
+                    continue
+                latest = task.attempts[-1]
+                if latest.machine_id == machine_id and not latest.succeeded:
+                    latest.killed = True
+                    if latest.finish_time is None:
+                        latest.finish_time = self.sim.now
+                    job.requeue(task)
+
+    # ------------------------------------------------------------ completions
+    def add_report_listener(self, listener: ReportListener) -> None:
+        """Register a callback invoked for every successful task report."""
+        self._listeners.append(listener)
+
+    def task_finished(self, tracker: TaskTracker, attempt: TaskAttempt) -> None:
+        """A TaskTracker reports a successful attempt."""
+        task = attempt.task
+        already_done = task.state.value == "completed"
+        task.job.complete_task(task)
+        if already_done:
+            return  # speculative duplicate: winner already reported
+        report = attempt.to_report()
+        self.reports.append(report)
+        self.scheduler.on_task_completed(report)
+        for listener in self._listeners:
+            listener(report)
+
+    def task_killed(self, tracker: TaskTracker, attempt: TaskAttempt) -> None:
+        """A TaskTracker reports a killed attempt; requeue if still needed."""
+        task = attempt.task
+        attempt.killed = True
+        if task.state.value == "running":
+            task.job.requeue(task)
+
+    # ---------------------------------------------------------------- queries
+    def job(self, job_id: int) -> Job:
+        return self.jobs[job_id]
+
+    def pending_work_exists(self) -> bool:
+        """Any active job with unfinished tasks?"""
+        return any(not job.is_done for job in self.active_jobs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<JobTracker active={len(self.active_jobs)} "
+            f"done={len(self.completed_jobs)} trackers={len(self.trackers)}>"
+        )

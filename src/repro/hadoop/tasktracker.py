@@ -1,0 +1,343 @@
+"""TaskTrackers: per-machine slot management and task execution.
+
+Each machine runs one :class:`TaskTracker` process that heartbeats the
+JobTracker every ``heartbeat_interval`` seconds (Section V: 3 s), offering
+its free map/reduce slots.  Tasks handed back are executed as simulation
+processes that move through explicit phases (IO / CPU for maps; shuffle /
+sort / reduce for reduces), register CPU and IO load on the machine (which
+drives the ground-truth energy integration), and on completion ship a
+:class:`~repro.hadoop.job.TaskReport` with noisy per-heartbeat CPU samples
+— exactly the feedback E-Ant's task analyzer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional
+
+import numpy as np
+
+from ..cluster import Machine
+from ..energy.model import samples_from_phases
+from ..noise import NO_NOISE, NoiseModel
+from ..simulation import Interrupt, Process, Simulator
+from .config import HadoopConfig
+from .job import Task, TaskAttempt, TaskKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .jobtracker import JobTracker
+
+__all__ = ["TrackerStatus", "TaskTracker"]
+
+
+@dataclass(frozen=True)
+class TrackerStatus:
+    """Snapshot of a TaskTracker included in its heartbeat."""
+
+    machine_id: int
+    free_map_slots: int
+    free_reduce_slots: int
+    running_maps: int
+    running_reduces: int
+
+
+class TaskTracker:
+    """The per-machine Hadoop worker daemon.
+
+    Parameters
+    ----------
+    sim, machine, config:
+        Simulation clock, the machine this tracker manages, and framework
+        configuration.
+    noise:
+        System-noise model applied to this machine's task executions.
+    rng:
+        RNG stream for this tracker's noise draws.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: Machine,
+        config: HadoopConfig,
+        noise: NoiseModel = NO_NOISE,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.sim = sim
+        self.machine = machine
+        self.config = config
+        self.noise = noise
+        self.rng = rng if rng is not None else np.random.default_rng(machine.machine_id)
+        self.jobtracker: Optional["JobTracker"] = None
+        self.running_maps = 0
+        self.running_reduces = 0
+        self._attempt_processes: Dict[str, Process] = {}
+        self._heartbeat_process: Optional[Process] = None
+        self._crashed = False
+        #: Total tasks this tracker has completed, by kind (metrics).
+        self.completed_counts: Dict[TaskKind, int] = {TaskKind.MAP: 0, TaskKind.REDUCE: 0}
+
+    # -------------------------------------------------------------- lifecycle
+    def start(self, jobtracker: "JobTracker") -> None:
+        """Register with the JobTracker and begin heartbeating."""
+        self.jobtracker = jobtracker
+        jobtracker.register_tracker(self)
+        self._heartbeat_process = self.sim.process(
+            self._heartbeat_loop(), name=f"tt-{self.machine.hostname}"
+        )
+
+    def _heartbeat_loop(self) -> Generator:
+        assert self.jobtracker is not None
+        # Desynchronize trackers slightly, as real daemons are.
+        yield self.sim.timeout(float(self.rng.uniform(0, self.config.heartbeat_interval)))
+        while not self.jobtracker.is_shutdown and not self._crashed:
+            assignments = self.jobtracker.heartbeat(self)
+            for task in assignments:
+                self.launch(task)
+            yield self.sim.timeout(self.config.heartbeat_interval)
+
+    # ------------------------------------------------------------------ slots
+    @property
+    def free_map_slots(self) -> int:
+        return self.machine.spec.map_slots - self.running_maps
+
+    @property
+    def free_reduce_slots(self) -> int:
+        return self.machine.spec.reduce_slots - self.running_reduces
+
+    def status(self) -> TrackerStatus:
+        """Current heartbeat snapshot."""
+        return TrackerStatus(
+            machine_id=self.machine.machine_id,
+            free_map_slots=self.free_map_slots,
+            free_reduce_slots=self.free_reduce_slots,
+            running_maps=self.running_maps,
+            running_reduces=self.running_reduces,
+        )
+
+    # -------------------------------------------------------------- execution
+    def launch(self, task: Task) -> TaskAttempt:
+        """Start executing ``task`` in a slot (the scheduler already claimed
+        the task from its job's pending queue)."""
+        if task.is_map:
+            if self.free_map_slots <= 0:
+                raise RuntimeError(f"{self.machine.hostname}: no free map slot")
+            self.running_maps += 1
+        else:
+            if self.free_reduce_slots <= 0:
+                raise RuntimeError(f"{self.machine.hostname}: no free reduce slot")
+            self.running_reduces += 1
+        attempt = task.new_attempt(self.machine.machine_id, self.sim.now)
+        body = self._run_map(attempt) if task.is_map else self._run_reduce(attempt)
+        process = self.sim.process(body, name=attempt.attempt_id)
+        self._attempt_processes[attempt.attempt_id] = process
+        return attempt
+
+    def kill_attempt(self, attempt: TaskAttempt) -> None:
+        """Interrupt a running attempt (speculative-execution loser)."""
+        process = self._attempt_processes.get(attempt.attempt_id)
+        if process is not None:
+            process.interrupt("killed")
+
+    @property
+    def is_crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """Fail the node: heartbeats stop, resident work dies silently.
+
+        The JobTracker learns of the failure only through missed
+        heartbeats (``HadoopConfig.tracker_expiry``), exactly as in
+        Hadoop; the machine keeps drawing its idle power (a hung box is
+        not an unplugged box).
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        if self._heartbeat_process is not None:
+            self._heartbeat_process.interrupt("crash")
+        for process in list(self._attempt_processes.values()):
+            process.interrupt("crash")
+
+    def _finish_attempt(self, attempt: TaskAttempt, succeeded: bool) -> None:
+        """Release the slot and report the outcome."""
+        task = attempt.task
+        if task.is_map:
+            self.running_maps -= 1
+        else:
+            self.running_reduces -= 1
+        attempt.finish_time = self.sim.now
+        attempt.succeeded = succeeded
+        self._attempt_processes.pop(attempt.attempt_id, None)
+        assert self.jobtracker is not None
+        if self._crashed:
+            # A crashed node reports nothing; the JobTracker discovers the
+            # loss via heartbeat expiry and requeues the tasks itself.
+            attempt.killed = True
+            return
+        if succeeded:
+            self.completed_counts[task.kind] += 1
+            self.jobtracker.task_finished(self, attempt)
+        else:
+            self.jobtracker.task_killed(self, attempt)
+
+    # ---------------------------------------------------------- map execution
+    def _run_map(self, attempt: TaskAttempt) -> Generator:
+        task = attempt.task
+        machine = self.machine
+        spec = machine.spec
+        profile = task.job.profile
+        blocks = task.input_mb / self.config.block_mb
+        local = machine.machine_id in task.preferred_hosts
+        attempt.local = local
+
+        io_work = profile.map_io_seconds * blocks / spec.io_speed
+        network_time = 0.0
+        flow = None
+        if not local:
+            source = self.jobtracker.placer.pick_remote_source(
+                task.preferred_hosts, machine.machine_id
+            )
+            network = self.jobtracker.cluster.network
+            network_time = network.transfer_time(source, machine.machine_id, task.input_mb)
+            io_work *= self.config.remote_read_penalty
+            flow = (source, machine.machine_id)
+            network.begin_flow(*flow)
+
+        io_time = (
+            (io_work + network_time)
+            * machine.io_contention()
+            * self.noise.duration_factor(self.rng)
+        )
+        cpu_time = (
+            profile.map_cpu_seconds
+            * blocks
+            / spec.cpu_speed
+            * machine.cpu_contention(profile.map_cores)
+            * self.noise.duration_factor(self.rng)
+        )
+
+        io_util = min(self.config.io_phase_cores, spec.cores) / spec.cores
+        cpu_util = min(profile.map_cores, spec.cores) / spec.cores
+        try:
+            # Phase 1: input read (+ remote fetch) and spill.
+            machine.io_begin()
+            machine.add_cpu_load(self.config.io_phase_cores)
+            try:
+                yield self.sim.timeout(io_time)
+            finally:
+                machine.io_end()
+                machine.remove_cpu_load(self.config.io_phase_cores)
+                if flow is not None:
+                    self.jobtracker.cluster.network.end_flow(*flow)
+                    flow = None
+            attempt.phases["io"] = io_time
+
+            # Phase 2: the map function itself.
+            machine.add_cpu_load(profile.map_cores)
+            try:
+                yield self.sim.timeout(cpu_time)
+            finally:
+                machine.remove_cpu_load(profile.map_cores)
+            attempt.phases["cpu"] = cpu_time
+        except Interrupt:
+            self._finish_attempt(attempt, succeeded=False)
+            return
+
+        total = io_time + cpu_time
+        attempt.avg_utilization = (
+            (io_util * io_time + cpu_util * cpu_time) / total if total > 0 else 0.0
+        )
+        attempt.samples = samples_from_phases(
+            [(io_time, io_util), (cpu_time, cpu_util)],
+            delta_t=self.config.heartbeat_interval,
+            noise_factor=lambda: self.noise.utilization_factor(self.rng),
+        )
+        self._finish_attempt(attempt, succeeded=True)
+
+    # ------------------------------------------------------- reduce execution
+    def _run_reduce(self, attempt: TaskAttempt) -> Generator:
+        task = attempt.task
+        job = task.job
+        machine = self.machine
+        spec = machine.spec
+        profile = job.profile
+        shuffle_mb = task.input_mb
+
+        network = self.jobtracker.cluster.network
+        # Shuffle streams from many mappers; model the aggregate as one flow
+        # bottlenecked at this reducer's NIC.
+        bandwidth = network.nic_mb_per_s / (network.flows_at(machine.machine_id) + 1)
+        transfer_all = shuffle_mb / bandwidth if shuffle_mb > 0 else 0.0
+        flow = (machine.machine_id, machine.machine_id)
+        network.begin_flow(*flow)
+
+        io_util = min(self.config.io_phase_cores, spec.cores) / spec.cores
+        shuffle_started = self.sim.now
+        try:
+            machine.io_begin()
+            machine.add_cpu_load(self.config.io_phase_cores)
+            try:
+                # Shuffle cannot complete before the job's last map finishes:
+                # copy what exists, then drain the final wave's output.
+                if not job.maps_done:
+                    yield job.maps_done_event
+                elapsed = self.sim.now - shuffle_started
+                residual = max(transfer_all - elapsed, 0.1 * transfer_all)
+                residual *= self.noise.duration_factor(self.rng)
+                yield self.sim.timeout(residual)
+            finally:
+                machine.io_end()
+                machine.remove_cpu_load(self.config.io_phase_cores)
+                network.end_flow(*flow)
+            attempt.phases["shuffle"] = self.sim.now - shuffle_started
+
+            # Sort/merge (IO-bound).
+            sort_time = (
+                profile.reduce_io_per_mb
+                * shuffle_mb
+                / spec.io_speed
+                * machine.io_contention()
+                * self.noise.duration_factor(self.rng)
+            )
+            machine.io_begin()
+            machine.add_cpu_load(self.config.io_phase_cores)
+            try:
+                yield self.sim.timeout(sort_time)
+            finally:
+                machine.io_end()
+                machine.remove_cpu_load(self.config.io_phase_cores)
+            attempt.phases["sort"] = sort_time
+
+            # The reduce function (CPU-bound).
+            reduce_time = (
+                profile.reduce_cpu_per_mb
+                * shuffle_mb
+                / spec.cpu_speed
+                * machine.cpu_contention(profile.reduce_cores)
+                * self.noise.duration_factor(self.rng)
+            )
+            machine.add_cpu_load(profile.reduce_cores)
+            try:
+                yield self.sim.timeout(reduce_time)
+            finally:
+                machine.remove_cpu_load(profile.reduce_cores)
+            attempt.phases["reduce"] = reduce_time
+        except Interrupt:
+            self._finish_attempt(attempt, succeeded=False)
+            return
+
+        cpu_util = min(profile.reduce_cores, spec.cores) / spec.cores
+        shuffle_time = attempt.phases["shuffle"]
+        total = shuffle_time + sort_time + reduce_time
+        attempt.avg_utilization = (
+            (io_util * (shuffle_time + sort_time) + cpu_util * reduce_time) / total
+            if total > 0
+            else 0.0
+        )
+        attempt.samples = samples_from_phases(
+            [(shuffle_time, io_util), (sort_time, io_util), (reduce_time, cpu_util)],
+            delta_t=self.config.heartbeat_interval,
+            noise_factor=lambda: self.noise.utilization_factor(self.rng),
+        )
+        self._finish_attempt(attempt, succeeded=True)

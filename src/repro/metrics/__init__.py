@@ -1,0 +1,25 @@
+"""Metrics: energy roll-ups, fairness, per-run records."""
+
+from .collector import JobResult, MetricsCollector, RunMetrics, build_job_results
+from .timeline import MachineSeries, extract_timelines, sparkline, timeline_report
+from .fairness import (
+    estimate_standalone_jct,
+    fairness_from_slowdowns,
+    jains_index,
+    slowdown,
+)
+
+__all__ = [
+    "MetricsCollector",
+    "JobResult",
+    "RunMetrics",
+    "build_job_results",
+    "estimate_standalone_jct",
+    "slowdown",
+    "fairness_from_slowdowns",
+    "jains_index",
+    "MachineSeries",
+    "extract_timelines",
+    "sparkline",
+    "timeline_report",
+]

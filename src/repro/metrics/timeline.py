@@ -1,0 +1,110 @@
+"""Timeline extraction and plain-text reporting.
+
+Turns a finished :class:`~repro.experiments.harness.ScenarioResult` (with a
+meter attached) into per-machine utilization/power time series and compact
+terminal visualizations — the closest a headless reproduction gets to the
+paper's power-trace plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..energy import ClusterMeter
+
+__all__ = ["MachineSeries", "extract_timelines", "sparkline", "timeline_report"]
+
+#: Eight-level block characters for terminal sparklines.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+@dataclass(frozen=True)
+class MachineSeries:
+    """One machine's sampled utilization and power trajectories."""
+
+    machine_id: int
+    hostname: str
+    model: str
+    times: Tuple[float, ...]
+    utilization: Tuple[float, ...]
+    power_watts: Tuple[float, ...]
+
+    @property
+    def mean_power(self) -> float:
+        if not self.power_watts:
+            return 0.0
+        return sum(self.power_watts) / len(self.power_watts)
+
+    @property
+    def peak_power(self) -> float:
+        return max(self.power_watts) if self.power_watts else 0.0
+
+    def energy_kj(self) -> float:
+        """Trapezoidal energy over the sampled window (kJ)."""
+        if len(self.times) < 2:
+            return 0.0
+        total = 0.0
+        for index in range(1, len(self.times)):
+            dt = self.times[index] - self.times[index - 1]
+            total += dt * (self.power_watts[index] + self.power_watts[index - 1]) / 2
+        return total / 1000.0
+
+
+def extract_timelines(meter: ClusterMeter) -> Dict[int, MachineSeries]:
+    """Per-machine series from a run's meter readings."""
+    series: Dict[int, MachineSeries] = {}
+    for machine in meter.cluster:
+        readings = meter.series_for(machine.machine_id)
+        series[machine.machine_id] = MachineSeries(
+            machine_id=machine.machine_id,
+            hostname=machine.hostname,
+            model=machine.spec.model,
+            times=tuple(r.time for r in readings),
+            utilization=tuple(r.utilization for r in readings),
+            power_watts=tuple(r.power_watts for r in readings),
+        )
+    return series
+
+
+def sparkline(values: Sequence[float], width: int = 60, ceiling: Optional[float] = None) -> str:
+    """Render ``values`` as a fixed-width unicode sparkline.
+
+    Values are bucket-averaged down to ``width`` columns and scaled
+    against ``ceiling`` (defaults to the series maximum).
+    """
+    if not values:
+        return ""
+    values = list(values)
+    top = ceiling if ceiling is not None else max(values)
+    if top <= 0:
+        return _BLOCKS[0] * min(width, len(values))
+    columns = min(width, len(values))
+    per_bucket = len(values) / columns
+    out = []
+    for column in range(columns):
+        start = int(column * per_bucket)
+        end = max(start + 1, int((column + 1) * per_bucket))
+        bucket = values[start:end]
+        level = sum(bucket) / len(bucket) / top
+        index = min(len(_BLOCKS) - 1, max(0, round(level * (len(_BLOCKS) - 1))))
+        out.append(_BLOCKS[index])
+    return "".join(out)
+
+
+def timeline_report(meter: ClusterMeter, width: int = 60) -> str:
+    """Multi-line report: one power sparkline per machine, plus totals."""
+    lines: List[str] = []
+    series = extract_timelines(meter)
+    ceiling = max((s.peak_power for s in series.values()), default=0.0)
+    for machine_id in sorted(series):
+        machine_series = series[machine_id]
+        lines.append(
+            f"{machine_series.hostname:12s} "
+            f"{sparkline(machine_series.power_watts, width=width, ceiling=ceiling)} "
+            f"avg {machine_series.mean_power:6.1f} W  "
+            f"peak {machine_series.peak_power:6.1f} W"
+        )
+    total = sum(s.energy_kj() for s in series.values())
+    lines.append(f"{'cluster':12s} {'':{width}s} total ~{total:.0f} kJ (sampled)")
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""System-noise substrate (Section IV-D's data skew / congestion effects)."""
+
+from .injection import DEFAULT_NOISE, NO_NOISE, NoiseModel
+
+__all__ = ["NoiseModel", "NO_NOISE", "DEFAULT_NOISE"]

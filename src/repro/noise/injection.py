@@ -1,0 +1,95 @@
+"""System-noise injection (Section IV-D).
+
+The paper defines system noise as "the transient and anomalous behavior of
+certain tasks of a given job, which may be attributed to multiple factors
+such as data skew, network congestion, etc.", manifesting as fluctuating
+CPU utilization and straggling tasks.  :class:`NoiseModel` reproduces those
+effects with independent, controllable channels:
+
+* **duration noise** — multiplicative lognormal jitter on phase durations;
+* **straggler events** — a small probability that a task runs a large
+  constant factor slower (network congestion, bad disk, ...);
+* **measurement noise** — lognormal jitter on the per-heartbeat CPU samples
+  the TaskTracker reports (this perturbs Eq. 2 estimates, not reality);
+* **data skew** — lognormal jitter on per-task input volume.
+
+All draws come from a dedicated RNG stream so noise can be varied without
+perturbing arrivals or scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NoiseModel", "NO_NOISE", "DEFAULT_NOISE"]
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Parameters of the injected system noise.
+
+    All sigmas are lognormal shape parameters (0 disables that channel).
+    """
+
+    duration_sigma: float = 0.08
+    utilization_sigma: float = 0.10
+    straggler_prob: float = 0.02
+    straggler_factor: float = 2.5
+    skew_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(self.duration_sigma, self.utilization_sigma, self.skew_sigma) < 0:
+            raise ValueError("noise sigmas must be non-negative")
+        if not 0.0 <= self.straggler_prob <= 1.0:
+            raise ValueError("straggler probability must be in [0, 1]")
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler factor must be >= 1")
+
+    # Each channel takes the RNG explicitly so callers control streams.
+    def duration_factor(self, rng: np.random.Generator) -> float:
+        """Multiplier on a task phase duration (includes straggler events)."""
+        factor = 1.0
+        if self.duration_sigma > 0:
+            factor *= float(rng.lognormal(0.0, self.duration_sigma))
+        if self.straggler_prob > 0 and rng.random() < self.straggler_prob:
+            factor *= self.straggler_factor
+        return factor
+
+    def utilization_factor(self, rng: np.random.Generator) -> float:
+        """Multiplier on one reported CPU sample (measurement-side only)."""
+        if self.utilization_sigma <= 0:
+            return 1.0
+        return float(rng.lognormal(0.0, self.utilization_sigma))
+
+    def skew_factor(self, rng: np.random.Generator) -> float:
+        """Multiplier on a task's input volume (data skew)."""
+        if self.skew_sigma <= 0:
+            return 1.0
+        return float(rng.lognormal(0.0, self.skew_sigma))
+
+    def scaled(self, intensity: float) -> "NoiseModel":
+        """A copy with every channel scaled by ``intensity`` (>= 0)."""
+        if intensity < 0:
+            raise ValueError("intensity must be non-negative")
+        return NoiseModel(
+            duration_sigma=self.duration_sigma * intensity,
+            utilization_sigma=self.utilization_sigma * intensity,
+            straggler_prob=min(1.0, self.straggler_prob * intensity),
+            straggler_factor=self.straggler_factor,
+            skew_sigma=self.skew_sigma * intensity,
+        )
+
+
+#: Noise disabled entirely (model-validation experiments).
+NO_NOISE = NoiseModel(
+    duration_sigma=0.0,
+    utilization_sigma=0.0,
+    straggler_prob=0.0,
+    straggler_factor=1.0,
+    skew_sigma=0.0,
+)
+
+#: The default noise used by the evaluation scenarios.
+DEFAULT_NOISE = NoiseModel()

@@ -1,0 +1,86 @@
+"""The scheduler interface every task-assignment policy implements.
+
+A scheduler is the pluggable decision layer of the JobTracker: it is
+notified of job arrivals/departures and task completions, is ticked every
+control interval, and — the heart of it — answers each TaskTracker
+heartbeat with the tasks to launch (``select_tasks``).  Schedulers claim
+tasks from job pending-queues via ``Job.take_map`` / ``Job.take_reduce``,
+which keeps all state transitions inside :class:`~repro.hadoop.job.Job`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, List, Optional
+
+from ..hadoop.job import Job, Task, TaskReport
+from ..hadoop.tasktracker import TrackerStatus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hadoop.jobtracker import JobTracker
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler(abc.ABC):
+    """Base class for task-assignment policies."""
+
+    #: Human-readable policy name (used in reports and figures).
+    name = "base"
+
+    def __init__(self) -> None:
+        self.jobtracker: Optional["JobTracker"] = None
+
+    # ------------------------------------------------------------- lifecycle
+    def bind(self, jobtracker: "JobTracker") -> None:
+        """Attach to the JobTracker (called once, by the JobTracker)."""
+        self.jobtracker = jobtracker
+
+    @property
+    def jt(self) -> "JobTracker":
+        if self.jobtracker is None:
+            raise RuntimeError(f"{type(self).__name__} is not bound to a JobTracker")
+        return self.jobtracker
+
+    # ----------------------------------------------------------------- hooks
+    def on_job_added(self, job: Job) -> None:
+        """A job was admitted."""
+
+    def on_job_removed(self, job: Job) -> None:
+        """A job finished (all tasks complete)."""
+
+    def on_task_completed(self, report: TaskReport) -> None:
+        """A task attempt succeeded."""
+
+    def on_control_interval(self, now: float) -> None:
+        """Periodic tick (the paper's 5-minute control interval)."""
+
+    # ------------------------------------------------------------ assignment
+    @abc.abstractmethod
+    def select_tasks(self, status: TrackerStatus) -> List[Task]:
+        """Tasks to launch on the heartbeating tracker.
+
+        Must return at most ``status.free_map_slots`` maps and
+        ``status.free_reduce_slots`` reduces, claimed from their jobs'
+        pending queues.
+        """
+
+    # ----------------------------------------------------------- shared bits
+    def active_jobs(self) -> List[Job]:
+        """Jobs admitted and not yet finished, in submission order."""
+        return list(self.jt.active_jobs)
+
+    def jobs_with_pending_maps(self) -> List[Job]:
+        return [job for job in self.jt.active_jobs if job.pending_map_count > 0]
+
+    def jobs_with_schedulable_reduces(self) -> List[Job]:
+        slowstart = self.jt.config.reduce_slowstart
+        return [job for job in self.jt.active_jobs if job.reduces_schedulable(slowstart)]
+
+    def total_cluster_slots(self) -> int:
+        """``S_pool`` of Eq. 7 — all slots in the cluster."""
+        maps, reduces = self.jt.cluster.total_slots()
+        return maps + reduces
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,30 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic, generator-based DES in the style of SimPy, written
+from scratch for this reproduction.  Public surface:
+
+* :class:`Simulator` — clock + event heap + process spawner.
+* :class:`Event`, :class:`AllOf`, :class:`AnyOf` — waitable occurrences.
+* :class:`Process`, :class:`Interrupt` — generator processes with interrupt.
+* :class:`Resource`, :class:`Store` — queueing primitives.
+* :class:`RandomStreams` — named seeded RNG streams.
+"""
+
+from .engine import Simulator
+from .events import AllOf, AnyOf, Event, SimulationError
+from .process import Interrupt, Process
+from .resources import Resource, Store
+from .rng import RandomStreams
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "AllOf",
+    "AnyOf",
+    "SimulationError",
+    "Process",
+    "Interrupt",
+    "Resource",
+    "Store",
+    "RandomStreams",
+]

@@ -1,0 +1,152 @@
+"""The discrete-event simulation core.
+
+:class:`Simulator` owns the event heap and the simulation clock.  Everything
+in the library — TaskTrackers, heartbeats, job arrivals, control intervals —
+is expressed as generator processes (:mod:`repro.simulation.process`)
+scheduled on a single :class:`Simulator`.
+
+The kernel is deliberately small and fully deterministic: given the same
+seeded RNG streams (:mod:`repro.simulation.rng`), two runs produce identical
+traces.  Ties at the same timestamp are broken by insertion order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from .events import AllOf, AnyOf, Event, SimulationError
+from .process import Process
+
+__all__ = ["Simulator"]
+
+# Heap entries: (time, priority, sequence, event)
+_HeapEntry = Tuple[float, int, int, Event]
+
+#: Priority for ordinary timeouts / scheduled events.
+PRIORITY_NORMAL = 1
+#: Priority for dispatching already-triggered events (urgent: same timestamp,
+#: before new timeouts created at that timestamp fire).
+PRIORITY_URGENT = 0
+
+
+class Simulator:
+    """A single-threaded discrete-event simulator.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> def hello(sim):
+    ...     yield sim.timeout(5.0)
+    ...     return sim.now
+    >>> proc = sim.process(hello(sim))
+    >>> sim.run()
+    >>> proc.value
+    5.0
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[_HeapEntry] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------ clock
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    # -------------------------------------------------------------- factories
+    def event(self) -> Event:
+        """Create a fresh, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """Return an event that succeeds ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        event = Event(self)
+        event._triggered = True
+        event._value = value
+        self._push(self._now + delay, PRIORITY_NORMAL, event)
+        return event
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Spawn a new process from ``generator`` and schedule its first step."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that succeeds when all ``events`` succeed."""
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that succeeds when any of ``events`` succeeds."""
+        return AnyOf(self, list(events))
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback()`` at absolute simulation time ``when``."""
+        if when < self._now:
+            raise ValueError(f"call_at({when}) is in the past (now={self._now})")
+        event = Event(self)
+        event._triggered = True
+        event.add_callback(lambda _e: callback())
+        self._push(when, PRIORITY_NORMAL, event)
+        return event
+
+    # ------------------------------------------------------------- scheduling
+    def _push(self, when: float, priority: int, event: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, priority, self._seq, event))
+
+    def _schedule_dispatch(self, event: Event) -> None:
+        """Queue an already-triggered event for callback dispatch *now*."""
+        self._push(self._now, PRIORITY_URGENT, event)
+
+    # --------------------------------------------------------------- run loop
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event from the heap."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event heap")
+        when, _priority, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        event._dispatch()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or the clock reaches ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so periodic metrics windows
+        close deterministically.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        self._stopped = False
+        try:
+            if until is None:
+                while self._heap and not self._stopped:
+                    self.step()
+            else:
+                if until < self._now:
+                    raise ValueError(f"run(until={until}) is in the past (now={self._now})")
+                while self._heap and self.peek() <= until and not self._stopped:
+                    self.step()
+                if not self._stopped:
+                    self._now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event finishes dispatching."""
+        self._stopped = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.3f}s queued={len(self._heap)}>"

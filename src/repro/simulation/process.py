@@ -1,0 +1,129 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` wraps a Python generator.  The generator *yields* things
+it wants to wait for:
+
+* an :class:`~repro.simulation.events.Event` — resume when it triggers;
+* a ``float``/``int`` — shorthand for ``sim.timeout(value)``;
+* another :class:`Process` — resume when that process terminates (join).
+
+When the generator returns, the process (itself an event) succeeds with the
+generator's return value; uncaught exceptions fail the process event and
+propagate to any process joined on it.
+
+Processes support cooperative :meth:`Process.interrupt`, used by the LATE
+speculative-execution baseline to kill redundant task attempts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .events import Event, SimulationError
+
+__all__ = ["Process", "Interrupt"]
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator when it is interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running simulation process (also an event: it triggers on exit)."""
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: Optional[str] = None) -> None:  # noqa: F821
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process body must be a generator, got {type(generator).__name__}")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off the first step at the current simulation time.
+        bootstrap = Event(sim)
+        bootstrap._triggered = True
+        bootstrap.add_callback(self._resume)
+        sim._schedule_dispatch(bootstrap)
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the generator has not terminated."""
+        return not self.triggered
+
+    # -------------------------------------------------------------- execution
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the result of ``event``."""
+        if self.triggered:
+            # A stale wakeup (e.g. an interrupt racing with normal exit at the
+            # same timestamp) must not re-enter a finished generator.
+            return
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self._generator.send(event._value)
+            else:
+                event.defuse()
+                target = self._generator.throw(event._exception)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as interrupt:
+            # Interrupt escaped the generator: treat as clean termination.
+            self.succeed(interrupt.cause)
+            return
+        except BaseException as exc:  # noqa: BLE001 - kernel boundary
+            self.fail(exc)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, (int, float)):
+            target = self.sim.timeout(float(target))
+        if not isinstance(target, Event):
+            error = TypeError(
+                f"process {self.name!r} yielded {target!r}; expected Event, Process or number"
+            )
+            self.fail(error)
+            return
+        if target.sim is not self.sim:
+            self.fail(SimulationError("yielded event belongs to a different simulator"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    # ------------------------------------------------------------- interrupts
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a terminated process is a no-op, making cleanup code
+        simple ("interrupt all attempts" is always safe).
+        """
+        if self.triggered:
+            return
+        event = Event(self.sim)
+        event._triggered = True
+        event._exception = Interrupt(cause)
+        # Detach from whatever it was waiting on: the stale callback must not
+        # resume a process that has moved on (or died) in the meantime.
+        waiting = self._waiting_on
+        if waiting is not None and waiting._callbacks is not None:
+            try:
+                waiting._callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already dispatched
+                pass
+        event.add_callback(self._resume)
+        event.defuse()
+        self.sim._schedule_dispatch(event)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name!r} {state}>"

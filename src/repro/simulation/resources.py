@@ -1,0 +1,108 @@
+"""Queueing primitives built on the event kernel.
+
+:class:`Resource` models a counted resource with FIFO waiters (e.g. disk
+channels, network links).  :class:`Store` is an unbounded FIFO hand-off of
+Python objects between processes (e.g. heartbeat mailboxes).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List
+
+from .events import Event
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    Examples
+    --------
+    >>> # inside a process generator:
+    >>> # yield resource.request()
+    >>> # ... use it ...
+    >>> # resource.release()
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:  # noqa: F821
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently-held units."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of pending requests."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Return an event that succeeds when a unit is granted."""
+        event = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return one unit; hands it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError("release() without a matching request()")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a pending request; returns ``True`` if it was queued."""
+        try:
+            self._waiters.remove(event)
+            return True
+        except ValueError:
+            return False
+
+
+class Store:
+    """Unbounded FIFO store of items with blocking ``get``.
+
+    ``put`` never blocks; ``get`` returns an event carrying the item.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:  # noqa: F821
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> List[Any]:
+        """Snapshot of queued items (oldest first)."""
+        return list(self._items)
+
+    def put(self, item: Any) -> None:
+        """Add ``item``; wakes the oldest blocked getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that succeeds with the oldest item once one is available."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event

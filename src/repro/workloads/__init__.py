@@ -1,0 +1,26 @@
+"""Workload substrate: PUMA profiles, the MSD synthetic mix, arrivals."""
+
+from .benchmarks import GREP, PUMA, TERASORT, WORDCOUNT, profile_by_name, puma_job, standard_mix
+from .generator import TaskArrivalSpec, poisson_arrivals, uniform_job_stream
+from .msd import CLASS_SPECS, MSDConfig, class_histogram, generate_msd_workload
+from .profiles import SIZE_CLASSES, JobSpec, WorkloadProfile
+
+__all__ = [
+    "WorkloadProfile",
+    "JobSpec",
+    "SIZE_CLASSES",
+    "WORDCOUNT",
+    "GREP",
+    "TERASORT",
+    "PUMA",
+    "profile_by_name",
+    "puma_job",
+    "standard_mix",
+    "MSDConfig",
+    "generate_msd_workload",
+    "class_histogram",
+    "CLASS_SPECS",
+    "TaskArrivalSpec",
+    "poisson_arrivals",
+    "uniform_job_stream",
+]

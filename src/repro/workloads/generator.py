@@ -1,0 +1,102 @@
+"""Open-loop arrival generators for the motivation experiments.
+
+The Section II case study submits *tasks* (not whole jobs) to a machine at a
+controlled rate and measures throughput-per-watt.  :class:`TaskArrivalSpec`
+describes such an open-loop experiment; :func:`poisson_arrivals` produces
+the timestamp sequence.  Whole-job arrival mixes are also provided for the
+multi-job evaluation scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .benchmarks import profile_by_name
+from .profiles import JobSpec, WorkloadProfile
+
+__all__ = ["TaskArrivalSpec", "poisson_arrivals", "uniform_job_stream"]
+
+
+@dataclass(frozen=True)
+class TaskArrivalSpec:
+    """An open-loop stream of single-block tasks of one application.
+
+    Parameters
+    ----------
+    profile:
+        Application whose map-task shape the stream uses.
+    rate_per_min:
+        Mean task arrival rate (tasks/minute).
+    duration_s:
+        Length of the arrival window.
+    """
+
+    profile: WorkloadProfile
+    rate_per_min: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.rate_per_min <= 0:
+            raise ValueError("arrival rate must be positive")
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+
+    @property
+    def expected_tasks(self) -> float:
+        """Mean number of arrivals in the window."""
+        return self.rate_per_min * self.duration_s / 60.0
+
+
+def poisson_arrivals(
+    rate_per_min: float,
+    duration_s: float,
+    rng: np.random.Generator,
+) -> List[float]:
+    """Poisson arrival timestamps (seconds) over ``[0, duration_s)``."""
+    if rate_per_min <= 0:
+        raise ValueError("arrival rate must be positive")
+    rate_per_s = rate_per_min / 60.0
+    times: List[float] = []
+    t = float(rng.exponential(1.0 / rate_per_s))
+    while t < duration_s:
+        times.append(t)
+        t += float(rng.exponential(1.0 / rate_per_s))
+    return times
+
+
+def uniform_job_stream(
+    applications: Sequence[str],
+    jobs_per_app: int,
+    input_gb: float,
+    mean_interarrival_s: float,
+    rng: np.random.Generator,
+) -> List[JobSpec]:
+    """A shuffled stream of equal-sized jobs across ``applications``.
+
+    Used by the exchange-strategy and convergence experiments, which need a
+    controllable number of *homogeneous* jobs (Fig. 11(b)).
+    """
+    if jobs_per_app < 1:
+        raise ValueError("jobs_per_app must be >= 1")
+    names = [name for name in applications for _ in range(jobs_per_app)]
+    rng.shuffle(names)
+    jobs: List[JobSpec] = []
+    submit = 0.0
+    for index, name in enumerate(names):
+        profile = profile_by_name(name)
+        submit += float(rng.exponential(mean_interarrival_s))
+        input_mb = input_gb * 1024.0
+        num_reduces = max(1, int(round(input_mb / 64.0 / 8.0)))
+        jobs.append(
+            JobSpec(
+                profile=profile,
+                input_mb=input_mb,
+                num_reduces=num_reduces,
+                submit_time=submit,
+                name=f"{name}-{index:03d}",
+            )
+        )
+    return jobs

@@ -1,0 +1,46 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.cluster import ATOM, Cluster, DESKTOP, Network, T420
+from repro.hadoop import BlockPlacer, HadoopConfig, JobTracker, TaskTracker
+from repro.noise import NO_NOISE
+from repro.schedulers import FifoScheduler
+from repro.simulation import RandomStreams, Simulator
+from repro.workloads import JobSpec, WORDCOUNT
+
+
+SMALL_FLEET = [(DESKTOP, 2), (T420, 1), (ATOM, 1)]
+
+
+def build_stack(scheduler=None, fleet=None, config=None, noise=NO_NOISE, seed=0):
+    """Wire sim + cluster + JobTracker + TaskTrackers for unit tests."""
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    cluster = Cluster(sim, fleet or SMALL_FLEET, Network())
+    config = config or HadoopConfig()
+    placer = BlockPlacer(cluster, config.replication, streams.stream("hdfs"))
+    scheduler = scheduler or FifoScheduler()
+    jobtracker = JobTracker(sim, cluster, config, scheduler, placer, skew_noise=noise)
+    trackers = []
+    for machine in cluster:
+        tracker = TaskTracker(
+            sim, machine, config, noise=noise, rng=streams.stream(f"tt{machine.machine_id}")
+        )
+        tracker.start(jobtracker)
+        trackers.append(tracker)
+    return sim, cluster, jobtracker, trackers
+
+
+def wordcount_spec(num_maps=4, num_reduces=1, submit_time=0.0):
+    return JobSpec(
+        profile=WORDCOUNT,
+        input_mb=num_maps * 64.0,
+        num_reduces=num_reduces,
+        submit_time=submit_time,
+    )
+
+
+@pytest.fixture
+def stack():
+    return build_stack()

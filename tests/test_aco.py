@@ -1,0 +1,77 @@
+"""Construction-graph ACO solver tests (Table II / Eq. 1)."""
+
+import pytest
+
+from repro.core import AcoSolver, AssignmentProblem, brute_force_best
+
+
+def table_ii_problem():
+    """A 3-machine x 4-task instance shaped like Table II."""
+    energy = [
+        [10.0, 40.0, 30.0, 25.0],
+        [20.0, 15.0, 35.0, 20.0],
+        [30.0, 25.0, 10.0, 30.0],
+    ]
+    return AssignmentProblem.from_matrix(energy, slots=[2, 2, 2])
+
+
+class TestAssignmentProblem:
+    def test_construction_graph_dimensions(self):
+        problem = table_ii_problem()
+        assert problem.num_machines == 3
+        assert problem.num_tasks == 4
+
+    def test_cost_of_assignment(self):
+        problem = table_ii_problem()
+        assert problem.cost([0, 1, 2, 1]) == pytest.approx(10 + 15 + 10 + 20)
+
+    def test_slot_feasibility(self):
+        problem = table_ii_problem()
+        assert problem.is_feasible([0, 0, 1, 2])
+        assert not problem.is_feasible([0, 0, 0, 1])  # 3 tasks on machine 0
+
+    def test_insufficient_slots_rejected(self):
+        with pytest.raises(ValueError):
+            AssignmentProblem.from_matrix([[1.0, 1.0, 1.0]], slots=[2])
+
+    def test_ragged_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            AssignmentProblem.from_matrix([[1.0, 2.0], [1.0]], slots=[2, 2])
+
+    def test_nonpositive_energy_rejected(self):
+        with pytest.raises(ValueError):
+            AssignmentProblem.from_matrix([[0.0]], slots=[1])
+
+
+class TestAcoSolver:
+    def test_finds_optimum_on_table_ii(self):
+        problem = table_ii_problem()
+        _best, best_cost = brute_force_best(problem)
+        solution = AcoSolver(n_ants=16, n_iterations=40, seed=0).solve(problem)
+        assert solution.cost == pytest.approx(best_cost)
+        assert problem.is_feasible(solution.assignment)
+
+    def test_respects_tight_slots(self):
+        # Only one slot per machine: the solution must be a permutation.
+        energy = [[1.0, 9.0, 9.0], [9.0, 1.0, 9.0], [9.0, 9.0, 1.0]]
+        problem = AssignmentProblem.from_matrix(energy, slots=[1, 1, 1])
+        solution = AcoSolver(seed=1).solve(problem)
+        assert sorted(solution.assignment) == [0, 1, 2]
+        assert solution.cost == pytest.approx(3.0)
+
+    def test_cost_trace_monotone_nonincreasing(self):
+        solution = AcoSolver(seed=2).solve(table_ii_problem())
+        trace = solution.cost_trace
+        assert all(a >= b for a, b in zip(trace, trace[1:]))
+
+    def test_deterministic_for_seed(self):
+        problem = table_ii_problem()
+        a = AcoSolver(seed=3).solve(problem)
+        b = AcoSolver(seed=3).solve(problem)
+        assert a.assignment == b.assignment
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AcoSolver(n_ants=0)
+        with pytest.raises(ValueError):
+            AcoSolver(rho=1.5)

@@ -1,0 +1,75 @@
+"""Task-analyzer tests (Eq. 2 feedback pipeline)."""
+
+import pytest
+
+from repro.cluster import Cluster, DESKTOP, T420
+from repro.core import TaskAnalyzer
+from repro.energy import TaskEnergyModel, UtilizationSample
+from repro.hadoop import TaskKind, TaskReport
+from repro.simulation import Simulator
+
+
+def make_report(machine_id=0, kind=TaskKind.MAP, samples=None, duration=10.0, util=0.1):
+    return TaskReport(
+        job_id=1,
+        job_name="wordcount-test",
+        pool="default",
+        resource_signature="cpu3:shuffle1",
+        task_id="j1-m-0000",
+        attempt_id="attempt_j1-m-0000_0",
+        kind=kind,
+        machine_id=machine_id,
+        start_time=0.0,
+        finish_time=duration,
+        avg_utilization=util,
+        samples=tuple(samples or []),
+        input_mb=64.0,
+        local=True,
+        phases={},
+    )
+
+
+@pytest.fixture
+def analyzer():
+    cluster = Cluster(Simulator(), [(DESKTOP, 1), (T420, 1)])
+    return TaskAnalyzer(cluster)
+
+
+class TestEstimates:
+    def test_estimate_uses_samples_when_present(self, analyzer):
+        samples = [UtilizationSample(0.2, 3.0), UtilizationSample(0.1, 2.0)]
+        report = make_report(samples=samples)
+        expected = TaskEnergyModel.for_spec(DESKTOP).estimate(samples)
+        assert analyzer.estimate(report) == pytest.approx(expected)
+
+    def test_estimate_falls_back_to_average(self, analyzer):
+        report = make_report(duration=10.0, util=0.25)
+        expected = TaskEnergyModel.for_spec(DESKTOP).estimate_from_average(0.25, 10.0)
+        assert analyzer.estimate(report) == pytest.approx(expected)
+
+    def test_machine_specific_models(self, analyzer):
+        desktop = analyzer.estimate(make_report(machine_id=0, util=0.1))
+        xeon = analyzer.estimate(make_report(machine_id=1, util=0.1))
+        assert desktop != xeon
+
+
+class TestBuffering:
+    def test_observe_buffers_feedback(self, analyzer):
+        analyzer.observe(make_report())
+        analyzer.observe(make_report(machine_id=1))
+        assert analyzer.pending_count == 2
+        drained = analyzer.drain()
+        assert len(drained) == 2
+        assert analyzer.pending_count == 0
+
+    def test_feedback_keys(self, analyzer):
+        analyzer.observe(make_report())
+        item = analyzer.drain()[0]
+        assert item.colony == (1, TaskKind.MAP)
+        assert item.job_group == ("cpu3:shuffle1", TaskKind.MAP)
+        assert item.energy_joules > 0
+
+    def test_history_kept_when_enabled(self, analyzer):
+        analyzer.keep_history = True
+        analyzer.observe(make_report())
+        assert len(analyzer.history) == 1

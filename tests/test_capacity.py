@@ -1,0 +1,79 @@
+"""Capacity Scheduler tests."""
+
+import pytest
+
+from repro.schedulers import CapacityScheduler
+from repro.workloads import JobSpec, WORDCOUNT
+
+from .conftest import build_stack
+
+
+def spec(pool, num_maps=20, submit_time=0.0):
+    return JobSpec(
+        profile=WORDCOUNT,
+        input_mb=num_maps * 64.0,
+        num_reduces=1,
+        pool=pool,
+        submit_time=submit_time,
+    )
+
+
+class TestConfiguration:
+    def test_capacities_normalized(self):
+        scheduler = CapacityScheduler({"etl": 3.0, "adhoc": 1.0})
+        total = sum(scheduler.capacities.values())
+        assert total == pytest.approx(1.0)
+        assert "default" in scheduler.capacities
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CapacityScheduler({"a": 0.0})
+
+
+class TestSharing:
+    def test_guaranteed_share_respected_under_contention(self):
+        scheduler = CapacityScheduler({"etl": 0.75, "adhoc": 0.25})
+        sim, _cluster, jt, _trackers = build_stack(scheduler=scheduler)
+        jt.expect_jobs(2)
+        etl = jt.submit(spec("etl", num_maps=60))
+        adhoc = jt.submit(spec("adhoc", num_maps=60))
+        sim.run(until=40.0)
+        # Both queues make progress; etl holds roughly triple the slots.
+        assert etl.running_maps > 0 and adhoc.running_maps > 0
+        assert etl.running_maps > adhoc.running_maps
+
+    def test_elastic_borrowing_when_queue_idle(self):
+        scheduler = CapacityScheduler({"etl": 0.5, "adhoc": 0.5})
+        sim, cluster, jt, _trackers = build_stack(scheduler=scheduler)
+        jt.expect_jobs(1)
+        only = jt.submit(spec("etl", num_maps=80))
+        sim.run(until=30.0)
+        map_slots, _ = cluster.total_slots()
+        # With adhoc idle, etl borrows the whole pool.
+        assert only.running_maps == map_slots
+
+    def test_non_elastic_caps_at_guarantee(self):
+        scheduler = CapacityScheduler({"etl": 0.5, "adhoc": 0.5}, elastic=False)
+        sim, cluster, jt, _trackers = build_stack(scheduler=scheduler)
+        jt.expect_jobs(1)
+        only = jt.submit(spec("etl", num_maps=80))
+        sim.run(until=30.0)
+        map_slots, _ = cluster.total_slots()
+        assert only.running_maps <= scheduler.capacities["etl"] * map_slots + 1
+
+    def test_unknown_pool_falls_to_default(self):
+        scheduler = CapacityScheduler({"etl": 1.0})
+        sim, _cluster, jt, _trackers = build_stack(scheduler=scheduler)
+        jt.expect_jobs(1)
+        job = jt.submit(spec("mystery", num_maps=4))
+        sim.run()
+        assert job.is_done
+
+    def test_completes_mixed_workload(self):
+        scheduler = CapacityScheduler({"etl": 0.6, "adhoc": 0.4})
+        sim, _cluster, jt, _trackers = build_stack(scheduler=scheduler)
+        jt.expect_jobs(3)
+        for pool, t in (("etl", 0.0), ("adhoc", 10.0), ("etl", 20.0)):
+            jt.submit(spec(pool, num_maps=12, submit_time=t))
+        sim.run()
+        assert len(jt.completed_jobs) == 3

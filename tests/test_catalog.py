@@ -1,0 +1,91 @@
+"""Catalog tests: Table I identities and the calibration invariants the
+figures depend on."""
+
+import pytest
+
+from repro.cluster import (
+    ATOM,
+    CATALOG,
+    CORE_I7,
+    DESKTOP,
+    T110,
+    T320,
+    T420,
+    T620,
+    XEON_E5,
+    paper_fleet,
+    spec_by_name,
+)
+from repro.energy import TaskEnergyModel
+from repro.workloads import GREP, TERASORT, WORDCOUNT
+
+
+def map_task_energy(spec, profile):
+    """Eq. 2 energy of one node-local map task on an idle machine."""
+    duration = profile.map_cpu_seconds / spec.cpu_speed + profile.map_io_seconds / spec.io_speed
+    busy = (profile.map_cpu_seconds / spec.cpu_speed) / duration
+    utilization = busy / spec.cores
+    return TaskEnergyModel.for_spec(spec).estimate_from_average(utilization, duration)
+
+
+class TestTableI:
+    def test_table_i_machines(self):
+        assert DESKTOP.cores == 8 and DESKTOP.memory_gb == 16
+        assert T420.cores == 24 and T420.memory_gb == 32
+
+    def test_aliases_resolve(self):
+        assert XEON_E5 is T420
+        assert CORE_I7 is DESKTOP
+        assert spec_by_name("Xeon E5") is T420
+        assert spec_by_name("core-i7") is DESKTOP
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            spec_by_name("cray")
+
+    def test_catalog_is_complete(self):
+        assert set(CATALOG) == {"Desktop", "Atom", "T110", "T320", "T420", "T620"}
+
+
+class TestPaperFleet:
+    def test_section_vb_counts(self):
+        fleet = dict((spec.model, count) for spec, count in paper_fleet())
+        assert fleet == {"Desktop": 8, "T110": 3, "T420": 2, "T620": 1, "T320": 1, "Atom": 1}
+        assert sum(count for _spec, count in paper_fleet()) == 16
+
+    def test_slot_configuration(self):
+        for spec, _count in paper_fleet():
+            assert spec.map_slots == 4
+            assert spec.reduce_slots == 2
+
+
+class TestCalibrationInvariants:
+    """The energy relationships that drive the paper's figures."""
+
+    def test_desktop_low_idle_steep_slope_vs_xeon(self):
+        # Fig. 1(b): the Xeon's power is idle-dominated, the i7's dynamic.
+        assert DESKTOP.power.idle_watts < T420.power.idle_watts
+        assert DESKTOP.power.alpha_watts > T420.power.alpha_watts
+
+    def test_t420_cheapest_for_cpu_bound(self):
+        # Fig. 9(a): compute-optimized machines win CPU-bound tasks.
+        energies = {spec.model: map_task_energy(spec, WORDCOUNT) for spec in CATALOG.values()}
+        assert min(energies, key=energies.get) == "T420"
+
+    def test_desktop_or_atom_cheapest_for_io_bound(self):
+        # Fig. 9(a): wimpier machines win IO-bound tasks.
+        for profile in (GREP, TERASORT):
+            energies = {spec.model: map_task_energy(spec, profile) for spec in CATALOG.values()}
+            # The wimpy/commodity tier wins; compute-optimized servers lose.
+            assert min(energies, key=energies.get) in ("Desktop", "Atom", "T110")
+            assert energies["T420"] > min(energies.values())
+            assert energies["T620"] > min(energies.values())
+
+    def test_atom_full_load_far_below_desktop(self):
+        # The Section I anecdote: the Atom's full-load power is a fraction
+        # of the desktop's.
+        assert ATOM.power.full_load_watts < 0.3 * DESKTOP.power.full_load_watts
+
+    def test_hardware_signatures_group_identical_machines(self):
+        assert DESKTOP.hardware_signature() == CORE_I7.hardware_signature()
+        assert DESKTOP.hardware_signature() != T110.hardware_signature()

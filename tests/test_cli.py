@@ -1,0 +1,42 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["catalog"]).command == "catalog"
+        args = parser.parse_args(["run", "--scheduler", "fair", "--jobs", "grep:2"])
+        assert args.scheduler == "fair"
+        assert parser.parse_args(["figure", "fig6"]).name == "fig6"
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_catalog(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "Desktop" in out and "T420" in out and "paper fleet" in out
+
+    def test_run_small_job(self, capsys):
+        assert main(["run", "--scheduler", "fifo", "--jobs", "grep:1", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "total energy" in out
+
+    def test_run_rejects_unknown_app(self, capsys):
+        assert main(["run", "--jobs", "hive:1"]) == 2
+
+    def test_figure_fig6_outputs_rows(self, capsys):
+        assert main(["figure", "fig6"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 3  # one row per locality fraction

@@ -1,0 +1,65 @@
+"""Convergence-detector tests (Section VI-C stability criterion)."""
+
+import pytest
+
+from repro.core import ConvergenceDetector, distribution_overlap
+
+
+class TestOverlap:
+    def test_identical_distributions(self):
+        assert distribution_overlap({0: 5, 1: 5}, {0: 10, 1: 10}) == pytest.approx(1.0)
+
+    def test_disjoint_distributions(self):
+        assert distribution_overlap({0: 5}, {1: 5}) == 0.0
+
+    def test_partial_overlap(self):
+        assert distribution_overlap({0: 8, 1: 2}, {0: 2, 1: 8}) == pytest.approx(0.4)
+
+    def test_empty_side_is_zero(self):
+        assert distribution_overlap({}, {0: 3}) == 0.0
+
+
+class TestDetector:
+    def test_converges_when_assignment_stabilizes(self):
+        detector = ConvergenceDetector(threshold=0.8)
+        for machine in (0, 0, 1):
+            detector.record_assignment("j", machine, now=10.0)
+        detector.close_interval(100.0)
+        for machine in (0, 0, 1):
+            detector.record_assignment("j", machine, now=110.0)
+        detector.close_interval(200.0)
+        assert detector.converged_at["j"] == 200.0
+        assert detector.convergence_time("j") == pytest.approx(190.0)
+
+    def test_no_convergence_while_distribution_shifts(self):
+        detector = ConvergenceDetector(threshold=0.8)
+        detector.record_assignment("j", 0, now=0.0)
+        detector.close_interval(100.0)
+        detector.record_assignment("j", 1, now=150.0)
+        detector.close_interval(200.0)
+        assert "j" not in detector.converged_at
+        assert detector.convergence_time("j") is None
+
+    def test_first_crossing_recorded_once(self):
+        detector = ConvergenceDetector(threshold=0.5)
+        for interval_end in (100.0, 200.0, 300.0):
+            detector.record_assignment("j", 0, now=interval_end - 50)
+            detector.close_interval(interval_end)
+        assert detector.converged_at["j"] == 200.0
+
+    def test_mean_convergence_time(self):
+        detector = ConvergenceDetector(threshold=0.5)
+        for colony in ("a", "b"):
+            detector.record_assignment(colony, 0, now=0.0)
+        detector.close_interval(100.0)
+        for colony in ("a", "b"):
+            detector.record_assignment(colony, 0, now=150.0)
+        detector.close_interval(200.0)
+        assert detector.mean_convergence_time() == pytest.approx(200.0)
+
+    def test_mean_none_without_convergence(self):
+        assert ConvergenceDetector().mean_convergence_time() is None
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ConvergenceDetector(threshold=0.0)

@@ -1,0 +1,107 @@
+"""E-Ant scheduler integration tests."""
+
+import pytest
+
+from repro.core import EAntConfig, EAntScheduler
+from repro.hadoop import HadoopConfig, TaskKind
+from repro.simulation import RandomStreams
+from repro.workloads import GREP, JobSpec, WORDCOUNT
+
+from .conftest import build_stack, wordcount_spec
+
+FAST = HadoopConfig(control_interval=60.0)
+
+
+def eant_stack(config=None, hadoop=FAST, seed=0):
+    scheduler = EAntScheduler(
+        config=config or EAntConfig(),
+        rng=RandomStreams(seed).stream("eant"),
+    )
+    return build_stack(scheduler=scheduler, config=hadoop, seed=seed)
+
+
+class TestLifecycle:
+    def test_colonies_created_and_dropped(self):
+        sim, _cluster, jt, _trackers = eant_stack()
+        scheduler = jt.scheduler
+        jt.expect_jobs(1)
+        job = jt.submit(wordcount_spec(num_maps=4, num_reduces=1))
+        assert (job.job_id, TaskKind.MAP) in scheduler.pheromones.colonies
+        sim.run()
+        # After completion + the next control tick, colonies are gone.
+        assert (job.job_id, TaskKind.MAP) not in scheduler.pheromones.colonies
+
+    def test_completes_workload(self):
+        sim, _cluster, jt, _trackers = eant_stack()
+        jt.expect_jobs(2)
+        jt.submit(wordcount_spec(num_maps=10, num_reduces=2))
+        jt.submit(JobSpec(profile=GREP, input_mb=640.0, num_reduces=2, submit_time=30.0))
+        sim.run()
+        assert len(jt.completed_jobs) == 2
+
+    def test_first_interval_fills_slots_like_default(self):
+        """Before any pheromone update E-Ant must not idle slots."""
+        sim, _cluster, jt, _trackers = eant_stack()
+        jt.expect_jobs(1)
+        job = jt.submit(wordcount_spec(num_maps=40, num_reduces=0))
+        sim.run(until=30.0)
+        total_map_slots = sum(m.spec.map_slots for m in jt.cluster)
+        assert job.running_maps == total_map_slots
+
+
+class TestAdaptation:
+    def test_learns_wordcount_preference_for_t420(self):
+        """After several control intervals, the wordcount job group's
+        pheromone must rank the T420 above the Atom (Fig. 9(a))."""
+        sim, cluster, jt, _trackers = eant_stack(seed=1)
+        scheduler = jt.scheduler
+        jobs = [wordcount_spec(num_maps=30, num_reduces=1, submit_time=i * 50.0) for i in range(6)]
+        jt.expect_jobs(len(jobs))
+        for spec in jobs:
+            jt.submit(spec)
+        sim.run()
+        group = (WORDCOUNT.resource_signature(), TaskKind.MAP)
+        profile = scheduler.pheromones.group_profile(group)
+        assert profile, "group profile should exist after completed jobs"
+        t420_ids = [m.machine_id for m in cluster.machines_of_type("T420")]
+        atom_ids = [m.machine_id for m in cluster.machines_of_type("Atom")]
+        t420_tau = sum(profile[m] for m in t420_ids) / len(t420_ids)
+        atom_tau = sum(profile[m] for m in atom_ids) / len(atom_ids)
+        assert t420_tau > atom_tau
+
+    def test_intervals_counted(self):
+        sim, _cluster, jt, _trackers = eant_stack()
+        jt.expect_jobs(1)
+        jt.submit(wordcount_spec(num_maps=30, num_reduces=1))
+        sim.run()
+        assert jt.scheduler.intervals_elapsed >= 1
+
+    def test_slot_telemetry_consistent(self):
+        sim, _cluster, jt, _trackers = eant_stack()
+        jt.expect_jobs(1)
+        jt.submit(wordcount_spec(num_maps=20, num_reduces=2))
+        sim.run()
+        stats = jt.scheduler.slot_stats
+        assert stats["map_filled"] == 20
+        assert stats["reduce_filled"] == 2
+        assert stats["map_offered"] >= stats["map_filled"]
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EAntConfig(beta=-0.1)
+        with pytest.raises(ValueError):
+            EAntConfig(rho=0.0)
+        with pytest.raises(ValueError):
+            EAntConfig(min_acceptance=1.5)
+        with pytest.raises(ValueError):
+            EAntConfig(candidates_per_slot=0)
+
+    def test_with_exchange_copies(self):
+        from repro.core import ExchangeLevel
+
+        config = EAntConfig()
+        variant = config.with_exchange(ExchangeLevel.NONE)
+        assert variant.exchange == ExchangeLevel.NONE
+        assert config.exchange == ExchangeLevel.BOTH

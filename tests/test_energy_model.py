@@ -1,0 +1,91 @@
+"""Eq. 2 estimator tests: window sampling, closed form, phase chopping."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import DESKTOP, T420
+from repro.energy import (
+    SampledTrace,
+    TaskEnergyModel,
+    UtilizationSample,
+    estimate_task_energy,
+    samples_from_phases,
+)
+
+
+class TestTaskEnergyModel:
+    def test_idle_share_is_idle_over_mslot(self):
+        model = TaskEnergyModel.for_spec(T420)
+        assert model.idle_share_watts == pytest.approx(T420.power.idle_watts / 6)
+
+    def test_estimate_sums_sample_windows(self):
+        model = TaskEnergyModel(idle_watts=60.0, alpha_watts=120.0, total_slots=6)
+        samples = [UtilizationSample(0.1, 3.0), UtilizationSample(0.2, 1.5)]
+        expected = (10.0 + 12.0) * 3.0 + (10.0 + 24.0) * 1.5
+        assert model.estimate(samples) == pytest.approx(expected)
+
+    def test_closed_form_equals_window_sum_for_constant_util(self):
+        model = TaskEnergyModel.for_spec(DESKTOP)
+        trace = SampledTrace(duration=17.0).fill_constant(0.11)
+        assert model.estimate(trace.samples) == pytest.approx(
+            model.estimate_from_average(0.11, 17.0)
+        )
+
+    def test_estimate_task_energy_helper(self):
+        samples = [UtilizationSample(0.05, 3.0)]
+        direct = TaskEnergyModel.for_spec(DESKTOP).estimate(samples)
+        assert estimate_task_energy(DESKTOP, samples) == pytest.approx(direct)
+
+    def test_negative_duration_rejected(self):
+        model = TaskEnergyModel.for_spec(DESKTOP)
+        with pytest.raises(ValueError):
+            model.estimate_from_average(0.1, -1.0)
+
+
+class TestSamplesFromPhases:
+    def test_total_duration_preserved(self):
+        samples = samples_from_phases([(7.0, 0.2), (5.0, 0.8)], delta_t=3.0)
+        assert sum(s.duration for s in samples) == pytest.approx(12.0)
+
+    def test_window_spanning_boundary_is_time_weighted(self):
+        # One 3 s window covers 2 s at 0.0 and 1 s at 0.9.
+        samples = samples_from_phases([(2.0, 0.0), (1.0, 0.9)], delta_t=3.0)
+        assert len(samples) == 1
+        assert samples[0].utilization == pytest.approx(0.3)
+
+    def test_energy_from_samples_matches_exact_integral(self):
+        phases = [(4.0, 0.1), (9.0, 0.5), (2.0, 0.05)]
+        model = TaskEnergyModel(idle_watts=60.0, alpha_watts=100.0, total_slots=6)
+        samples = samples_from_phases(phases, delta_t=3.0)
+        exact = sum(
+            (model.idle_share_watts + model.alpha_watts * u) * d for d, u in phases
+        )
+        assert model.estimate(samples) == pytest.approx(exact)
+
+    def test_noise_factor_applied_per_window(self):
+        factors = iter([2.0, 0.5, 1.0, 1.0, 1.0])
+        samples = samples_from_phases(
+            [(6.0, 0.4)], delta_t=3.0, noise_factor=lambda: next(factors)
+        )
+        assert samples[0].utilization == pytest.approx(0.8)
+        assert samples[1].utilization == pytest.approx(0.2)
+
+    def test_zero_duration_phases_skipped(self):
+        samples = samples_from_phases([(0.0, 0.9), (3.0, 0.1)], delta_t=3.0)
+        assert len(samples) == 1
+        assert samples[0].utilization == pytest.approx(0.1)
+
+    def test_invalid_delta_t(self):
+        with pytest.raises(ValueError):
+            samples_from_phases([(1.0, 0.1)], delta_t=0.0)
+
+
+class TestSampledTrace:
+    def test_windows_cover_duration(self):
+        trace = SampledTrace(duration=10.0, delta_t=3.0)
+        assert trace.windows() == pytest.approx([3.0, 3.0, 3.0, 1.0])
+
+    def test_noisy_fill_is_nonnegative(self):
+        rng = np.random.default_rng(0)
+        trace = SampledTrace(duration=30.0).fill_noisy(0.2, sigma=1.0, rng=rng)
+        assert all(s.utilization >= 0 for s in trace.samples)

@@ -1,0 +1,56 @@
+"""System identification (least squares) and NRMSE tests."""
+
+import numpy as np
+import pytest
+
+from repro.energy import fit_power_model, nrmse, rmse
+
+
+class TestFitPowerModel:
+    def test_exact_recovery_on_clean_data(self):
+        u = np.linspace(0, 1, 20)
+        p = 55.0 + 45.0 * u
+        model = fit_power_model(u, p)
+        assert model.idle_watts == pytest.approx(55.0)
+        assert model.alpha_watts == pytest.approx(45.0)
+
+    def test_noisy_recovery_close(self):
+        rng = np.random.default_rng(1)
+        u = rng.uniform(0, 1, 500)
+        p = 80.0 + 60.0 * u + rng.normal(0, 2.0, 500)
+        model = fit_power_model(u, p)
+        assert model.idle_watts == pytest.approx(80.0, abs=1.0)
+        assert model.alpha_watts == pytest.approx(60.0, abs=2.0)
+
+    def test_constant_utilization_unidentifiable(self):
+        with pytest.raises(ValueError):
+            fit_power_model([0.5, 0.5, 0.5], [100.0, 101.0, 99.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fit_power_model([0.1, 0.2], [100.0])
+
+    def test_negative_fit_clamped(self):
+        # Data sloping down would fit a negative alpha; it is clamped to 0.
+        model = fit_power_model([0.0, 1.0], [100.0, 50.0])
+        assert model.alpha_watts == 0.0
+
+
+class TestErrorMetrics:
+    def test_rmse_zero_for_identical(self):
+        assert rmse([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_rmse_hand_value(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_nrmse_normalizes_by_range(self):
+        actual = [0.0, 10.0]
+        estimated = [1.0, 11.0]
+        assert nrmse(actual, estimated) == pytest.approx(0.1)
+
+    def test_nrmse_constant_actual_falls_back_to_mean(self):
+        assert nrmse([5.0, 5.0], [6.0, 4.0]) == pytest.approx(1.0 / 5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rmse([], [])

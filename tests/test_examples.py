@@ -1,0 +1,43 @@
+"""Smoke tests keeping the example scripts in sync with the API."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "Energy by machine type" in out
+    assert "Per-job results" in out
+
+
+def test_msd_comparison_runs_small(capsys):
+    run_example("msd_scheduler_comparison.py", ["12", "5"])
+    out = capsys.readouterr().out
+    assert "E-Ant total-energy saving" in out
+    assert "Fig 9" in out
+
+
+def test_all_examples_exist():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "msd_scheduler_comparison.py",
+        "energy_model_validation.py",
+        "custom_scheduler.py",
+        "noise_and_exchange.py",
+    } <= names

@@ -1,0 +1,42 @@
+"""Tests for the Fig. 10 measurement internals."""
+
+import pytest
+
+from repro.cluster import Cluster, DESKTOP
+from repro.energy import ClusterMeter
+from repro.experiments.exchange import _cumulative_energy
+from repro.simulation import Simulator
+
+
+def make_meter_with_readings():
+    sim = Simulator()
+    cluster = Cluster(sim, [(DESKTOP, 1)])
+    meter = ClusterMeter(cluster, sample_interval=10.0)
+    stop = {"flag": False}
+    meter.attach(sim, stop_when=lambda: stop["flag"])
+    sim.call_at(35.0, lambda: stop.__setitem__("flag", True))
+    sim.run()
+    return meter
+
+
+class TestCumulativeEnergy:
+    def test_interpolates_last_reading(self):
+        meter = make_meter_with_readings()
+        idle = DESKTOP.power.idle_watts
+        values = _cumulative_energy(meter, [10.0, 20.0, 40.0])
+        assert values[0] == pytest.approx(idle * 10.0 / 1000.0)
+        assert values[1] == pytest.approx(idle * 20.0 / 1000.0)
+
+    def test_extrapolates_idle_after_run_ends(self):
+        meter = make_meter_with_readings()
+        idle = DESKTOP.power.idle_watts
+        # Final reading at t=40; asking at t=100 must extend at idle power.
+        value_100 = _cumulative_energy(meter, [100.0])[0]
+        value_40 = _cumulative_energy(meter, [40.0])[0]
+        assert value_100 == pytest.approx(value_40 + idle * 60.0 / 1000.0)
+
+    def test_monotone_nondecreasing(self):
+        meter = make_meter_with_readings()
+        times = [5.0, 15.0, 25.0, 50.0, 200.0]
+        values = _cumulative_energy(meter, times)
+        assert values == sorted(values)

@@ -1,0 +1,91 @@
+"""TaskTracker failure and task re-execution tests."""
+
+import pytest
+
+from repro.hadoop import HadoopConfig
+
+from .conftest import build_stack, wordcount_spec
+
+
+def crash_stack(expiry=20.0):
+    return build_stack(config=HadoopConfig(tracker_expiry=expiry))
+
+
+class TestCrashRecovery:
+    def test_job_completes_despite_crash(self):
+        sim, _cluster, jt, trackers = crash_stack()
+        jt.expect_jobs(1)
+        job = jt.submit(wordcount_spec(num_maps=24, num_reduces=2))
+        sim.call_at(10.0, trackers[0].crash)
+        sim.run()
+        assert job.is_done
+        assert job.completed_maps == 24
+
+    def test_crashed_tracker_is_expired(self):
+        sim, _cluster, jt, trackers = crash_stack()
+        jt.expect_jobs(1)
+        jt.submit(wordcount_spec(num_maps=24, num_reduces=1))
+        sim.call_at(10.0, trackers[0].crash)
+        sim.run()
+        assert trackers[0].machine.machine_id in jt.expired_trackers
+        assert trackers[0].machine.machine_id not in jt.trackers
+
+    def test_tasks_rerun_on_other_machines(self):
+        sim, _cluster, jt, trackers = crash_stack()
+        jt.expect_jobs(1)
+        job = jt.submit(wordcount_spec(num_maps=24, num_reduces=0))
+        crashed_id = trackers[0].machine.machine_id
+        sim.call_at(10.0, trackers[0].crash)
+        sim.run()
+        # Some task lost to the crash has a later attempt elsewhere.
+        rerun = [
+            t for t in job.maps
+            if len(t.attempts) >= 2 and t.attempts[0].machine_id == crashed_id
+        ]
+        assert rerun
+        for task in rerun:
+            winner = [a for a in task.attempts if a.succeeded]
+            assert winner and winner[0].machine_id != crashed_id
+
+    def test_crashed_node_reports_nothing(self):
+        sim, _cluster, jt, trackers = crash_stack()
+        jt.expect_jobs(1)
+        jt.submit(wordcount_spec(num_maps=24, num_reduces=0))
+        crashed_id = trackers[0].machine.machine_id
+        sim.call_at(10.0, trackers[0].crash)
+        sim.run()
+        # No successful report may carry the crashed machine's id after the
+        # crash instant.
+        for report in jt.reports:
+            if report.machine_id == crashed_id:
+                assert report.finish_time <= 10.0
+
+    def test_machine_load_released_on_crash(self):
+        sim, cluster, jt, trackers = crash_stack()
+        jt.expect_jobs(1)
+        jt.submit(wordcount_spec(num_maps=24, num_reduces=0))
+        machine = trackers[0].machine
+        sim.call_at(10.0, trackers[0].crash)
+        sim.run(until=12.0)
+        # Interrupted attempts removed their CPU/IO load via finally blocks.
+        assert machine.busy_cpu == pytest.approx(0.0)
+        assert machine.io_active == 0
+
+    def test_expiry_disabled_means_job_hangs(self):
+        sim, _cluster, jt, trackers = build_stack(
+            config=HadoopConfig(tracker_expiry=0.0)
+        )
+        jt.expect_jobs(1)
+        job = jt.submit(wordcount_spec(num_maps=4, num_reduces=0))
+        # Crash immediately so tasks assigned at the first heartbeats die.
+        sim.call_at(4.0, trackers[0].crash)
+        sim.run(until=500.0)
+        # Without expiry the lost tasks are never requeued; the job can
+        # only finish if the crashed node happened to hold none of them.
+        lost = [
+            t for t in job.maps
+            if t.attempts and t.attempts[-1].machine_id == trackers[0].machine.machine_id
+            and t.state.value == "running"
+        ]
+        if lost:
+            assert not job.is_done

@@ -1,0 +1,55 @@
+"""Fairness metric tests (Section VI-D definitions)."""
+
+import pytest
+
+from repro.cluster import Cluster, paper_fleet
+from repro.hadoop import HadoopConfig
+from repro.metrics import (
+    estimate_standalone_jct,
+    fairness_from_slowdowns,
+    jains_index,
+    slowdown,
+)
+from repro.simulation import Simulator
+from repro.workloads import puma_job
+
+
+class TestSlowdown:
+    def test_ratio(self):
+        assert slowdown(200.0, 100.0) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            slowdown(10.0, 0.0)
+
+
+class TestFairness:
+    def test_equal_slowdowns_are_maximally_fair(self):
+        uniform = fairness_from_slowdowns([2.0, 2.0, 2.0])
+        skewed = fairness_from_slowdowns([1.0, 2.0, 6.0])
+        assert uniform > skewed
+
+    def test_jains_bounds(self):
+        assert jains_index([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+        n = 4
+        assert jains_index([1.0] + [1e-9] * (n - 1)) == pytest.approx(1.0 / n, abs=0.01)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fairness_from_slowdowns([])
+
+
+class TestStandaloneEstimate:
+    def test_scales_with_input(self):
+        cluster = Cluster(Simulator(), paper_fleet())
+        config = HadoopConfig()
+        small = estimate_standalone_jct(puma_job("wordcount", 1.0), cluster, config)
+        large = estimate_standalone_jct(puma_job("wordcount", 10.0), cluster, config)
+        assert large > small > 0
+
+    def test_cpu_bound_app_slower_than_io_bound(self):
+        cluster = Cluster(Simulator(), paper_fleet())
+        config = HadoopConfig()
+        wc = estimate_standalone_jct(puma_job("wordcount", 5.0), cluster, config)
+        grep = estimate_standalone_jct(puma_job("grep", 5.0), cluster, config)
+        assert wc > grep

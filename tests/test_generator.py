@@ -1,0 +1,56 @@
+"""Arrival generators: Poisson streams and uniform job streams."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import RandomStreams
+from repro.workloads import TaskArrivalSpec, WORDCOUNT, poisson_arrivals, uniform_job_stream
+
+
+class TestPoissonArrivals:
+    def test_all_within_window(self):
+        rng = np.random.default_rng(0)
+        times = poisson_arrivals(30.0, 600.0, rng)
+        assert all(0 <= t < 600.0 for t in times)
+        assert times == sorted(times)
+
+    def test_rate_approximately_respected(self):
+        rng = np.random.default_rng(1)
+        times = poisson_arrivals(60.0, 3600.0, rng)
+        # 3600 expected arrivals; Poisson std ~60.
+        assert 3300 <= len(times) <= 3900
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, 10.0, np.random.default_rng(0))
+
+
+class TestTaskArrivalSpec:
+    def test_expected_tasks(self):
+        spec = TaskArrivalSpec(profile=WORDCOUNT, rate_per_min=12.0, duration_s=300.0)
+        assert spec.expected_tasks == pytest.approx(60.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskArrivalSpec(profile=WORDCOUNT, rate_per_min=-1.0, duration_s=10.0)
+
+
+class TestUniformJobStream:
+    def test_counts_per_application(self):
+        rng = RandomStreams(0).stream("jobs")
+        jobs = uniform_job_stream(("wordcount", "grep"), 5, 2.0, 30.0, rng)
+        names = [j.profile.name for j in jobs]
+        assert names.count("wordcount") == 5
+        assert names.count("grep") == 5
+
+    def test_monotone_submissions(self):
+        rng = RandomStreams(0).stream("jobs")
+        jobs = uniform_job_stream(("terasort",), 8, 1.0, 10.0, rng)
+        times = [j.submit_time for j in jobs]
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    def test_invalid_count(self):
+        rng = RandomStreams(0).stream("jobs")
+        with pytest.raises(ValueError):
+            uniform_job_stream(("grep",), 0, 1.0, 10.0, rng)

@@ -1,0 +1,69 @@
+"""Experiment-harness tests: wiring, determinism, common random numbers."""
+
+import pytest
+
+from repro.experiments import make_scheduler, run_scenario
+from repro.simulation import RandomStreams
+from repro.workloads import puma_job
+
+
+class TestMakeScheduler:
+    def test_all_names_resolve(self):
+        streams = RandomStreams(0)
+        for name in ("fifo", "fair", "tarazu", "late", "e-ant"):
+            assert make_scheduler(name, streams).name in (name, "e-ant")
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_scheduler("yarn", RandomStreams(0))
+
+
+class TestRunScenario:
+    def test_runs_and_reports(self):
+        jobs = [puma_job("wordcount", 1.0), puma_job("grep", 1.0, submit_time=30.0)]
+        result = run_scenario(jobs, scheduler="fair", seed=1)
+        metrics = result.metrics
+        assert len(metrics.job_results) == 2
+        assert metrics.total_energy_joules > 0
+        assert metrics.makespan > 0
+        assert metrics.idle_energy_joules + metrics.dynamic_energy_joules == pytest.approx(
+            metrics.total_energy_joules
+        )
+
+    def test_deterministic_for_seed(self):
+        jobs = [puma_job("terasort", 2.0)]
+        a = run_scenario(jobs, scheduler="e-ant", seed=5).metrics
+        b = run_scenario(jobs, scheduler="e-ant", seed=5).metrics
+        assert a.total_energy_joules == pytest.approx(b.total_energy_joules)
+        assert a.makespan == pytest.approx(b.makespan)
+
+    def test_common_random_numbers_across_schedulers(self):
+        """Different schedulers see identical workload and block placement."""
+        jobs = [puma_job("wordcount", 1.0)]
+        a = run_scenario(jobs, scheduler="fifo", seed=2)
+        b = run_scenario(jobs, scheduler="fair", seed=2)
+        hosts_a = [t.preferred_hosts for t in a.jobtracker.completed_jobs[0].maps]
+        hosts_b = [t.preferred_hosts for t in b.jobtracker.completed_jobs[0].maps]
+        assert hosts_a == hosts_b
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            run_scenario([], scheduler="fair")
+
+    def test_eant_property_guard(self):
+        jobs = [puma_job("wordcount", 1.0)]
+        result = run_scenario(jobs, scheduler="fair", seed=0)
+        with pytest.raises(TypeError):
+            _ = result.eant
+
+    def test_meter_attaches_and_samples(self):
+        jobs = [puma_job("wordcount", 1.0)]
+        result = run_scenario(jobs, scheduler="fair", seed=0, with_meter=True, meter_interval=10.0)
+        assert result.meter is not None
+        assert result.meter.readings
+
+    def test_summary_renders(self):
+        jobs = [puma_job("grep", 1.0)]
+        metrics = run_scenario(jobs, scheduler="fair", seed=0).metrics
+        text = metrics.summary()
+        assert "fair" in text and "kJ" in text

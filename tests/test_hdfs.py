@@ -1,0 +1,73 @@
+"""HDFS block-placement tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, DESKTOP, T420, paper_fleet
+from repro.hadoop import BlockPlacer
+from repro.simulation import Simulator
+
+
+@pytest.fixture
+def placer():
+    cluster = Cluster(Simulator(), paper_fleet())
+    return BlockPlacer(cluster, replication=3, rng=np.random.default_rng(0))
+
+
+class TestPlacement:
+    def test_replicas_are_distinct_machines(self, placer):
+        for _ in range(50):
+            hosts = placer.place_block()
+            assert len(hosts) == 3
+            assert len(set(hosts)) == 3
+
+    def test_replication_capped_at_cluster_size(self):
+        cluster = Cluster(Simulator(), [(DESKTOP, 2)])
+        placer = BlockPlacer(cluster, replication=5, rng=np.random.default_rng(0))
+        assert len(placer.place_block()) == 2
+
+    def test_job_blocks_count(self, placer):
+        assert len(placer.place_job_blocks(17)) == 17
+
+    def test_placement_roughly_uniform(self, placer):
+        counts = {}
+        for hosts in placer.place_job_blocks(2000):
+            for h in hosts:
+                counts[h] = counts.get(h, 0) + 1
+        values = list(counts.values())
+        assert min(values) > 0.6 * max(values)
+
+
+class TestLocalityControl:
+    def test_local_fraction_respected(self, placer):
+        placements = placer.place_with_locality(100, 0.4)
+        local = sum(1 for p in placements if p)
+        assert local == 40
+
+    def test_fraction_bounds(self, placer):
+        with pytest.raises(ValueError):
+            placer.place_with_locality(10, 1.5)
+
+    def test_restricted_hosts(self, placer):
+        placements = placer.place_with_locality(50, 1.0, local_hosts=[0, 1, 2])
+        for hosts in placements:
+            assert set(hosts) <= {0, 1, 2}
+
+
+class TestRemoteSource:
+    def test_prefers_replica_host(self, placer):
+        source = placer.pick_remote_source((3, 4, 5), reader_id=7)
+        assert source in (3, 4, 5)
+
+    def test_excludes_reader(self, placer):
+        for _ in range(20):
+            assert placer.pick_remote_source((3, 4), reader_id=3) == 4
+
+    def test_empty_replicas_streams_from_elsewhere(self, placer):
+        source = placer.pick_remote_source((), reader_id=2)
+        assert source != 2
+
+    def test_single_machine_cluster_degenerates_to_local(self):
+        cluster = Cluster(Simulator(), [(T420, 1)])
+        placer = BlockPlacer(cluster, 3, np.random.default_rng(0))
+        assert placer.pick_remote_source((), reader_id=0) == 0

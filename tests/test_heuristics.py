@@ -1,0 +1,44 @@
+"""Eq. 7 heuristic tests."""
+
+import pytest
+
+from repro.core import FairnessView, fairness_eta
+
+
+class TestFairnessEta:
+    def test_at_fair_share_is_one(self):
+        assert fairness_eta(6.0, 6.0, 96.0) == pytest.approx(1.0)
+
+    def test_starved_job_boosted(self):
+        # S_occ < S_min -> eta > 1, growing with the deficit (Section IV-C.4).
+        slight = fairness_eta(6.0, 4.0, 96.0)
+        severe = fairness_eta(6.0, 0.0, 96.0)
+        assert 1.0 < slight < severe
+
+    def test_hog_throttled(self):
+        # S_occ > S_min -> eta < 1, shrinking as the surplus grows.
+        mild = fairness_eta(6.0, 10.0, 96.0)
+        heavy = fairness_eta(6.0, 30.0, 96.0)
+        assert heavy < mild < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fairness_eta(1.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            fairness_eta(-1.0, 0.0, 10.0)
+
+
+class TestFairnessView:
+    def test_equal_split_min_share(self):
+        view = FairnessView(pool_slots=96, active_jobs=8)
+        assert view.min_share == pytest.approx(12.0)
+
+    def test_min_shares_sum_to_pool(self):
+        # The paper's constraint: sum_j S_min_j = S_pool.
+        view = FairnessView(pool_slots=96, active_jobs=7)
+        assert view.min_share * 7 == pytest.approx(96.0)
+
+    def test_eta_via_view(self):
+        view = FairnessView(pool_slots=96, active_jobs=8)
+        assert view.eta(12) == pytest.approx(1.0)
+        assert view.eta(0) > 1.0

@@ -1,0 +1,73 @@
+"""End-to-end invariants across schedulers on a small MSD mix."""
+
+import pytest
+
+from repro.experiments import run_scenario
+from repro.hadoop import TaskKind
+from repro.simulation import RandomStreams
+from repro.workloads import MSDConfig, generate_msd_workload
+
+CFG = MSDConfig(n_jobs=12, mean_interarrival_s=30.0, max_maps=60, seed_label="e2e")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_msd_workload(CFG, RandomStreams(21))
+
+
+@pytest.fixture(scope="module", params=["fifo", "fair", "tarazu", "e-ant"])
+def run(request, workload):
+    return run_scenario(workload, scheduler=request.param, seed=21)
+
+
+class TestInvariants:
+    def test_all_jobs_complete(self, run, workload):
+        assert len(run.metrics.job_results) == len(workload)
+
+    def test_every_task_reported_once(self, run, workload):
+        expected = sum(j.num_maps() + j.num_reduces for j in workload)
+        assert len(run.jobtracker.reports) == expected
+        ids = [r.task_id for r in run.jobtracker.reports]
+        assert len(ids) == len(set(ids))
+
+    def test_energy_positive_and_split_consistent(self, run):
+        m = run.metrics
+        assert m.total_energy_joules > 0
+        assert m.idle_energy_joules > 0
+        assert m.dynamic_energy_joules > 0
+        assert sum(m.energy_by_type.values()) == pytest.approx(m.total_energy_joules)
+
+    def test_jobs_finish_after_submission(self, run):
+        for job in run.metrics.job_results:
+            assert job.finish_time > job.submit_time
+            assert job.slowdown >= 1.0
+
+    def test_reports_within_makespan(self, run):
+        for report in run.jobtracker.reports:
+            assert 0 <= report.start_time <= report.finish_time <= run.metrics.makespan
+
+    def test_utilizations_within_bounds(self, run):
+        for value in run.metrics.utilization_by_type.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_maps_precede_their_reduces(self, run):
+        jobs = {j.job_id: j for j in run.jobtracker.completed_jobs}
+        for job in jobs.values():
+            if not job.reduces:
+                continue
+            maps_done = job.maps_done_event.value
+            for task in job.reduces:
+                final = [a for a in task.attempts if a.succeeded]
+                assert final and final[0].finish_time >= maps_done
+
+
+def test_eant_reduces_dynamic_energy_vs_fair():
+    """The headline direction: on a workload long enough for several
+    control intervals, E-Ant's placement consumes less dynamic
+    (CPU-activity) energy than Fair's.  Tiny workloads finish before the
+    pheromones learn, so this uses a moderate 30-job mix."""
+    config = MSDConfig(n_jobs=30, mean_interarrival_s=40.0, max_maps=300, seed_label="dyn")
+    workload = generate_msd_workload(config, RandomStreams(7))
+    fair = run_scenario(workload, scheduler="fair", seed=7).metrics
+    eant = run_scenario(workload, scheduler="e-ant", seed=7).metrics
+    assert eant.dynamic_energy_joules < fair.dynamic_energy_joules

@@ -1,0 +1,115 @@
+"""Job/Task lifecycle tests."""
+
+import pytest
+
+from repro.simulation import Simulator
+from repro.hadoop import Job, TaskKind, TaskState
+from repro.workloads import JobSpec, WORDCOUNT
+
+
+def make_job(num_maps=4, num_reduces=2, hosts=None):
+    sim = Simulator()
+    spec = JobSpec(profile=WORDCOUNT, input_mb=num_maps * 64.0, num_reduces=num_reduces)
+    job = Job(
+        sim=sim,
+        job_id=0,
+        spec=spec,
+        block_mb=64.0,
+        replica_hosts=hosts or [()] * num_maps,
+    )
+    return sim, job
+
+
+class TestTaskInventory:
+    def test_task_counts(self):
+        _sim, job = make_job(num_maps=4, num_reduces=2)
+        assert job.num_maps == 4
+        assert job.num_reduces == 2
+        assert job.pending_map_count == 4
+
+    def test_task_ids_stable(self):
+        _sim, job = make_job()
+        assert job.maps[0].task_id == "j0-m-0000"
+        assert job.reduces[1].task_id == "j0-r-0001"
+
+    def test_reduce_input_is_shuffle_share(self):
+        _sim, job = make_job(num_maps=4, num_reduces=2)
+        expected = 4 * 64.0 * WORDCOUNT.map_output_ratio / 2
+        assert job.reduces[0].input_mb == pytest.approx(expected)
+
+
+class TestDispatch:
+    def test_take_map_prefers_local(self):
+        _sim, job = make_job(hosts=[(5,), (9,), (5,), (9,)])
+        task = job.take_map(machine_id=9)
+        assert 9 in task.preferred_hosts
+        assert task.state is TaskState.RUNNING
+        assert job.running_maps == 1
+
+    def test_take_map_falls_back_to_any(self):
+        _sim, job = make_job(hosts=[(5,), (5,), (5,), (5,)])
+        task = job.take_map(machine_id=1)
+        assert task is not None
+
+    def test_take_exhausts_queue(self):
+        _sim, job = make_job(num_maps=2)
+        assert job.take_map(0) is not None
+        assert job.take_map(0) is not None
+        assert job.take_map(0) is None
+
+    def test_local_task_not_double_assigned_via_two_replicas(self):
+        _sim, job = make_job(num_maps=1, hosts=[(2, 3)])
+        assert job.take_map(2) is not None
+        assert job.local_pending_map(3) is None
+
+    def test_requeue_returns_to_pending(self):
+        _sim, job = make_job(num_maps=2)
+        task = job.take_map(0)
+        job.requeue(task)
+        assert task.state is TaskState.PENDING
+        assert job.pending_map_count == 2
+        assert job.running_maps == 0
+
+
+class TestBarriers:
+    def test_maps_done_event_fires_once_all_maps_complete(self):
+        sim, job = make_job(num_maps=2, num_reduces=1)
+        t1, t2 = job.take_map(0), job.take_map(0)
+        job.complete_task(t1)
+        assert not job.maps_done_event.triggered
+        job.complete_task(t2)
+        assert job.maps_done_event.triggered
+        assert not job.done_event.triggered
+
+    def test_done_event_after_reduces(self):
+        sim, job = make_job(num_maps=1, num_reduces=1)
+        job.complete_task(job.take_map(0))
+        reduce_task = job.take_reduce()
+        job.complete_task(reduce_task)
+        assert job.done_event.triggered
+        assert job.completion_time == pytest.approx(0.0)
+
+    def test_reduce_slowstart_gate(self):
+        _sim, job = make_job(num_maps=4, num_reduces=2)
+        assert not job.reduces_schedulable(slowstart=0.5)
+        job.complete_task(job.take_map(0))
+        job.complete_task(job.take_map(0))
+        assert job.reduces_schedulable(slowstart=0.5)
+
+    def test_double_completion_is_idempotent(self):
+        _sim, job = make_job(num_maps=1, num_reduces=0)
+        task = job.take_map(0)
+        job.complete_task(task)
+        job.complete_task(task)  # speculative duplicate: no-op
+        assert job.completed_maps == 1
+
+    def test_completing_pending_task_rejected(self):
+        _sim, job = make_job()
+        with pytest.raises(ValueError):
+            job.complete_task(job.maps[0])
+
+    def test_occupied_slots_counts_running(self):
+        _sim, job = make_job(num_maps=3, num_reduces=1)
+        job.take_map(0)
+        job.take_map(0)
+        assert job.occupied_slots == 2

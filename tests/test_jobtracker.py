@@ -1,0 +1,96 @@
+"""JobTracker tests: admission, heartbeat contract, shutdown, listeners."""
+
+import pytest
+
+from repro.hadoop import TaskKind
+from repro.schedulers import FairScheduler, Scheduler
+
+from .conftest import build_stack, wordcount_spec
+
+
+class TestAdmission:
+    def test_submit_assigns_ids_and_places_blocks(self):
+        _sim, _cluster, jt, _trackers = build_stack()
+        jt.expect_jobs(2)
+        a = jt.submit(wordcount_spec(num_maps=3))
+        b = jt.submit(wordcount_spec(num_maps=3))
+        assert (a.job_id, b.job_id) == (0, 1)
+        for task in a.maps:
+            assert len(task.preferred_hosts) == min(3, 4)
+
+    def test_replica_override(self):
+        _sim, _cluster, jt, _trackers = build_stack()
+        jt.expect_jobs(1)
+        job = jt.submit(wordcount_spec(num_maps=2), replica_hosts=[(1,), (2,)])
+        assert job.maps[0].preferred_hosts == (1,)
+
+    def test_skew_noise_perturbs_input_sizes(self):
+        from repro.noise import NoiseModel
+
+        _sim, _cluster, jt, _trackers = build_stack(
+            noise=NoiseModel(skew_sigma=0.5)
+        )
+        jt.expect_jobs(1)
+        job = jt.submit(wordcount_spec(num_maps=8))
+        sizes = {task.input_mb for task in job.maps}
+        assert len(sizes) > 1
+
+
+class TestLifecycle:
+    def test_shutdown_after_expected_jobs(self):
+        sim, _cluster, jt, _trackers = build_stack()
+        jt.expect_jobs(1)
+        jt.submit(wordcount_spec(num_maps=2, num_reduces=0))
+        sim.run()
+        assert jt.is_shutdown
+        assert jt.all_done_event.triggered
+
+    def test_no_shutdown_while_jobs_remain(self):
+        sim, _cluster, jt, _trackers = build_stack()
+        jt.expect_jobs(2)
+        jt.submit(wordcount_spec(num_maps=2, num_reduces=0))
+        sim.run(until=2000.0)
+        assert not jt.is_shutdown
+
+    def test_report_listener_sees_every_completion(self):
+        sim, _cluster, jt, _trackers = build_stack()
+        seen = []
+        jt.add_report_listener(lambda r: seen.append(r.task_id))
+        jt.expect_jobs(1)
+        jt.submit(wordcount_spec(num_maps=4, num_reduces=1))
+        sim.run()
+        assert len(seen) == 5
+
+    def test_heartbeat_after_shutdown_returns_nothing(self):
+        sim, _cluster, jt, trackers = build_stack()
+        jt.expect_jobs(1)
+        jt.submit(wordcount_spec(num_maps=1, num_reduces=0))
+        sim.run()
+        assert jt.heartbeat(trackers[0]) == []
+
+
+class TestSchedulerContract:
+    def test_overassignment_detected(self):
+        class GreedyBroken(FairScheduler):
+            def select_tasks(self, status):
+                job = self.jt.active_jobs[0]
+                tasks = []
+                for _ in range(status.free_map_slots + 1):
+                    task = job.take_map(status.machine_id)
+                    if task:
+                        tasks.append(task)
+                return tasks
+
+        sim, _cluster, jt, _trackers = build_stack(scheduler=GreedyBroken())
+        jt.expect_jobs(1)
+        jt.submit(wordcount_spec(num_maps=12, num_reduces=0))
+        with pytest.raises(RuntimeError, match="over-assigned"):
+            sim.run()
+
+    def test_scheduler_base_requires_binding(self):
+        class Dummy(Scheduler):
+            def select_tasks(self, status):
+                return []
+
+        with pytest.raises(RuntimeError):
+            _ = Dummy().jt

@@ -1,0 +1,53 @@
+"""LATE speculative-execution tests."""
+
+import pytest
+
+from repro.cluster import ATOM, DESKTOP
+from repro.hadoop import HadoopConfig
+from repro.noise import NoiseModel
+from repro.schedulers import LateScheduler
+
+from .conftest import build_stack, wordcount_spec
+
+
+def late_stack(speculative=True):
+    config = HadoopConfig(
+        speculative_execution=speculative,
+        speculative_slowness_threshold=0.5,
+    )
+    # A big straggler source: one Atom next to desktops.
+    fleet = [(DESKTOP, 3), (ATOM, 1)]
+    return build_stack(scheduler=LateScheduler(), fleet=fleet, config=config)
+
+
+class TestLate:
+    def test_speculation_spawns_second_attempts(self):
+        sim, _cluster, jt, _trackers = late_stack()
+        jt.expect_jobs(1)
+        job = jt.submit(wordcount_spec(num_maps=24, num_reduces=0))
+        sim.run()
+        attempts = [len(t.attempts) for t in job.maps]
+        assert max(attempts) >= 2  # at least one task was speculated
+
+    def test_losers_are_killed_not_double_counted(self):
+        sim, _cluster, jt, _trackers = late_stack()
+        jt.expect_jobs(1)
+        job = jt.submit(wordcount_spec(num_maps=24, num_reduces=0))
+        sim.run()
+        assert job.completed_maps == 24
+        assert len(jt.reports) == 24  # one report per task, not per attempt
+        killed = [a for t in job.maps for a in t.attempts if a.killed]
+        speculated = [t for t in job.maps if len(t.attempts) >= 2]
+        assert len(killed) >= 0  # losers either killed or finished after
+        assert speculated
+
+    def test_disabled_without_config_flag(self):
+        sim, _cluster, jt, _trackers = late_stack(speculative=False)
+        jt.expect_jobs(1)
+        job = jt.submit(wordcount_spec(num_maps=24, num_reduces=0))
+        sim.run()
+        assert all(len(t.attempts) == 1 for t in job.maps)
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            LateScheduler(max_speculative_fraction=2.0)

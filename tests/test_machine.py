@@ -1,0 +1,84 @@
+"""Unit tests for live machines: contention, utilization, energy."""
+
+import pytest
+
+from repro.cluster import DESKTOP, ATOM, Machine
+from repro.simulation import Simulator
+
+
+@pytest.fixture
+def machine():
+    sim = Simulator()
+    machine = Machine(machine_id=0, spec=DESKTOP)
+    machine.bind(sim)
+    return sim, machine
+
+
+class TestCpuTracking:
+    def test_utilization_follows_load(self, machine):
+        sim, m = machine
+        m.add_cpu_load(4.0)
+        assert m.utilization == pytest.approx(0.5)
+        m.remove_cpu_load(4.0)
+        assert m.utilization == 0.0
+
+    def test_utilization_capped_at_one(self, machine):
+        _sim, m = machine
+        m.add_cpu_load(100.0)
+        assert m.utilization == 1.0
+
+    def test_negative_load_rejected(self, machine):
+        _sim, m = machine
+        with pytest.raises(ValueError):
+            m.add_cpu_load(-1.0)
+
+    def test_cpu_contention_only_beyond_cores(self, machine):
+        _sim, m = machine
+        m.add_cpu_load(6.0)
+        assert m.cpu_contention(1.0) == 1.0
+        m.add_cpu_load(4.0)  # total 10 > 8 cores
+        assert m.cpu_contention() == pytest.approx(10.0 / 8.0)
+
+    def test_atom_contends_at_full_slots(self):
+        sim = Simulator()
+        atom = Machine(machine_id=1, spec=ATOM)
+        atom.bind(sim)
+        atom.add_cpu_load(5.0)  # 5 demand on 4 cores
+        assert atom.cpu_contention() > 1.0
+
+
+class TestEnergyIntegration:
+    def test_energy_matches_hand_computation(self, machine):
+        sim, m = machine
+        sim.call_at(10.0, lambda: m.add_cpu_load(8.0))
+        sim.call_at(20.0, lambda: m.remove_cpu_load(8.0))
+        sim.timeout(30.0)
+        sim.run()
+        m.finish()
+        idle, alpha = DESKTOP.power.idle_watts, DESKTOP.power.alpha_watts
+        assert m.energy.total_joules == pytest.approx(idle * 30.0 + alpha * 10.0)
+
+    def test_average_utilization_time_weighted(self, machine):
+        sim, m = machine
+        sim.call_at(0.0, lambda: m.add_cpu_load(8.0))
+        sim.call_at(10.0, lambda: m.remove_cpu_load(8.0))
+        sim.timeout(40.0)
+        sim.run()
+        assert m.average_utilization(40.0) == pytest.approx(0.25)
+
+    def test_idle_share_per_slot(self, machine):
+        _sim, m = machine
+        expected = DESKTOP.power.idle_watts / DESKTOP.total_slots
+        assert m.idle_share_per_slot() == pytest.approx(expected)
+
+
+class TestIoTracking:
+    def test_io_contention_beyond_channels(self, machine):
+        _sim, m = machine
+        for _ in range(DESKTOP.io_channels - 1):
+            m.io_begin()
+        assert m.io_contention() == 1.0
+        m.io_begin()
+        assert m.io_contention() > 1.0
+        m.io_end()
+        assert m.io_active == DESKTOP.io_channels - 1

@@ -1,0 +1,49 @@
+"""MetricsCollector and RunMetrics tests."""
+
+import pytest
+
+from repro.experiments import run_scenario
+from repro.workloads import puma_job
+
+
+@pytest.fixture(scope="module")
+def result():
+    jobs = [
+        puma_job("wordcount", 1.0),
+        puma_job("grep", 1.0, submit_time=20.0),
+        puma_job("terasort", 1.0, submit_time=40.0),
+    ]
+    return run_scenario(jobs, scheduler="fair", seed=4)
+
+
+class TestCollector:
+    def test_counts_match_reports(self, result):
+        collector = result.metrics.collector
+        assert collector.reports_seen == len(result.jobtracker.reports)
+        total = sum(collector.completed.values())
+        assert total == collector.reports_seen
+
+    def test_projection_by_app(self, result):
+        by_app = result.metrics.collector.tasks_by_machine_and_app()
+        apps = {app for row in by_app.values() for app in row}
+        assert apps <= {"wordcount", "grep", "terasort"}
+
+    def test_projection_by_kind(self, result):
+        by_kind = result.metrics.collector.tasks_by_machine_and_kind()
+        kinds = {kind for row in by_kind.values() for kind in row}
+        assert kinds <= {"map", "reduce"}
+
+    def test_locality_rate_bounds(self, result):
+        assert 0.0 <= result.metrics.collector.locality_rate <= 1.0
+
+
+class TestRunMetrics:
+    def test_jct_by_class_has_all_apps(self, result):
+        table = result.metrics.mean_jct_by_class()
+        assert {key[0] for key in table} == {"wordcount", "grep", "terasort"}
+
+    def test_fairness_finite(self, result):
+        assert result.metrics.fairness > 0
+
+    def test_slowdowns_at_least_one(self, result):
+        assert all(s >= 1.0 for s in result.metrics.slowdowns)

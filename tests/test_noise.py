@@ -1,0 +1,44 @@
+"""Noise-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.noise import DEFAULT_NOISE, NO_NOISE, NoiseModel
+
+
+class TestNoiseModel:
+    def test_no_noise_is_identity(self):
+        rng = np.random.default_rng(0)
+        assert NO_NOISE.duration_factor(rng) == 1.0
+        assert NO_NOISE.utilization_factor(rng) == 1.0
+        assert NO_NOISE.skew_factor(rng) == 1.0
+
+    def test_duration_noise_centered_near_one(self):
+        rng = np.random.default_rng(1)
+        model = NoiseModel(duration_sigma=0.1, straggler_prob=0.0)
+        factors = [model.duration_factor(rng) for _ in range(2000)]
+        assert np.median(factors) == pytest.approx(1.0, abs=0.02)
+
+    def test_stragglers_appear_at_expected_rate(self):
+        rng = np.random.default_rng(2)
+        model = NoiseModel(duration_sigma=0.0, straggler_prob=0.1, straggler_factor=3.0)
+        factors = [model.duration_factor(rng) for _ in range(5000)]
+        straggled = sum(1 for f in factors if f > 2.0)
+        assert 0.07 < straggled / 5000 < 0.13
+
+    def test_scaled_multiplies_channels(self):
+        scaled = DEFAULT_NOISE.scaled(2.0)
+        assert scaled.duration_sigma == pytest.approx(DEFAULT_NOISE.duration_sigma * 2)
+        assert scaled.straggler_prob == pytest.approx(DEFAULT_NOISE.straggler_prob * 2)
+
+    def test_scaled_probability_capped(self):
+        scaled = NoiseModel(straggler_prob=0.6).scaled(3.0)
+        assert scaled.straggler_prob == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(duration_sigma=-0.1)
+        with pytest.raises(ValueError):
+            NoiseModel(straggler_prob=1.5)
+        with pytest.raises(ValueError):
+            NoiseModel(straggler_factor=0.5)

@@ -1,0 +1,204 @@
+"""Pheromone table tests: the Fig. 5 worked example, Eqs. 4-6, exchange."""
+
+import pytest
+
+from repro.core import ExchangeLevel, PheromoneTable, TaskFeedback
+
+
+def feedback(colony, machine, energy, group=None):
+    return TaskFeedback(colony=colony, machine_id=machine, energy_joules=energy, job_group=group)
+
+
+def make_table(**kwargs):
+    defaults = dict(
+        machine_ids=[0, 1],
+        rho=0.5,
+        exchange=ExchangeLevel.NONE,
+        negative_feedback=0.0,
+        relative_floor=0.0,
+    )
+    defaults.update(kwargs)
+    return PheromoneTable(**defaults)
+
+
+class TestPaperWorkedExample:
+    def test_fig5_tau_values(self):
+        """Section IV-C.2's example: machine A runs two 2 kJ tasks, B one
+        3 kJ task, rho = 0.5 -> tau(A) = 1.66, tau(B) = 0.88."""
+        table = make_table()
+        table.ensure_colony("job")
+        table.update(
+            [
+                feedback("job", 0, 2000.0),
+                feedback("job", 0, 2000.0),
+                feedback("job", 1, 3000.0),
+            ]
+        )
+        assert table.tau("job", 0) == pytest.approx(1.6666, abs=1e-3)
+        assert table.tau("job", 1) == pytest.approx(0.8888, abs=1e-3)
+
+    def test_probabilities_from_example(self):
+        """The example's follow-up: P(A) = 64 %, P(B) = 36 % (abs. 1 %)."""
+        table = make_table()
+        table.ensure_colony("job")
+        table.update(
+            [
+                feedback("job", 0, 2000.0),
+                feedback("job", 0, 2000.0),
+                feedback("job", 1, 3000.0),
+            ]
+        )
+        assert table.attractiveness("job", 0) == pytest.approx(0.652, abs=0.01)
+        assert table.attractiveness("job", 1) == pytest.approx(0.348, abs=0.01)
+
+
+class TestUpdateMechanics:
+    def test_initial_pheromone_uniform(self):
+        table = make_table()
+        table.ensure_colony("j")
+        assert table.tau("j", 0) == table.tau("j", 1) == 1.0
+        assert table.attractiveness("j", 0) == pytest.approx(0.5)
+
+    def test_evaporation_without_feedback(self):
+        table = make_table(tau_min=0.01)
+        table.ensure_colony("j")
+        table.update([])
+        assert table.tau("j", 0) == pytest.approx(0.5)
+
+    def test_tau_clamped_at_min(self):
+        table = make_table(tau_min=0.3)
+        table.ensure_colony("j")
+        for _ in range(10):
+            table.update([])
+        assert table.tau("j", 0) == pytest.approx(0.3)
+
+    def test_zero_energy_feedback_ignored(self):
+        table = make_table()
+        table.ensure_colony("j")
+        table.update([feedback("j", 0, 0.0)])
+        assert table.tau("j", 0) == pytest.approx(0.5)  # pure evaporation
+
+    def test_relative_floor_bounds_row_spread(self):
+        table = make_table(relative_floor=0.2)
+        table.ensure_colony("j")
+        for _ in range(5):
+            table.update([feedback("j", 0, 10.0)] * 20)
+        assert table.tau("j", 1) >= 0.2 * table.tau("j", 0)
+
+    def test_relative_quality(self):
+        table = make_table()
+        table.ensure_colony("j")
+        table.update([feedback("j", 0, 100.0), feedback("j", 0, 100.0)])
+        assert table.relative_quality("j", 0) == 1.0
+        assert table.relative_quality("j", 1) < 1.0
+
+
+class TestNegativeFeedback:
+    def test_eq6_pushes_competitors_down(self):
+        table = make_table(negative_feedback=1.0)
+        table.ensure_colony("a")
+        table.ensure_colony("b")
+        table.update([feedback("a", 0, 100.0), feedback("a", 0, 100.0)])
+        # Colony a gains on machine 0; colony b is pushed below evaporation.
+        assert table.tau("a", 0) > 1.0
+        assert table.tau("b", 0) < 0.5
+
+    def test_negative_feedback_uses_mean_of_others(self):
+        # With many competitors, the cross term must not scale with their
+        # count: b's tau under 3 identical competitors equals under 1.
+        def run(n_competitors):
+            table = make_table(negative_feedback=1.0, machine_ids=[0])
+            table.ensure_colony("b")
+            items = []
+            for c in range(n_competitors):
+                items += [feedback(f"a{c}", 0, 100.0)]
+            table.update(items)
+            return table.tau("b", 0)
+
+        assert run(1) == pytest.approx(run(3))
+
+    def test_disabled_negative_feedback(self):
+        table = make_table(negative_feedback=0.0)
+        table.ensure_colony("a")
+        table.ensure_colony("b")
+        table.update([feedback("a", 0, 100.0)])
+        assert table.tau("b", 0) == pytest.approx(0.5)  # evaporation only
+
+
+class TestMachineExchange:
+    def test_group_members_share_experience(self):
+        table = PheromoneTable(
+            machine_ids=[0, 1, 2],
+            rho=0.5,
+            machine_groups=[[0, 1]],
+            exchange=ExchangeLevel.MACHINE,
+            negative_feedback=0.0,
+            relative_floor=0.0,
+        )
+        table.ensure_colony("j")
+        table.update([feedback("j", 0, 50.0), feedback("j", 0, 50.0)])
+        # Machine 1 (same group) receives the averaged update; 2 does not.
+        assert table.tau("j", 1) == pytest.approx(table.tau("j", 0))
+        assert table.tau("j", 2) < table.tau("j", 1)
+
+    def test_total_deposit_mass_preserved(self):
+        grouped = PheromoneTable(
+            machine_ids=[0, 1], machine_groups=[[0, 1]],
+            exchange=ExchangeLevel.MACHINE, negative_feedback=0.0, relative_floor=0.0,
+        )
+        solo = make_table()
+        for table in (grouped, solo):
+            table.ensure_colony("j")
+        items = [feedback("j", 0, 10.0), feedback("j", 1, 20.0)]
+        d_grouped = grouped.update(list(items))
+        d_solo = solo.update(list(items))
+        assert sum(d_grouped["j"].values()) == pytest.approx(sum(d_solo["j"].values()))
+
+
+class TestJobExchange:
+    def test_homogeneous_jobs_share_deposits(self):
+        table = PheromoneTable(
+            machine_ids=[0, 1], exchange=ExchangeLevel.JOB,
+            negative_feedback=0.0, relative_floor=0.0,
+        )
+        table.ensure_colony("a", group="g")
+        table.ensure_colony("b", group="g")
+        table.update([feedback("a", 0, 50.0, group="g")])
+        # Colony b shares a's experience through the group average.
+        assert table.tau("b", 0) > 0.5
+
+    def test_new_colony_inherits_group_profile(self):
+        table = PheromoneTable(
+            machine_ids=[0, 1], exchange=ExchangeLevel.JOB,
+            negative_feedback=0.0, relative_floor=0.0,
+        )
+        table.ensure_colony("old", group="g")
+        table.update([feedback("old", 0, 10.0, group="g"), feedback("old", 0, 10.0, group="g")])
+        table.drop_colony("old")
+        table.ensure_colony("new", group="g")
+        assert table.tau("new", 0) > table.tau("new", 1)
+
+    def test_no_inheritance_without_job_exchange(self):
+        table = PheromoneTable(
+            machine_ids=[0, 1], exchange=ExchangeLevel.NONE,
+            negative_feedback=0.0, relative_floor=0.0,
+        )
+        table.ensure_colony("old", group="g")
+        table.update([feedback("old", 0, 10.0, group="g")])
+        table.drop_colony("old")
+        table.ensure_colony("new", group="g")
+        assert table.tau("new", 0) == table.tau("new", 1) == 1.0
+
+
+class TestValidation:
+    def test_bad_rho(self):
+        with pytest.raises(ValueError):
+            PheromoneTable(machine_ids=[0], rho=0.0)
+
+    def test_bad_clamps(self):
+        with pytest.raises(ValueError):
+            PheromoneTable(machine_ids=[0], tau_min=1.0, tau_max=0.5)
+
+    def test_empty_machines(self):
+        with pytest.raises(ValueError):
+            PheromoneTable(machine_ids=[])

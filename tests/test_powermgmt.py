@@ -1,0 +1,78 @@
+"""Power-management (covering subset) tests."""
+
+import pytest
+
+from repro.cluster import Cluster, DESKTOP, T420, paper_fleet
+from repro.energy import PowerManager, SleepPolicy, pick_covering_subset
+from repro.experiments import run_scenario
+from repro.simulation import Simulator
+from repro.workloads import puma_job
+
+
+@pytest.fixture
+def manager():
+    cluster = Cluster(Simulator(), [(DESKTOP, 2), (T420, 1)])
+    policy = SleepPolicy(idle_timeout=10.0, sleep_watts=5.0, wakeup_delay=8.0)
+    return PowerManager(cluster=cluster, policy=policy, covering_subset={2})
+
+
+class TestPowerManager:
+    def test_sleeps_after_idle_timeout(self, manager):
+        assert manager.tick(5.0) == []
+        assert manager.tick(10.0) == [0, 1]
+        assert manager.is_asleep(0)
+
+    def test_covering_subset_never_sleeps(self, manager):
+        manager.tick(100.0)
+        assert not manager.is_asleep(2)
+
+    def test_wake_charges_penalty_and_credits_savings(self, manager):
+        manager.tick(10.0)
+        penalty = manager.notify_busy(0, now=100.0)
+        assert penalty == 8.0
+        # 90 s asleep at (45 - 5) W saved.
+        assert manager.saved_joules[0] == pytest.approx(90.0 * 40.0)
+        assert not manager.is_asleep(0)
+
+    def test_busy_machine_does_not_sleep(self, manager):
+        manager.notify_busy(1, now=0.0)
+        assert manager.tick(50.0) == [0]
+
+    def test_finish_credits_residual_sleep(self, manager):
+        manager.tick(10.0)
+        manager.finish(now=70.0)
+        assert manager.saved_joules[0] == pytest.approx(60.0 * 40.0)
+        assert not manager.is_asleep(0)
+
+    def test_unknown_subset_member_rejected(self):
+        cluster = Cluster(Simulator(), [(DESKTOP, 1)])
+        with pytest.raises(ValueError):
+            PowerManager(cluster=cluster, policy=SleepPolicy(), covering_subset={9})
+
+
+class TestCoveringSubsetSelection:
+    def test_picks_most_efficient_machines(self):
+        cluster = Cluster(Simulator(), paper_fleet())
+        subset = pick_covering_subset(cluster, fraction=0.25)
+        assert len(subset) == 4
+        models = {cluster.machine(m).spec.model for m in subset}
+        # T420/T620 have the best work-per-full-load-watt in the catalog.
+        assert "T420" in models
+
+    def test_fraction_validation(self):
+        cluster = Cluster(Simulator(), paper_fleet())
+        with pytest.raises(ValueError):
+            pick_covering_subset(cluster, fraction=0.0)
+
+
+class TestCoveringScheduler:
+    def test_completes_workload_and_reports_savings(self):
+        jobs = [
+            puma_job("wordcount", 2.0),
+            puma_job("grep", 2.0, submit_time=400.0),  # idle gap between jobs
+        ]
+        result = run_scenario(jobs, scheduler="covering-subset", seed=2)
+        assert len(result.metrics.job_results) == 2
+        summary = result.scheduler.energy_summary(result.metrics.makespan)
+        assert summary["saved_joules"] > 0  # the gap put machines to sleep
+        assert summary["covering_subset"]

@@ -1,0 +1,123 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import PowerModel, EnergyAccumulator
+from repro.core import ExchangeLevel, PheromoneTable, TaskFeedback
+from repro.energy import TaskEnergyModel, samples_from_phases
+from repro.metrics import jains_index
+from repro.simulation import RandomStreams, Simulator
+from repro.workloads import MSDConfig, class_histogram, generate_msd_workload
+
+
+@given(
+    phases=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    delta_t=st.floats(min_value=0.5, max_value=10.0),
+)
+def test_samples_preserve_duration_and_energy(phases, delta_t):
+    """Chopping a trace into windows must preserve total duration and the
+    energy integral exactly (the estimator's unbiasedness under no noise)."""
+    total = sum(d for d, _u in phases)
+    samples = samples_from_phases(phases, delta_t=delta_t)
+    assert abs(sum(s.duration for s in samples) - total) < 1e-6
+    model = TaskEnergyModel(idle_watts=60.0, alpha_watts=90.0, total_slots=6)
+    exact = sum((model.idle_share_watts + model.alpha_watts * u) * d for d, u in phases)
+    assert abs(model.estimate(samples) - exact) < 1e-6 * max(1.0, exact)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.1, max_value=100.0),
+            st.floats(min_value=0.0, max_value=1.0),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_energy_accumulator_total_is_sum_of_parts(steps):
+    acc = EnergyAccumulator(PowerModel(idle_watts=50.0, alpha_watts=100.0))
+    clock = 0.0
+    for delta, utilization in steps:
+        clock += delta
+        acc.advance(clock, utilization)
+    assert acc.total_joules >= acc.idle_joules >= 0
+    assert abs(acc.idle_joules - 50.0 * clock) < 1e-6 * max(1.0, clock)
+
+
+@given(
+    energies=st.lists(st.floats(min_value=1.0, max_value=1e5), min_size=1, max_size=40),
+    machines=st.integers(min_value=1, max_value=8),
+    rho=st.floats(min_value=0.05, max_value=1.0),
+    data=st.data(),
+)
+@settings(max_examples=60)
+def test_pheromone_stays_within_clamps(energies, machines, rho, data):
+    """After any feedback batch, every tau must respect the clamps and
+    attractiveness must stay a probability distribution."""
+    machine_ids = list(range(machines))
+    table = PheromoneTable(
+        machine_ids=machine_ids, rho=rho, exchange=ExchangeLevel.BOTH,
+        tau_min=0.05, tau_max=100.0,
+    )
+    table.ensure_colony("a", group="g")
+    table.ensure_colony("b", group="g")
+    feedback = [
+        TaskFeedback(
+            colony=data.draw(st.sampled_from(["a", "b"])),
+            machine_id=data.draw(st.sampled_from(machine_ids)),
+            energy_joules=e,
+            job_group="g",
+        )
+        for e in energies
+    ]
+    table.update(feedback)
+    for colony in ("a", "b"):
+        row = [table.tau(colony, m) for m in machine_ids]
+        assert all(0.05 <= v <= 100.0 for v in row)
+        attractiveness = [table.attractiveness(colony, m) for m in machine_ids]
+        assert abs(sum(attractiveness) - 1.0) < 1e-9
+        assert max(table.relative_quality(colony, m) for m in machine_ids) == 1.0
+
+
+@given(st.integers(min_value=7, max_value=300))
+def test_msd_class_mix_is_exact_for_any_size(n_jobs):
+    jobs = generate_msd_workload(MSDConfig(n_jobs=n_jobs), RandomStreams(0))
+    histogram = class_histogram(jobs)
+    assert sum(histogram.values()) == n_jobs
+    # Largest-remainder apportionment of 4:2:1 never deviates by > 1.
+    assert abs(histogram.get("small", 0) - n_jobs * 4 / 7) <= 1
+    assert abs(histogram.get("large", 0) - n_jobs * 1 / 7) <= 1
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=30))
+def test_jains_index_bounds(slowdowns):
+    value = jains_index(slowdowns)
+    assert 1.0 / len(slowdowns) - 1e-9 <= value <= 1.0 + 1e-9
+
+
+@given(
+    delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30)
+)
+def test_simulator_clock_is_monotone(delays):
+    sim = Simulator()
+    observed = []
+
+    def body():
+        for delay in delays:
+            yield sim.timeout(delay)
+            observed.append(sim.now)
+
+    sim.process(body())
+    sim.run()
+    assert observed == sorted(observed)
+    assert abs(observed[-1] - sum(delays)) < 1e-9

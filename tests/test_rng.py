@@ -1,0 +1,42 @@
+"""Unit tests for named RNG streams."""
+
+import numpy as np
+
+from repro.simulation import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_name_same_instance(self):
+        streams = RandomStreams(1)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_reproducible_across_factories(self):
+        a = RandomStreams(42).stream("x").random(10)
+        b = RandomStreams(42).stream("x").random(10)
+        assert np.allclose(a, b)
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(42)
+        a = streams.stream("a").random(10)
+        b = streams.stream("b").random(10)
+        assert not np.allclose(a, b)
+
+    def test_seed_changes_streams(self):
+        a = RandomStreams(1).stream("x").random(5)
+        b = RandomStreams(2).stream("x").random(5)
+        assert not np.allclose(a, b)
+
+    def test_creation_order_irrelevant(self):
+        one = RandomStreams(7)
+        one.stream("first")
+        late = one.stream("second").random(5)
+        two = RandomStreams(7)
+        early = two.stream("second").random(5)
+        assert np.allclose(late, early)
+
+    def test_fork_is_disjoint_but_deterministic(self):
+        parent = RandomStreams(3)
+        fork_a = parent.fork("child").stream("x").random(5)
+        fork_b = RandomStreams(3).fork("child").stream("x").random(5)
+        assert np.allclose(fork_a, fork_b)
+        assert not np.allclose(fork_a, parent.stream("x").random(5))

@@ -1,0 +1,57 @@
+"""Scenario-builder tests."""
+
+import pytest
+
+from repro.cluster import DESKTOP
+from repro.experiments import exchange_workload, motivation_rig, msd_scenario, open_loop_jobs
+from repro.simulation import RandomStreams
+from repro.workloads import WORDCOUNT
+
+
+class TestMsdScenario:
+    def test_default_shape(self):
+        jobs, hadoop = msd_scenario(seed=1, n_jobs=20)
+        assert len(jobs) == 20
+        assert hadoop.control_interval == 300.0
+        assert all(j.size_class in ("small", "medium", "large") for j in jobs)
+
+    def test_seed_changes_draw(self):
+        a, _ = msd_scenario(seed=1, n_jobs=20)
+        b, _ = msd_scenario(seed=2, n_jobs=20)
+        assert [j.input_mb for j in a] != [j.input_mb for j in b]
+
+
+class TestMotivationRig:
+    def test_single_machine_no_reduce_slots(self):
+        fleet = motivation_rig(DESKTOP, map_slots=6)
+        assert len(fleet) == 1
+        spec, count = fleet[0]
+        assert count == 1
+        assert spec.map_slots == 6
+        assert spec.reduce_slots == 0
+
+
+class TestOpenLoopJobs:
+    def test_one_block_map_only_jobs(self):
+        streams = RandomStreams(0)
+        jobs = open_loop_jobs(WORDCOUNT, rate_per_min=30.0, duration_s=300.0, streams=streams)
+        assert jobs
+        for job in jobs:
+            assert job.num_reduces == 0
+            assert job.num_maps() == 1
+        times = [j.submit_time for j in jobs]
+        assert times == sorted(times)
+
+    def test_tasks_are_scaled_lighter(self):
+        streams = RandomStreams(0)
+        jobs = open_loop_jobs(WORDCOUNT, 30.0, 300.0, streams)
+        assert jobs[0].profile.map_cpu_seconds < WORDCOUNT.map_cpu_seconds
+
+
+class TestExchangeWorkload:
+    def test_app_mix(self):
+        streams = RandomStreams(3)
+        jobs = exchange_workload(streams, jobs_per_app=5)
+        names = [j.profile.name for j in jobs]
+        assert names.count("wordcount") == 5
+        assert len(jobs) == 15

@@ -1,0 +1,74 @@
+"""Unit tests for Resource and Store primitives."""
+
+import pytest
+
+from repro.simulation import Resource, Simulator, Store
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self, sim):
+        resource = Resource(sim, capacity=2)
+        a = resource.request()
+        b = resource.request()
+        c = resource.request()
+        assert a.triggered and b.triggered
+        assert not c.triggered
+        assert resource.queue_length == 1
+
+    def test_release_hands_to_waiter(self, sim):
+        resource = Resource(sim, capacity=1)
+        resource.request()
+        waiter = resource.request()
+        resource.release()
+        assert waiter.triggered
+        assert resource.in_use == 1
+
+    def test_release_without_request_raises(self, sim):
+        resource = Resource(sim, capacity=1)
+        with pytest.raises(RuntimeError):
+            resource.release()
+
+    def test_cancel_pending_request(self, sim):
+        resource = Resource(sim, capacity=1)
+        resource.request()
+        waiter = resource.request()
+        assert resource.cancel(waiter)
+        assert not resource.cancel(waiter)
+        resource.release()
+        assert not waiter.triggered
+
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+
+class TestStore:
+    def test_fifo_order(self, sim):
+        store = Store(sim)
+        store.put("a")
+        store.put("b")
+        first = store.get()
+        second = store.get()
+        sim.run()
+        assert first.value == "a"
+        assert second.value == "b"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        getter = store.get()
+        assert not getter.triggered
+        store.put("late")
+        sim.run()
+        assert getter.value == "late"
+
+    def test_len_and_items(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+        assert store.items == [1, 2]

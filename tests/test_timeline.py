@@ -1,0 +1,60 @@
+"""Timeline/reporting tests."""
+
+import pytest
+
+from repro.experiments import run_scenario
+from repro.metrics import extract_timelines, sparkline, timeline_report
+from repro.workloads import puma_job
+
+
+@pytest.fixture(scope="module")
+def metered_run():
+    return run_scenario(
+        [puma_job("wordcount", 2.0)],
+        scheduler="fair",
+        seed=9,
+        with_meter=True,
+        meter_interval=5.0,
+    )
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_zero_is_flat(self):
+        line = sparkline([0.0, 0.0, 0.0])
+        assert set(line) == {" "}
+
+    def test_monotone_series_renders_monotone(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8], width=9)
+        assert list(line) == sorted(line)
+
+    def test_width_respected(self):
+        assert len(sparkline(list(range(500)), width=40)) == 40
+
+    def test_ceiling_scales(self):
+        low = sparkline([1.0], ceiling=8.0)
+        high = sparkline([8.0], ceiling=8.0)
+        assert low < high
+
+
+class TestTimelines:
+    def test_series_per_machine(self, metered_run):
+        series = extract_timelines(metered_run.meter)
+        assert len(series) == len(metered_run.cluster)
+        for machine_series in series.values():
+            assert len(machine_series.times) == len(machine_series.power_watts)
+            assert machine_series.mean_power >= 0
+
+    def test_sampled_energy_tracks_exact(self, metered_run):
+        series = extract_timelines(metered_run.meter)
+        sampled = sum(s.energy_kj() for s in series.values())
+        exact = metered_run.metrics.total_energy_kj
+        assert sampled == pytest.approx(exact, rel=0.15)
+
+    def test_report_renders_all_machines(self, metered_run):
+        report = timeline_report(metered_run.meter)
+        assert "desktop-00" in report
+        assert "cluster" in report
+        assert report.count("\n") == len(metered_run.cluster)

@@ -1,0 +1,72 @@
+"""Cluster and network model tests."""
+
+import pytest
+
+from repro.cluster import Cluster, DESKTOP, Network, T420, paper_fleet
+from repro.simulation import Simulator
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(Simulator(), paper_fleet())
+
+
+class TestCluster:
+    def test_machine_count(self, cluster):
+        assert len(cluster) == 16
+
+    def test_unique_ids_and_lookup(self, cluster):
+        ids = cluster.machine_ids
+        assert ids == sorted(set(ids))
+        assert cluster.machine(ids[0]).machine_id == ids[0]
+
+    def test_homogeneous_groups_match_fleet(self, cluster):
+        sizes = sorted(len(g) for g in cluster.homogeneous_groups().values())
+        assert sizes == [1, 1, 1, 2, 3, 8]
+
+    def test_group_of_contains_self(self, cluster):
+        desktop_ids = [m.machine_id for m in cluster.machines_of_type("Desktop")]
+        group = cluster.group_of(desktop_ids[0])
+        assert set(group) == set(desktop_ids)
+
+    def test_total_slots(self, cluster):
+        maps, reduces = cluster.total_slots()
+        assert maps == 16 * 4
+        assert reduces == 16 * 2
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster(Simulator(), [])
+
+    def test_energy_by_type_accounts_all_machines(self, cluster):
+        cluster.sim.timeout(100.0)
+        cluster.sim.run()
+        cluster.finish_energy_accounting()
+        by_type = cluster.energy_by_type()
+        assert sum(by_type.values()) == pytest.approx(cluster.total_energy_joules())
+        # Idle-only: 8 desktops must dominate the Atom.
+        assert by_type["Desktop"] > by_type["Atom"]
+
+
+class TestNetwork:
+    def test_unloaded_transfer_time(self):
+        net = Network(nic_mb_per_s=100.0)
+        assert net.transfer_time(0, 1, 500.0) == pytest.approx(5.0)
+
+    def test_flows_share_bandwidth(self):
+        net = Network(nic_mb_per_s=100.0)
+        net.begin_flow(0, 1)
+        assert net.effective_bandwidth(0, 2) == pytest.approx(50.0)
+        net.end_flow(0, 1)
+        assert net.effective_bandwidth(0, 2) == pytest.approx(100.0)
+
+    def test_bottleneck_is_busier_nic(self):
+        net = Network(nic_mb_per_s=100.0)
+        net.begin_flow(0, 1)
+        net.begin_flow(2, 1)
+        # machine 1 has 2 flows; a new flow 3->1 shares with both
+        assert net.effective_bandwidth(3, 1) == pytest.approx(100.0 / 3)
+
+    def test_zero_bytes_is_instant(self):
+        net = Network()
+        assert net.transfer_time(0, 1, 0.0) == 0.0
