@@ -12,8 +12,9 @@ The library has three layers:
 * **The contribution** — the E-Ant ACO scheduler (:mod:`repro.core`) and
   the baseline schedulers it is compared against
   (:mod:`repro.schedulers`: FIFO, Fair, Tarazu, LATE).
-* **Evaluation** — metrics (:mod:`repro.metrics`) and one harness per
-  paper figure/table (:mod:`repro.experiments`).
+* **Evaluation** — metrics (:mod:`repro.metrics`), structured tracing and
+  telemetry (:mod:`repro.observability`), and one harness per paper
+  figure/table (:mod:`repro.experiments`).
 
 Quickstart::
 
@@ -29,6 +30,7 @@ from .core import EAntConfig, EAntScheduler, ExchangeLevel
 from .experiments import run_msd_comparison, run_scenario
 from .hadoop import HadoopConfig
 from .noise import DEFAULT_NOISE, NO_NOISE, NoiseModel
+from .observability import MetricsRegistry, Tracer
 from .schedulers import FairScheduler, FifoScheduler, LateScheduler, Scheduler, TarazuScheduler
 from .simulation import RandomStreams, Simulator
 from .workloads import (
@@ -72,6 +74,8 @@ __all__ = [
     "EAntScheduler",
     "EAntConfig",
     "ExchangeLevel",
+    "Tracer",
+    "MetricsRegistry",
     "run_scenario",
     "run_msd_comparison",
 ]

@@ -1,0 +1,6 @@
+"""``python -m repro`` — same entry point as the ``eant-repro`` script."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,11 +12,18 @@ Subcommands
 ``figure``
     Regenerate one paper figure's data (fig1a, fig1b, fig1c, fig1d, fig4,
     fig6, fig7, fig10, fig11a, fig11b, fig12a, fig12b).
+``trace``
+    Summarize a JSONL trace file written by ``run --trace`` (event counts,
+    decision-audit roll-up, flamegraph-style phase breakdown).
+``report``
+    Replay a JSONL trace into the per-machine utilization/power sparkline
+    report, offline — no re-simulation.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -71,10 +78,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-machine power sparklines (attaches a meter)",
     )
+    run.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a JSONL trace of the run (inspect with `trace`/`report`)",
+    )
 
     compare = sub.add_parser("compare", help="Fair vs Tarazu vs E-Ant on MSD")
     compare.add_argument("--jobs", type=int, default=60, dest="n_jobs")
     compare.add_argument("--seed", type=int, default=3)
+
+    trace = sub.add_parser("trace", help="summarize a JSONL trace file")
+    trace.add_argument("file", help="trace written by `run --trace`")
+
+    report = sub.add_parser("report", help="replay a trace into sparklines")
+    report.add_argument("file", help="trace written by `run --trace`")
 
     figure = sub.add_parser("figure", help="regenerate one paper figure's data")
     figure.add_argument(
@@ -102,6 +120,12 @@ def _cmd_catalog() -> int:
     return 0
 
 
+def _print_run_config(**fields) -> None:
+    """Echo the run configuration (notably the seed) so output is replayable."""
+    rendered = " ".join(f"{key}={value}" for key, value in fields.items() if value is not None)
+    print(f"# {rendered}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     jobs = []
     for index, item in enumerate(args.jobs):
@@ -115,13 +139,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"unknown application {app!r}; known: {sorted(PUMA)}", file=sys.stderr)
             return 2
         jobs.append(puma_job(app, input_gb=size, submit_time=index * 60.0))
-    result = run_scenario(
-        jobs,
+    _print_run_config(
         scheduler=args.scheduler,
         seed=args.seed,
-        with_meter=args.timeline,
-        meter_interval=10.0,
+        jobs=",".join(args.jobs),
+        trace=args.trace,
     )
+    try:
+        result = run_scenario(
+            jobs,
+            scheduler=args.scheduler,
+            seed=args.seed,
+            with_meter=args.timeline,
+            meter_interval=10.0,
+            trace=args.trace,
+        )
+    except OSError as error:
+        print(f"cannot write trace {args.trace!r}: {error}", file=sys.stderr)
+        return 2
     print(result.metrics.summary())
     print("\nenergy by machine type (kJ):")
     for model, joules in sorted(result.metrics.energy_by_type.items()):
@@ -131,10 +166,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         print("\nper-machine power over time:")
         print(timeline_report(result.meter))
+    if args.trace:
+        print(f"\ntrace written to {args.trace} ({len(result.tracer.events)} events)")
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    _print_run_config(schedulers="fair,tarazu,e-ant", seed=args.seed, jobs=args.n_jobs)
     comparison = run_msd_comparison(seed=args.seed, n_jobs=args.n_jobs)
     for name in ("fair", "tarazu", "e-ant"):
         metrics = comparison.metrics(name)
@@ -207,16 +245,67 @@ def _cmd_figure(name: str) -> int:
     return 0
 
 
+def _load_trace(path: str):
+    from .observability import read_jsonl
+
+    try:
+        return read_jsonl(path)
+    except (OSError, ValueError) as error:
+        print(f"cannot read trace {path!r}: {error}", file=sys.stderr)
+        return None
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .observability import flame_summary, trace_summary
+
+    events = _load_trace(args.file)
+    if events is None:
+        return 2
+    print(trace_summary(events))
+    print()
+    print(flame_summary(events))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .observability import report_from_trace
+    from .observability.report import machine_series_from_trace
+
+    events = _load_trace(args.file)
+    if events is None:
+        return 2
+    # Validate up front: the sparkline timeline is the point of `report`,
+    # so a snapshot-less trace is an error, not a degraded success.
+    try:
+        machine_series_from_trace(events)
+    except ValueError as error:
+        print(f"cannot build report: {error}", file=sys.stderr)
+        return 2
+    print(report_from_trace(events))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "catalog":
-        return _cmd_catalog()
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "compare":
-        return _cmd_compare(args)
-    if args.command == "figure":
-        return _cmd_figure(args.name)
+    try:
+        if args.command == "catalog":
+            return _cmd_catalog()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "figure":
+            return _cmd_figure(args.name)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "report":
+            return _cmd_report(args)
+    except BrokenPipeError:
+        # `repro trace out.jsonl | head` closes stdout mid-print; exit
+        # quietly like a well-behaved filter.  Point stdout at /dev/null
+        # so the interpreter's shutdown flush does not raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE
     return 2  # pragma: no cover - argparse enforces choices
 
 

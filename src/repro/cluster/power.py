@@ -108,6 +108,21 @@ class EnergyAccumulator:
         """Close the integration window at ``now`` without changing state."""
         self.advance(now, self._utilization)
 
+    def projected_joules(self, now: float) -> float:
+        """Total joules as if the window closed at ``now``, without closing it.
+
+        Read-only companion to :meth:`finish` for observers (trace
+        snapshots) that must not perturb the integrator's float state:
+        splitting a constant-utilization window is exact in real
+        arithmetic but changes the rounding of the running sums.
+        """
+        duration = max(0.0, now - self._last_time)
+        return (
+            self.total_joules
+            + self.model.idle_energy(duration)
+            + self.model.dynamic_energy(self._utilization, duration)
+        )
+
     @property
     def trace(self) -> List[Tuple[float, float]]:
         """Recorded (time, utilization) change points (if ``keep_trace``)."""

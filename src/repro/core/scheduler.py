@@ -27,16 +27,17 @@ configured exchange strategies.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
 from ..hadoop.job import Job, Task, TaskKind, TaskReport
 from ..hadoop.tasktracker import TrackerStatus
+from ..observability.tracer import EventType
 from ..schedulers.base import Scheduler
 from .analyzer import TaskAnalyzer
 from .convergence import ConvergenceDetector
-from .heuristics import FairnessView
+from .heuristics import FairnessView, fairness_eta
 from .pheromone import ExchangeLevel, PheromoneTable
 
 __all__ = ["EAntConfig", "EAntScheduler"]
@@ -201,6 +202,10 @@ class EAntScheduler(Scheduler):
             for signature, ids in cluster.homogeneous_groups().items()
             for machine_id in ids
         }
+        # The fleet is fixed for a run (trackers may expire, machines never
+        # leave the topology), so the audit path can reuse the slot totals
+        # instead of re-walking the cluster on every traced decision.
+        self._static_slot_totals = cluster.total_slots()
         jobtracker.start_control_loop()
 
     def on_job_added(self, job: Job) -> None:
@@ -240,6 +245,18 @@ class EAntScheduler(Scheduler):
                 self.pheromones.drop_colony(colony)
         self.convergence.close_interval(now)
         self.intervals_elapsed += 1
+        if self.tracer.enabled:
+            for colony in self.pheromones.colonies:
+                job_id, kind = colony
+                self.tracer.emit(
+                    EventType.PHEROMONE_UPDATE,
+                    now,
+                    interval=self.intervals_elapsed,
+                    job_id=job_id,
+                    kind=kind.value,
+                    feedback_tasks=sum(1 for f in feedback if f.colony == colony),
+                    tau={m: v for m, v in self.pheromones.attractiveness_row(colony).items()},
+                )
 
     # ------------------------------------------------------------ assignment
     def select_tasks(self, status: TrackerStatus) -> List[Task]:
@@ -297,25 +314,54 @@ class EAntScheduler(Scheduler):
         running = job.running_maps if kind is TaskKind.MAP else job.running_reduces
         return max(share - running, 0.5)
 
+    def _selection_arrays(
+        self,
+        jobs: List[Job],
+        kind: TaskKind,
+        machine_id: int,
+        fairness: FairnessView,
+    ) -> Tuple[List[float], np.ndarray]:
+        """Per-candidate pheromone attractiveness and Eq. 8 sampling weight.
+
+        The tau list rides along so the decision audit can decompose the
+        weights without re-normalizing the pheromone rows.
+        """
+        assert self.pheromones is not None
+        sharpness = self.config.selection_sharpness if kind is TaskKind.MAP else 1.0
+        taus: List[float] = []
+        weights: List[float] = []
+        for job in jobs:
+            tau = self.pheromones.attractiveness((job.job_id, kind), machine_id)
+            taus.append(tau)
+            weights.append(tau**sharpness * self._eta(job, kind, fairness))
+        return taus, np.array(weights)
+
+    def _selection_weights(
+        self,
+        jobs: List[Job],
+        kind: TaskKind,
+        machine_id: int,
+        fairness: FairnessView,
+    ) -> np.ndarray:
+        """The Eq. 8 sampling weight of each candidate colony for one slot."""
+        return self._selection_arrays(jobs, kind, machine_id, fairness)[1]
+
     def _sample_job(
         self,
         jobs: List[Job],
         kind: TaskKind,
         machine_id: int,
         fairness: FairnessView,
+        weights: Optional[np.ndarray] = None,
     ) -> Optional[Job]:
         """Sample one colony: Eq. 8 weights (pheromone x heuristic) scaled
-        by the job's slot deficit."""
-        assert self.pheromones is not None
-        sharpness = self.config.selection_sharpness if kind is TaskKind.MAP else 1.0
-        weights = np.array(
-            [
-                self.pheromones.attractiveness((job.job_id, kind), machine_id)
-                ** sharpness
-                * self._eta(job, kind, fairness)
-                for job in jobs
-            ]
-        )
+        by the job's slot deficit.
+
+        Callers that already hold this candidate list's ``_selection_weights``
+        (e.g. to build audit rows) pass them in to avoid recomputation.
+        """
+        if weights is None:
+            weights = self._selection_weights(jobs, kind, machine_id, fairness)
         total = weights.sum()
         if total <= 0:
             return jobs[int(self.rng.integers(len(jobs)))]
@@ -352,6 +398,73 @@ class EAntScheduler(Scheduler):
         )
         self.assignment_log.append((self.jt.sim.now, colony, machine_id))
 
+    # -------------------------------------------------------------- auditing
+    def _decision_rows(
+        self,
+        jobs: List[Job],
+        kind: TaskKind,
+        machine_id: int,
+        fairness: FairnessView,
+        taus: List[float],
+        weights: np.ndarray,
+    ) -> List[Dict[str, Any]]:
+        """One audit row per candidate colony, from the Eq. 8 ``taus`` and
+        ``weights`` the sampler already computed — never recomputed.
+
+        Probabilities mirror ``_sample_job``'s first draw: the weights
+        normalized over the candidate tier, uniform when degenerate.  Rows
+        are emitted as plain dicts in the wire shape of
+        :class:`~repro.observability.audit.CandidateRow` (parse back with
+        :meth:`Tracer.decisions`); skipping the record objects keeps the
+        traced hot path cheap.
+        """
+        total = float(weights.sum())
+        uniform = 1.0 / len(jobs)
+        # Share computed once per decision, not once per row (_deficit would
+        # re-walk the cluster's slot totals for every candidate).
+        map_slots, reduce_slots = self._static_slot_totals
+        is_map = kind is TaskKind.MAP
+        pool = map_slots if is_map else reduce_slots
+        share = pool / max(1, len(self.jt.active_jobs))
+        # Hoisted from fairness.eta(): min_share is a property that would
+        # re-divide pool/active_jobs for every row.
+        min_share = fairness.min_share
+        pool_slots = fairness.pool_slots
+        rows: List[Dict[str, Any]] = []
+        for job, tau, weight in zip(jobs, taus, weights):
+            headroom = share - (job.running_maps if is_map else job.running_reduces)
+            w = float(weight)
+            rows.append(
+                {
+                    "job_id": job.job_id,
+                    "tau": float(tau),
+                    "eta": fairness_eta(min_share, job.occupied_slots, pool_slots),
+                    "deficit": headroom if headroom > 0.5 else 0.5,
+                    "weight": w,
+                    "probability": w / total if total > 0 else uniform,
+                }
+            )
+        return rows
+
+    def _emit_decision(
+        self,
+        rows: List[Dict[str, Any]],
+        kind: TaskKind,
+        machine_id: int,
+        path: str,
+        task: Optional[Task],
+    ) -> None:
+        self.tracer.emit(
+            EventType.DECISION,
+            self.jt.sim.now,
+            machine_id=machine_id,
+            kind=kind.value,
+            path=path,
+            chosen_job=None if task is None else task.job.job_id,
+            task_id=None if task is None else task.task_id,
+            candidates=rows,
+        )
+
     def _priority_tier(self, jobs: List[Job], kind: TaskKind) -> List[Job]:
         """Jobs below their per-kind fair share, if any; else all jobs.
 
@@ -380,10 +493,24 @@ class EAntScheduler(Scheduler):
         if self.config.beta > 0:
             local_jobs = [j for j in jobs if j.local_pending_map(machine_id) is not None]
             if local_jobs:
-                job = self._sample_job(local_jobs, TaskKind.MAP, machine_id, fairness)
+                taus, weights = self._selection_arrays(
+                    local_jobs, TaskKind.MAP, machine_id, fairness
+                )
+                rows = (
+                    self._decision_rows(
+                        local_jobs, TaskKind.MAP, machine_id, fairness, taus, weights
+                    )
+                    if self.tracer.enabled
+                    else None
+                )
+                job = self._sample_job(
+                    local_jobs, TaskKind.MAP, machine_id, fairness, weights=weights
+                )
                 task = job.take_map(machine_id, prefer_local=True)
                 if task is not None:
                     self._record(task, machine_id)
+                    if rows is not None:
+                        self._emit_decision(rows, TaskKind.MAP, machine_id, "local", task)
                     return task
 
         return self._gated_fill(jobs, TaskKind.MAP, machine_id, fairness)
@@ -435,15 +562,25 @@ class EAntScheduler(Scheduler):
         """Sample colonies for the slot; gate; fall back under backlog."""
         assert self.pheromones is not None
         candidates = list(jobs)
+        taus, first_weights = self._selection_arrays(candidates, kind, machine_id, fairness)
+        weights: Optional[np.ndarray] = first_weights
+        rows = (
+            self._decision_rows(candidates, kind, machine_id, fairness, taus, first_weights)
+            if self.tracer.enabled
+            else None
+        )
         sampled: List[Job] = []
         for _ in range(min(self.config.candidates_per_slot, len(candidates))):
-            job = self._sample_job(candidates, kind, machine_id, fairness)
+            job = self._sample_job(candidates, kind, machine_id, fairness, weights=weights)
+            weights = None  # recompute for the shrunken list on later draws
             if job is None:
                 return None
             sampled.append(job)
             if self._accepts(job, kind, machine_id, fairness):
                 task = self._take(job, kind, machine_id)
                 if task is not None:
+                    if rows is not None:
+                        self._emit_decision(rows, kind, machine_id, "gated", task)
                     return task
             candidates.remove(job)
             if not candidates:
@@ -455,7 +592,13 @@ class EAntScheduler(Scheduler):
             )
             quality = self.pheromones.relative_quality((best.job_id, kind), machine_id)
             if quality >= self._effective_floor(jobs, kind):
-                return self._take(best, kind, machine_id)
+                task = self._take(best, kind, machine_id)
+                if task is not None:
+                    if rows is not None:
+                        self._emit_decision(rows, kind, machine_id, "fallback", task)
+                    return task
+        if rows is not None:
+            self._emit_decision(rows, kind, machine_id, "idle", None)
         return None  # slot left idle this heartbeat
 
     def _effective_floor(self, jobs: List[Job], kind: TaskKind) -> float:

@@ -14,6 +14,7 @@ same seed see identical workloads, block placements, and noise draws
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..cluster import Cluster, MachineSpec, Network, paper_fleet
@@ -22,6 +23,14 @@ from ..energy import ClusterMeter
 from ..hadoop import BlockPlacer, HadoopConfig, JobTracker, TaskTracker
 from ..metrics import MetricsCollector, RunMetrics, build_job_results
 from ..noise import DEFAULT_NOISE, NoiseModel
+from ..observability import (
+    NULL_TRACER,
+    EventType,
+    MetricsRegistry,
+    SnapshotSampler,
+    Tracer,
+    write_jsonl,
+)
 from ..schedulers import (
     CapacityScheduler,
     CoveringSubsetScheduler,
@@ -77,6 +86,8 @@ class ScenarioResult:
     jobtracker: JobTracker
     cluster: Cluster
     meter: Optional[ClusterMeter] = None
+    tracer: Optional[Tracer] = None
+    registry: Optional[MetricsRegistry] = None
 
     @property
     def eant(self) -> EAntScheduler:
@@ -99,6 +110,7 @@ def run_scenario(
     placements: Optional[Dict[int, List[Tuple[int, ...]]]] = None,
     network: Optional[Network] = None,
     max_sim_time: float = 10_000_000.0,
+    trace: Union[None, str, Path, Tracer] = None,
 ) -> ScenarioResult:
     """Run one complete scenario and return its results.
 
@@ -124,6 +136,14 @@ def run_scenario(
         experiment); defaults to non-blocking Gigabit Ethernet.
     max_sim_time:
         Hard cap guarding against non-terminating configurations.
+    trace:
+        ``None`` (default) runs fully uninstrumented — every trace hook
+        stays on the :data:`~repro.observability.NULL_TRACER` no-op path.
+        A path writes a JSONL trace there on completion; a
+        :class:`~repro.observability.Tracer` collects events in memory.
+        Either way a :class:`~repro.observability.MetricsRegistry` is
+        attached and periodic ``metrics.snapshot`` events are emitted
+        every ``meter_interval`` simulated seconds.
     """
     if not jobs:
         raise ValueError("scenario needs at least one job")
@@ -140,6 +160,23 @@ def run_scenario(
     else:
         policy = make_scheduler(scheduler, streams, eant_config)
 
+    # Tracing is pure observation: it consumes no RNG and schedules no
+    # behavior-bearing events, so a traced run is bit-identical to an
+    # untraced one with the same seed.
+    tracer: Optional[Tracer] = None
+    registry: Optional[MetricsRegistry] = None
+    trace_path: Optional[Path] = None
+    if trace is not None:
+        if isinstance(trace, Tracer):
+            tracer = trace
+        else:
+            tracer = Tracer()
+            trace_path = Path(trace)
+            # Fail fast on an unwritable destination, not after the run.
+            trace_path.touch()
+        registry = MetricsRegistry()
+        sim.tracer = tracer
+
     jobtracker = JobTracker(
         sim,
         cluster,
@@ -148,6 +185,8 @@ def run_scenario(
         placer,
         skew_noise=noise,
         rng=streams.stream("skew"),
+        tracer=tracer if tracer is not None else NULL_TRACER,
+        registry=registry,
     )
     jobtracker.expect_jobs(len(ordered))
 
@@ -168,6 +207,32 @@ def run_scenario(
     if with_meter:
         meter = ClusterMeter(cluster, sample_interval=meter_interval)
         meter.attach(sim, stop_when=lambda: jobtracker.is_shutdown)
+
+    sampler: Optional[SnapshotSampler] = None
+    if tracer is not None and registry is not None:
+        models: Dict[str, int] = {}
+        for machine in cluster:
+            models[machine.spec.model] = models.get(machine.spec.model, 0) + 1
+        tracer.emit(
+            EventType.HEADER,
+            0.0,
+            scheduler=policy.name,
+            seed=seed,
+            jobs=len(ordered),
+            machines=len(cluster),
+            fleet=models,
+            heartbeat_interval=config.heartbeat_interval,
+            control_interval=config.control_interval,
+            snapshot_interval=meter_interval,
+        )
+        sampler = SnapshotSampler(
+            registry=registry,
+            cluster=cluster,
+            jobtracker=jobtracker,
+            interval=meter_interval,
+            tracer=tracer,
+        )
+        sampler.attach(sim)
 
     def submit_all():
         for index, spec in enumerate(ordered):
@@ -191,6 +256,11 @@ def run_scenario(
         snapshot["makespan"] = sim.now
 
     jobtracker.all_done_event.add_callback(on_all_done)
+    if sampler is not None:
+        # Close the sampled series at the same instant, so the trace ends on
+        # a snapshot of the completed workload (in event order — trailing
+        # heartbeats may still tick afterwards).
+        jobtracker.all_done_event.add_callback(lambda _e: sampler.sample(sim.now))
 
     sim.run(until=max_sim_time)
     if "makespan" not in snapshot:
@@ -212,10 +282,14 @@ def run_scenario(
         job_results=build_job_results(jobtracker, cluster, config),
         collector=collector,
     )
+    if tracer is not None and trace_path is not None:
+        write_jsonl(tracer, trace_path)
     return ScenarioResult(
         metrics=metrics,
         scheduler=policy,
         jobtracker=jobtracker,
         cluster=cluster,
         meter=meter,
+        tracer=tracer,
+        registry=registry,
     )

@@ -113,6 +113,7 @@ class TaskAttempt:
         return TaskReport(
             job_id=job.job_id,
             job_name=job.name,
+            application=job.profile.name,
             pool=job.spec.pool,
             resource_signature=job.profile.resource_signature(),
             task_id=self.task.task_id,
@@ -153,6 +154,10 @@ class TaskReport:
     input_mb: float
     local: bool
     phases: Dict[str, float]
+    #: PUMA application name (e.g. ``"terasort"``), carried explicitly so
+    #: consumers need not parse it back out of ``job_name``.  Defaults empty
+    #: for hand-built reports; real reports always set it.
+    application: str = ""
 
     @property
     def duration(self) -> float:

@@ -16,6 +16,8 @@ import numpy as np
 
 from ..cluster import Cluster
 from ..noise import NoiseModel
+from ..observability.metrics import Counter, MetricsRegistry
+from ..observability.tracer import NULL_TRACER, EventType
 from ..simulation import Event, Simulator
 from ..workloads import JobSpec
 from .config import HadoopConfig
@@ -46,6 +48,12 @@ class JobTracker:
         Noise model supplying per-task input-size skew at job creation.
     rng:
         RNG stream for skew draws.
+    tracer:
+        Trace sink (:mod:`repro.observability`); defaults to the no-op
+        tracer, under which no event is ever constructed.
+    registry:
+        Optional :class:`~repro.observability.metrics.MetricsRegistry`
+        receiving assignment counters and heartbeat-gap histograms.
     """
 
     def __init__(
@@ -57,8 +65,22 @@ class JobTracker:
         placer: BlockPlacer,
         skew_noise: Optional[NoiseModel] = None,
         rng: Optional[np.random.Generator] = None,
+        tracer=NULL_TRACER,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.sim = sim
+        #: Trace sink shared with the trackers and the scheduler; the no-op
+        #: default keeps every emission site behind one ``enabled`` check.
+        self.tracer = tracer
+        #: Optional metrics registry (counters/histograms); None disables.
+        self.registry = registry
+        # Hot-path handles: resolved once so heartbeats and completions avoid
+        # rebuilding registry keys (sorted label tuples) per event.
+        self._heartbeat_gap_hist = (
+            None if registry is None else registry.histogram("heartbeat_gap_seconds")
+        )
+        self._assignment_counters: Dict[tuple, Counter] = {}
+        self._completion_counters: Dict[tuple, Counter] = {}
         self.cluster = cluster
         self.config = config
         self.scheduler = scheduler
@@ -79,6 +101,7 @@ class JobTracker:
         self._shutdown = False
         self.all_done_event: Event = sim.event()
         self._interval_process = None
+        self._interval_index = 0
 
         scheduler.bind(self)
 
@@ -113,6 +136,16 @@ class JobTracker:
             yield self.sim.timeout(self.config.control_interval)
             if self._shutdown:
                 return
+            self._interval_index += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventType.CONTROL_INTERVAL,
+                    self.sim.now,
+                    index=self._interval_index,
+                    active_jobs=len(self.active_jobs),
+                    pending_maps=sum(j.pending_map_count for j in self.active_jobs),
+                    pending_reduces=sum(j.pending_reduce_count for j in self.active_jobs),
+                )
             self.scheduler.on_control_interval(self.sim.now)
 
     # ------------------------------------------------------------- admission
@@ -141,8 +174,21 @@ class JobTracker:
         self.jobs[job_id] = job
         self.active_jobs.append(job)
         job.done_event.add_callback(lambda _e, j=job: self._job_done(j))
+        if self.tracer.enabled:
+            self._trace_job_submitted(job)
         self.scheduler.on_job_added(job)
         return job
+
+    def _trace_job_submitted(self, job: Job) -> None:
+        self.tracer.emit(
+            EventType.JOB_SUBMITTED,
+            self.sim.now,
+            job_id=job.job_id,
+            name=job.name,
+            application=job.profile.name,
+            num_maps=job.num_maps,
+            num_reduces=job.num_reduces,
+        )
 
     def submit_prepared(self, job: Job) -> Job:
         """Admit a pre-built job (experiments that control placement)."""
@@ -152,6 +198,8 @@ class JobTracker:
         self.jobs[job.job_id] = job
         self.active_jobs.append(job)
         job.done_event.add_callback(lambda _e, j=job: self._job_done(j))
+        if self.tracer.enabled:
+            self._trace_job_submitted(job)
         self.scheduler.on_job_added(job)
         return job
 
@@ -164,6 +212,14 @@ class JobTracker:
     def _job_done(self, job: Job) -> None:
         self.active_jobs.remove(job)
         self.completed_jobs.append(job)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventType.JOB_COMPLETED,
+                self.sim.now,
+                job_id=job.job_id,
+                name=job.name,
+                completion_time=job.completion_time,
+            )
         self.scheduler.on_job_removed(job)
         if self._expected_jobs is not None and len(self.completed_jobs) >= self._expected_jobs:
             self.shutdown()
@@ -187,9 +243,13 @@ class JobTracker:
         """
         if self._shutdown:
             return []
-        self.last_heartbeat[tracker.machine.machine_id] = self.sim.now
+        machine_id = tracker.machine.machine_id
+        previous = self.last_heartbeat.get(machine_id)
+        self.last_heartbeat[machine_id] = self.sim.now
+        if self._heartbeat_gap_hist is not None and previous is not None:
+            self._heartbeat_gap_hist.observe(self.sim.now - previous)
         self._expire_dead_trackers()
-        if tracker.machine.machine_id not in self.trackers:
+        if machine_id not in self.trackers:
             return []  # this tracker was itself expired
         status = tracker.status()
         assignments = self.scheduler.select_tasks(status)
@@ -200,6 +260,33 @@ class JobTracker:
                 f"scheduler over-assigned {tracker.machine.hostname}: "
                 f"{maps} maps into {status.free_map_slots} slots, "
                 f"{reduces} reduces into {status.free_reduce_slots}"
+            )
+        if self.registry is not None and assignments:
+            model = tracker.machine.spec.model
+            for task in assignments:
+                key = (model, task.kind.value)
+                counter = self._assignment_counters.get(key)
+                if counter is None:
+                    counter = self.registry.counter(
+                        "assignments_total",
+                        scheduler=self.scheduler.name,
+                        model=model,
+                        kind=task.kind.value,
+                    )
+                    self._assignment_counters[key] = counter
+                counter.inc()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventType.HEARTBEAT,
+                self.sim.now,
+                machine_id=machine_id,
+                free_map_slots=status.free_map_slots,
+                free_reduce_slots=status.free_reduce_slots,
+                running_maps=status.running_maps,
+                running_reduces=status.running_reduces,
+                assigned_maps=maps,
+                assigned_reduces=reduces,
+                gap=None if previous is None else self.sim.now - previous,
             )
         return assignments
 
@@ -227,6 +314,8 @@ class JobTracker:
         if tracker is None:
             return
         self.expired_trackers.append(machine_id)
+        if self.tracer.enabled:
+            self.tracer.emit(EventType.TRACKER_EXPIRED, self.sim.now, machine_id=machine_id)
         for job in list(self.active_jobs):
             for task in job.maps + job.reduces:
                 if task.state.value != "running" or not task.attempts:
@@ -252,6 +341,15 @@ class JobTracker:
             return  # speculative duplicate: winner already reported
         report = attempt.to_report()
         self.reports.append(report)
+        if self.registry is not None:
+            key = (tracker.machine.spec.model, report.kind.value)
+            counter = self._completion_counters.get(key)
+            if counter is None:
+                counter = self.registry.counter(
+                    "tasks_completed_total", model=key[0], kind=key[1]
+                )
+                self._completion_counters[key] = counter
+            counter.inc()
         self.scheduler.on_task_completed(report)
         for listener in self._listeners:
             listener(report)

@@ -20,6 +20,7 @@ import numpy as np
 from ..cluster import Machine
 from ..energy.model import samples_from_phases
 from ..noise import NO_NOISE, NoiseModel
+from ..observability.tracer import NULL_TRACER, EventType
 from ..simulation import Interrupt, Process, Simulator
 from .config import HadoopConfig
 from .job import Task, TaskAttempt, TaskKind
@@ -69,6 +70,7 @@ class TaskTracker:
         self.noise = noise
         self.rng = rng if rng is not None else np.random.default_rng(machine.machine_id)
         self.jobtracker: Optional["JobTracker"] = None
+        self.tracer = NULL_TRACER  # inherited from the JobTracker at start()
         self.running_maps = 0
         self.running_reduces = 0
         self._attempt_processes: Dict[str, Process] = {}
@@ -81,6 +83,7 @@ class TaskTracker:
     def start(self, jobtracker: "JobTracker") -> None:
         """Register with the JobTracker and begin heartbeating."""
         self.jobtracker = jobtracker
+        self.tracer = jobtracker.tracer
         jobtracker.register_tracker(self)
         self._heartbeat_process = self.sim.process(
             self._heartbeat_loop(), name=f"tt-{self.machine.hostname}"
@@ -128,6 +131,17 @@ class TaskTracker:
                 raise RuntimeError(f"{self.machine.hostname}: no free reduce slot")
             self.running_reduces += 1
         attempt = task.new_attempt(self.machine.machine_id, self.sim.now)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventType.TASK_LAUNCHED,
+                self.sim.now,
+                task_id=task.task_id,
+                attempt_id=attempt.attempt_id,
+                job_id=task.job.job_id,
+                kind=task.kind.value,
+                machine_id=self.machine.machine_id,
+                attempt_number=attempt.attempt_number,
+            )
         body = self._run_map(attempt) if task.is_map else self._run_reduce(attempt)
         process = self.sim.process(body, name=attempt.attempt_id)
         self._attempt_processes[attempt.attempt_id] = process
@@ -170,6 +184,21 @@ class TaskTracker:
         attempt.succeeded = succeeded
         self._attempt_processes.pop(attempt.attempt_id, None)
         assert self.jobtracker is not None
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventType.TASK_COMPLETED if succeeded else EventType.TASK_KILLED,
+                self.sim.now,
+                task_id=task.task_id,
+                attempt_id=attempt.attempt_id,
+                job_id=task.job.job_id,
+                kind=task.kind.value,
+                machine_id=self.machine.machine_id,
+                duration=attempt.duration,
+                local=attempt.local,
+                avg_utilization=attempt.avg_utilization,
+                phases=dict(attempt.phases),
+                crashed=self._crashed,
+            )
         if self._crashed:
             # A crashed node reports nothing; the JobTracker discovers the
             # loss via heartbeat expiry and requeues the tasks itself.

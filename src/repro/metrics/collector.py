@@ -58,7 +58,9 @@ class MetricsCollector:
     def on_report(self, report: TaskReport) -> None:
         """JobTracker report listener."""
         model = self.cluster.machine(report.machine_id).spec.model
-        application = report.job_name.split("-")[0]
+        # The report carries the application explicitly; job names are free
+        # text and may themselves contain dashes, so never parse them.
+        application = report.application or report.job_name
         key = (model, application, report.kind.value)
         self.completed[key] = self.completed.get(key, 0) + 1
         busy_key = (model, application)

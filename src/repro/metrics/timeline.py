@@ -13,7 +13,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..energy import ClusterMeter
 
-__all__ = ["MachineSeries", "extract_timelines", "sparkline", "timeline_report"]
+__all__ = [
+    "MachineSeries",
+    "extract_timelines",
+    "sparkline",
+    "timeline_report",
+    "render_series_report",
+]
 
 #: Eight-level block characters for terminal sparklines.
 _BLOCKS = " ▁▂▃▄▅▆▇█"
@@ -92,10 +98,20 @@ def sparkline(values: Sequence[float], width: int = 60, ceiling: Optional[float]
     return "".join(out)
 
 
-def timeline_report(meter: ClusterMeter, width: int = 60) -> str:
-    """Multi-line report: one power sparkline per machine, plus totals."""
+def render_series_report(
+    series: Dict[int, MachineSeries],
+    width: int = 60,
+    show_utilization: bool = False,
+) -> str:
+    """Render per-machine sparklines from already-extracted series.
+
+    The power line per machine matches :func:`timeline_report`'s layout;
+    with ``show_utilization`` a second sparkline per machine shows the
+    CPU-utilization trajectory (scaled 0..1).  This is the shared renderer
+    behind both the live meter report and the trace-replay report
+    (``repro report``), which reconstructs the same series offline.
+    """
     lines: List[str] = []
-    series = extract_timelines(meter)
     ceiling = max((s.peak_power for s in series.values()), default=0.0)
     for machine_id in sorted(series):
         machine_series = series[machine_id]
@@ -105,6 +121,22 @@ def timeline_report(meter: ClusterMeter, width: int = 60) -> str:
             f"avg {machine_series.mean_power:6.1f} W  "
             f"peak {machine_series.peak_power:6.1f} W"
         )
+        if show_utilization:
+            mean_util = (
+                sum(machine_series.utilization) / len(machine_series.utilization)
+                if machine_series.utilization
+                else 0.0
+            )
+            lines.append(
+                f"{'  util':12s} "
+                f"{sparkline(machine_series.utilization, width=width, ceiling=1.0)} "
+                f"avg {mean_util:6.2f}"
+            )
     total = sum(s.energy_kj() for s in series.values())
     lines.append(f"{'cluster':12s} {'':{width}s} total ~{total:.0f} kJ (sampled)")
     return "\n".join(lines)
+
+
+def timeline_report(meter: ClusterMeter, width: int = 60) -> str:
+    """Multi-line report: one power sparkline per machine, plus totals."""
+    return render_series_report(extract_timelines(meter), width=width)

@@ -1,0 +1,53 @@
+"""Structured tracing & telemetry for the E-Ant simulator.
+
+Four pieces (see ``docs/observability.md`` for schemas and examples):
+
+* :mod:`.tracer` — typed trace events with a zero-cost off switch
+  (:data:`NULL_TRACER`); threaded through the simulation engine, both
+  trackers, and every scheduler.
+* :mod:`.audit` — the scheduler decision audit log: one record per E-Ant
+  slot decision decomposing Eqs. 3-8 (pheromone, heuristic, fairness,
+  final probability) over the full candidate set.
+* :mod:`.metrics` — a labelled counter/gauge/histogram registry with
+  periodic snapshots on the simulation clock.
+* :mod:`.exporters` / :mod:`.report` — JSONL trace files, flamegraph-style
+  text summaries, and offline replay of a trace into the per-machine
+  sparkline reports (``repro trace`` / ``repro report``).
+"""
+
+from .audit import CandidateRow, DecisionRecord
+from .exporters import flame_summary, read_jsonl, trace_summary, write_jsonl
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, SnapshotSampler
+from .tracer import NULL_TRACER, EventType, NullTracer, TraceEvent, Tracer
+
+
+def __getattr__(name):
+    # `.report` renders through repro.metrics.timeline, which sits above the
+    # simulation/hadoop layers that import this package for NULL_TRACER —
+    # loading it lazily keeps the low-level import graph acyclic.
+    if name in ("machine_series_from_trace", "report_from_trace"):
+        from . import report
+
+        return getattr(report, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "EventType",
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "CandidateRow",
+    "DecisionRecord",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SnapshotSampler",
+    "write_jsonl",
+    "read_jsonl",
+    "trace_summary",
+    "flame_summary",
+    "machine_series_from_trace",
+    "report_from_trace",
+]

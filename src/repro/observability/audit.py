@@ -1,0 +1,140 @@
+"""The scheduler decision audit log: Eqs. 3-8, decomposed per assignment.
+
+Every time E-Ant fills (or declines to fill) a slot, one
+:class:`DecisionRecord` captures the complete candidate set the sampler
+saw — each job's pheromone attractiveness ``tau`` (Eqs. 3-6), heuristic
+``eta`` (Eq. 7), slot-deficit factor, the combined Eq. 8 weight, and the
+normalized selection probability — plus which colony won the slot and
+through which code path.  The rows always sum to probability 1, so the
+assignment distribution of any dispatch can be reconstructed offline from
+the trace alone.
+
+The records are plain data (no scheduler imports), keyed by job id and a
+``"map"``/``"reduce"`` kind string, so the audit module stays free of
+import cycles with :mod:`repro.hadoop` and :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["CandidateRow", "DecisionRecord"]
+
+
+@dataclass(frozen=True, slots=True)
+class CandidateRow:
+    """One candidate colony's Eq. 8 decomposition for one slot offer.
+
+    Attributes
+    ----------
+    job_id:
+        The candidate job (its colony is ``(job_id, kind)``).
+    tau:
+        Pheromone attractiveness of the machine for this colony (Eq. 3's
+        numerator term, after Eqs. 4-6 updates and exchange averaging).
+    eta:
+        The raw Eq. 7 fairness heuristic for the job's occupied slots.
+    deficit:
+        The slot-deficit factor multiplied into the heuristic term.
+    weight:
+        The full sampling weight: ``tau ** sharpness * heuristic_term``.
+    probability:
+        ``weight / sum(weights)`` — the Eq. 8 assignment probability.
+    """
+
+    job_id: int
+    tau: float
+    eta: float
+    deficit: float
+    weight: float
+    probability: float
+
+    def to_data(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "tau": self.tau,
+            "eta": self.eta,
+            "deficit": self.deficit,
+            "weight": self.weight,
+            "probability": self.probability,
+        }
+
+    @classmethod
+    def from_data(cls, data: Dict[str, Any]) -> "CandidateRow":
+        return cls(
+            job_id=int(data["job_id"]),
+            tau=float(data["tau"]),
+            eta=float(data["eta"]),
+            deficit=float(data["deficit"]),
+            weight=float(data["weight"]),
+            probability=float(data["probability"]),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class DecisionRecord:
+    """One slot-fill decision of the E-Ant scheduler.
+
+    Attributes
+    ----------
+    time:
+        Simulation time of the heartbeat that offered the slot.
+    machine_id:
+        The machine offering the slot.
+    kind:
+        ``"map"`` or ``"reduce"``.
+    path:
+        Which mechanism resolved the slot: ``"local"`` (Eq. 7's
+        infinite-eta locality short-circuit), ``"gated"`` (a sampled
+        colony passed gated acceptance), ``"fallback"`` (work-conserving
+        fill after every sample rejected), or ``"idle"`` (slot left
+        empty this heartbeat).
+    chosen_job:
+        The winning job id, or ``None`` when the slot idled.
+    task_id:
+        The launched task, or ``None`` when the slot idled.
+    candidates:
+        The full candidate tier with per-row Eq. 8 decomposition;
+        probabilities sum to 1.
+    """
+
+    time: float
+    machine_id: int
+    kind: str
+    path: str
+    chosen_job: Optional[int]
+    task_id: Optional[str]
+    candidates: Tuple[CandidateRow, ...]
+
+    def to_data(self) -> Dict[str, Any]:
+        return {
+            "machine_id": self.machine_id,
+            "kind": self.kind,
+            "path": self.path,
+            "chosen_job": self.chosen_job,
+            "task_id": self.task_id,
+            "candidates": [row.to_data() for row in self.candidates],
+        }
+
+    @classmethod
+    def from_data(cls, data: Dict[str, Any], time: float = 0.0) -> "DecisionRecord":
+        return cls(
+            time=float(data.get("t", time)),
+            machine_id=int(data["machine_id"]),
+            kind=str(data["kind"]),
+            path=str(data["path"]),
+            chosen_job=None if data.get("chosen_job") is None else int(data["chosen_job"]),
+            task_id=data.get("task_id"),
+            candidates=tuple(CandidateRow.from_data(row) for row in data["candidates"]),
+        )
+
+    @property
+    def probability_of_chosen(self) -> Optional[float]:
+        """The Eq. 8 probability the winning job had, if the slot filled."""
+        if self.chosen_job is None:
+            return None
+        for row in self.candidates:
+            if row.job_id == self.chosen_job:
+                return row.probability
+        return None

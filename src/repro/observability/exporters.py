@@ -1,0 +1,139 @@
+"""Trace export and offline inspection: JSONL files and text summaries.
+
+A trace file is one JSON object per line, each with ``t`` (simulation
+seconds) and ``type`` (an :class:`~repro.observability.tracer.EventType`
+value) plus the event's payload fields.  The first line is normally the
+``trace.header`` record carrying the run configuration, so a trace is
+self-describing and reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+from .tracer import EventType, TraceEvent, Tracer
+
+__all__ = ["write_jsonl", "read_jsonl", "trace_summary", "flame_summary"]
+
+
+def _events_of(trace: Union[Tracer, Sequence[TraceEvent]]) -> Sequence[TraceEvent]:
+    return trace.events if isinstance(trace, Tracer) else trace
+
+
+def write_jsonl(trace: Union[Tracer, Sequence[TraceEvent]], path: Union[str, Path]) -> int:
+    """Write a trace to ``path`` (one event per line); returns event count."""
+    events = _events_of(trace)
+    target = Path(path)
+    with target.open("w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event.to_line_dict(), separators=(",", ":")))
+            handle.write("\n")
+    return len(events)
+
+
+def read_jsonl(path: Union[str, Path]) -> List[TraceEvent]:
+    """Load a JSONL trace back into :class:`TraceEvent` records."""
+    events: List[TraceEvent] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{line_number}: bad trace line: {error}") from None
+            if "t" not in record or "type" not in record:
+                raise ValueError(f"{path}:{line_number}: missing 't'/'type' field")
+            events.append(TraceEvent.from_line_dict(record))
+    return events
+
+
+# --------------------------------------------------------------------- summary
+def trace_summary(events: Sequence[TraceEvent]) -> str:
+    """Compact roll-up of a trace: header, span, and per-type counts."""
+    lines: List[str] = []
+    header = next((e for e in events if e.type == EventType.HEADER), None)
+    if header is not None:
+        config = " ".join(f"{k}={v}" for k, v in sorted(header.data.items()))
+        lines.append(f"trace header: {config}")
+    if events:
+        start = min(e.time for e in events)
+        end = max(e.time for e in events)
+        lines.append(f"{len(events)} events over {end - start:.1f} simulated seconds")
+    else:
+        lines.append("0 events")
+    counts: Dict[str, int] = {}
+    for event in events:
+        counts[str(event.type)] = counts.get(str(event.type), 0) + 1
+    width = max((len(t) for t in counts), default=0)
+    for type_name in sorted(counts):
+        lines.append(f"  {type_name:<{width}s} {counts[type_name]:>8d}")
+    decisions = [e for e in events if e.type == EventType.DECISION]
+    if decisions:
+        filled = sum(1 for e in decisions if e.data.get("chosen_job") is not None)
+        lines.append(
+            f"decision audit: {filled} dispatches, {len(decisions) - filled} idle offers"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------- flamegraph
+#: Phase nesting used by the flame summary: kind -> execution phases.
+_PHASE_TREE = {"map": ("io", "cpu"), "reduce": ("shuffle", "sort", "reduce")}
+
+
+def flame_summary(events: Sequence[TraceEvent], width: int = 40) -> str:
+    """Flamegraph-style text summary of where task time went.
+
+    Aggregates the ``phases`` payload of every ``task.completed`` event
+    into a two-level tree (task kind -> phase) and renders inclusive
+    seconds with proportional bars, like a collapsed flamegraph::
+
+        all                 ######....  1234.5s 100.0%
+          map               ####......   812.3s  65.8%
+            io              #.........   101.2s   8.2%
+    """
+    totals: Dict[str, Dict[str, float]] = {k: {} for k in _PHASE_TREE}
+    for event in events:
+        if event.type != EventType.TASK_COMPLETED:
+            continue
+        kind = event.data.get("kind", "map")
+        phases = event.data.get("phases") or {}
+        bucket = totals.setdefault(kind, {})
+        for phase, seconds in phases.items():
+            bucket[phase] = bucket.get(phase, 0.0) + float(seconds)
+    grand_total = sum(sum(b.values()) for b in totals.values())
+    if grand_total <= 0:
+        return "no completed-task phase data in trace"
+
+    def bar(fraction: float) -> str:
+        filled = max(0, min(width, round(fraction * width)))
+        return "#" * filled + "." * (width - filled)
+
+    label_width = 4 + max(
+        (len(p) for phases in totals.values() for p in phases), default=4
+    )
+    lines = [f"{'all':<{label_width}s} {bar(1.0)} {grand_total:10.1f}s 100.0%"]
+    for kind in sorted(totals, key=lambda k: -sum(totals[k].values())):
+        kind_total = sum(totals[kind].values())
+        if kind_total <= 0:
+            continue
+        fraction = kind_total / grand_total
+        lines.append(
+            f"  {kind:<{label_width - 2}s} {bar(fraction)} {kind_total:10.1f}s "
+            f"{fraction:6.1%}"
+        )
+        order = _PHASE_TREE.get(kind, tuple(sorted(totals[kind])))
+        for phase in order:
+            seconds = totals[kind].get(phase)
+            if not seconds:
+                continue
+            fraction = seconds / grand_total
+            lines.append(
+                f"    {phase:<{label_width - 4}s} {bar(fraction)} {seconds:10.1f}s "
+                f"{fraction:6.1%}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,245 @@
+"""A small labelled-metrics registry with sim-clock snapshots.
+
+:class:`MetricsRegistry` holds counters, gauges, and histograms keyed by
+``(name, sorted label items)`` — the shape of a Prometheus client, scaled
+down to what an in-process simulation needs.  Instrumented components
+increment metrics inline (assignments by scheduler and machine model,
+heartbeat gaps, tasks completed); :class:`SnapshotSampler` additionally
+samples cluster state (per-machine utilization, power, cumulative energy,
+queue depths) on a fixed simulation-clock period and emits each snapshot
+as a :data:`~repro.observability.tracer.EventType.METRICS_SNAPSHOT` trace
+event, which is what ``repro report`` replays into sparklines.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Tuple
+
+from .tracer import NULL_TRACER, EventType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster import Cluster
+    from ..hadoop.jobtracker import JobTracker
+    from ..simulation import Simulator
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "SnapshotSampler"]
+
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+#: Default histogram bucket upper bounds (seconds-ish scales).
+DEFAULT_BUCKETS = (0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0, float("inf"))
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """Fixed-bucket distribution (cumulative counts, Prometheus-style).
+
+    Observation is O(log buckets): each value ticks exactly one raw bucket
+    (found by bisection) and the cumulative view is materialized on read.
+    """
+
+    def __init__(self, buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if tuple(sorted(buckets)) != tuple(buckets):
+            raise ValueError("histogram buckets must be sorted")
+        self.buckets = tuple(buckets)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._raw = [0] * len(buckets)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        index = bisect.bisect_left(self.buckets, value)
+        if index < len(self._raw):
+            self._raw[index] += 1
+
+    @property
+    def counts(self) -> List[int]:
+        """Cumulative per-bucket counts (bucket i counts values <= bound i)."""
+        out: List[int] = []
+        running = 0
+        for raw in self._raw:
+            running += raw
+            out.append(running)
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_data(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {str(b): c for b, c in zip(self.buckets, self.counts)},
+        }
+
+
+def _key(name: str, labels: Dict[str, Any]) -> MetricKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _key_str(key: MetricKey) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labelled counters/gauges/histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[MetricKey, Counter] = {}
+        self._gauges: Dict[MetricKey, Gauge] = {}
+        self._histograms: Dict[MetricKey, Histogram] = {}
+
+    # ------------------------------------------------------------- get/create
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._counters.setdefault(_key(name, labels), Counter())
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._gauges.setdefault(_key(name, labels), Gauge())
+
+    def histogram(
+        self, name: str, buckets: Optional[Tuple[float, ...]] = None, **labels: Any
+    ) -> Histogram:
+        key = _key(name, labels)
+        if key not in self._histograms:
+            self._histograms[key] = Histogram(buckets=buckets or DEFAULT_BUCKETS)
+        return self._histograms[key]
+
+    # --------------------------------------------------------------- export
+    def snapshot(self) -> Dict[str, Any]:
+        """All metric values as a flat, JSON-serializable mapping."""
+        return {
+            "counters": {_key_str(k): c.value for k, c in sorted(self._counters.items())},
+            "gauges": {_key_str(k): g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                _key_str(k): h.to_data() for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def counter_values(self, name: str) -> Dict[Tuple[Tuple[str, str], ...], float]:
+        """All label-sets of one counter family -> value."""
+        return {
+            labels: counter.value
+            for (metric, labels), counter in self._counters.items()
+            if metric == name
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MetricsRegistry counters={len(self._counters)} "
+            f"gauges={len(self._gauges)} histograms={len(self._histograms)}>"
+        )
+
+
+@dataclass
+class SnapshotSampler:
+    """Periodic registry/cluster snapshots on the simulation clock.
+
+    Each tick closes every machine's energy-integration window, refreshes
+    the per-machine and queue-depth gauges, increments the per-interval
+    energy counters, and emits one ``metrics.snapshot`` trace event whose
+    ``machines`` section carries (utilization, power, cumulative joules)
+    samples — the series ``repro report`` reconstructs.
+    """
+
+    registry: MetricsRegistry
+    cluster: "Cluster"
+    jobtracker: Optional["JobTracker"] = None
+    interval: float = 30.0
+    tracer: Any = NULL_TRACER
+    _last_joules: Dict[int, float] = field(default_factory=dict)
+
+    def attach(self, sim: "Simulator") -> None:
+        """Start the sampling process (stops when the JobTracker shuts down)."""
+        if self.interval <= 0:
+            raise ValueError("snapshot interval must be positive")
+        sim.process(self._run(sim), name="metrics-snapshots")
+
+    def _run(self, sim: "Simulator") -> Generator:
+        while self.jobtracker is None or not self.jobtracker.is_shutdown:
+            yield sim.timeout(self.interval)
+            if self.jobtracker is not None and self.jobtracker.is_shutdown:
+                return
+            self.sample(sim.now)
+
+    def sample(self, now: float) -> None:
+        """Take one snapshot at simulation time ``now``."""
+        machines: List[Dict[str, Any]] = []
+        for machine in self.cluster:
+            # Read-only: projected_joules leaves the energy integrator's
+            # float state untouched, so a traced run stays bit-identical
+            # to an untraced one.
+            utilization = machine.utilization
+            power = machine.spec.power.power(utilization)
+            joules = machine.energy.projected_joules(now)
+            model = machine.spec.model
+            self.registry.gauge("machine_utilization", machine=machine.hostname).set(
+                utilization
+            )
+            self.registry.gauge("machine_power_watts", machine=machine.hostname).set(power)
+            delta = joules - self._last_joules.get(machine.machine_id, 0.0)
+            self._last_joules[machine.machine_id] = joules
+            self.registry.counter("energy_joules_total", model=model).inc(max(delta, 0.0))
+            machines.append(
+                {
+                    "id": machine.machine_id,
+                    "host": machine.hostname,
+                    "model": model,
+                    "util": utilization,
+                    "power_w": power,
+                    "joules": joules,
+                }
+            )
+        if self.jobtracker is not None:
+            jt = self.jobtracker
+            pending_maps = sum(j.pending_map_count for j in jt.active_jobs)
+            pending_reduces = sum(j.pending_reduce_count for j in jt.active_jobs)
+            self.registry.gauge("pending_maps").set(pending_maps)
+            self.registry.gauge("pending_reduces").set(pending_reduces)
+            self.registry.gauge("active_jobs").set(len(jt.active_jobs))
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventType.METRICS_SNAPSHOT,
+                now,
+                machines=machines,
+                metrics=self.registry.snapshot(),
+            )

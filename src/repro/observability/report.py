@@ -1,0 +1,73 @@
+"""Trace replay: reconstruct timelines and render reports offline.
+
+``repro report out.jsonl`` calls :func:`report_from_trace`, which rebuilds
+per-machine :class:`~repro.metrics.timeline.MachineSeries` from the
+``metrics.snapshot`` events of a trace file — no live meter, simulator, or
+cluster object required — and feeds them through the same sparkline
+renderer the online ``--timeline`` view uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..metrics.timeline import MachineSeries, render_series_report
+from .exporters import flame_summary, trace_summary
+from .tracer import EventType, TraceEvent
+
+__all__ = ["machine_series_from_trace", "report_from_trace"]
+
+
+def machine_series_from_trace(events: Sequence[TraceEvent]) -> Dict[int, MachineSeries]:
+    """Per-machine utilization/power series from a trace's snapshots.
+
+    Raises ``ValueError`` when the trace holds no ``metrics.snapshot``
+    events (i.e. it was recorded without the periodic sampler).
+    """
+    times: Dict[int, List[float]] = {}
+    utilization: Dict[int, List[float]] = {}
+    power: Dict[int, List[float]] = {}
+    identity: Dict[int, Dict[str, str]] = {}
+    snapshots = 0
+    for event in events:
+        if event.type != EventType.METRICS_SNAPSHOT:
+            continue
+        snapshots += 1
+        for sample in event.data.get("machines", ()):
+            machine_id = int(sample["id"])
+            identity.setdefault(
+                machine_id,
+                {"host": str(sample.get("host", machine_id)), "model": str(sample.get("model", "?"))},
+            )
+            times.setdefault(machine_id, []).append(event.time)
+            utilization.setdefault(machine_id, []).append(float(sample["util"]))
+            power.setdefault(machine_id, []).append(float(sample["power_w"]))
+    if snapshots == 0:
+        raise ValueError(
+            "trace has no metrics.snapshot events; record it with tracing "
+            "enabled (e.g. `repro run --trace out.jsonl`)"
+        )
+    return {
+        machine_id: MachineSeries(
+            machine_id=machine_id,
+            hostname=identity[machine_id]["host"],
+            model=identity[machine_id]["model"],
+            times=tuple(times[machine_id]),
+            utilization=tuple(utilization[machine_id]),
+            power_watts=tuple(power[machine_id]),
+        )
+        for machine_id in sorted(times)
+    }
+
+
+def report_from_trace(events: Sequence[TraceEvent], width: int = 60) -> str:
+    """Full offline report: summary, flame profile, per-machine sparklines."""
+    sections = [trace_summary(events), "", flame_summary(events), ""]
+    try:
+        series = machine_series_from_trace(events)
+    except ValueError as error:
+        sections.append(str(error))
+    else:
+        sections.append("per-machine utilization/power (replayed from trace):")
+        sections.append(render_series_report(series, width=width, show_utilization=True))
+    return "\n".join(sections)

@@ -11,10 +11,11 @@ which keeps all state transitions inside :class:`~repro.hadoop.job.Job`.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Any, List, Optional
 
 from ..hadoop.job import Job, Task, TaskReport
 from ..hadoop.tasktracker import TrackerStatus
+from ..observability.tracer import NULL_TRACER, EventType
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..hadoop.jobtracker import JobTracker
@@ -30,11 +31,15 @@ class Scheduler(abc.ABC):
 
     def __init__(self) -> None:
         self.jobtracker: Optional["JobTracker"] = None
+        #: Trace sink, inherited from the JobTracker at bind time.  All
+        #: emission helpers are no-ops while ``tracer.enabled`` is False.
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------- lifecycle
     def bind(self, jobtracker: "JobTracker") -> None:
         """Attach to the JobTracker (called once, by the JobTracker)."""
         self.jobtracker = jobtracker
+        self.tracer = jobtracker.tracer
 
     @property
     def jt(self) -> "JobTracker":
@@ -64,6 +69,32 @@ class Scheduler(abc.ABC):
         ``status.free_reduce_slots`` reduces, claimed from their jobs'
         pending queues.
         """
+
+    # ----------------------------------------------------------- observability
+    def trace_scheduler_event(self, **data: Any) -> None:
+        """Emit a policy-specific annotation (``scheduler.event``).
+
+        Baselines call this at their decision points with whatever signal
+        drove the choice (queue rank, deficit, quota headroom, speculation
+        overrun, ...).  With tracing off this is one attribute check.
+        """
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventType.SCHEDULER_EVENT, self.jt.sim.now, scheduler=self.name, **data
+            )
+
+    def trace_assignment(self, task: Task, **detail: Any) -> None:
+        """Emit a ``scheduler.event`` describing one task assignment."""
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventType.SCHEDULER_EVENT,
+                self.jt.sim.now,
+                scheduler=self.name,
+                task_id=task.task_id,
+                job_id=task.job.job_id,
+                kind=task.kind.value,
+                **detail,
+            )
 
     # ----------------------------------------------------------- shared bits
     def active_jobs(self) -> List[Job]:

@@ -109,6 +109,15 @@ class CapacityScheduler(Scheduler):
                         continue
                     task = self._take_from_queue(queue, kind, status.machine_id)
                     if task is not None:
+                        if self.tracer.enabled:
+                            self.trace_assignment(
+                                task,
+                                machine_id=status.machine_id,
+                                queue=queue,
+                                queue_used=usage[queue],
+                                queue_guarantee=guarantee,
+                                borrowed=usage[queue] >= guarantee,
+                            )
                         break
                 if task is None:
                     break

@@ -87,12 +87,18 @@ class CoveringSubsetScheduler(FairScheduler):
 
         if self.power.is_asleep(machine_id) and not self._cluster_pressure():
             # Stay asleep: the covering subset can absorb the current load.
+            if self.tracer.enabled:
+                self.trace_scheduler_event(detail="stay-asleep", machine_id=machine_id)
             return []
 
         assignments = super().select_tasks(status)
         if assignments:
             penalty = self.power.notify_busy(machine_id, now)
             if penalty > 0:
+                if self.tracer.enabled:
+                    self.trace_scheduler_event(
+                        detail="wake", machine_id=machine_id, penalty_s=penalty
+                    )
                 # Model resume latency by charging the wake-up to the first
                 # task's start (a pre-phase the tracker runs implicitly via
                 # the heartbeat gap); recorded for the benchmark's latency

@@ -53,6 +53,7 @@ class FairScheduler(Scheduler):
                 self.jobs_with_pending_maps(), map_slots, lambda j: j.running_maps
             )
             task = None
+            local = True
             # First pass: node-local task from the most-starved job offering one.
             for job in candidates:
                 if job.local_pending_map(machine_id) is not None:
@@ -60,12 +61,21 @@ class FairScheduler(Scheduler):
                     break
             # Second pass: any pending map, most-starved first.
             if task is None:
+                local = False
                 for job in candidates:
                     task = job.take_map(machine_id, prefer_local=True)
                     if task is not None:
                         break
             if task is None:
                 break
+            if self.tracer.enabled:
+                share = max(self.fair_share(map_slots, len(self.jt.active_jobs)), 1e-9)
+                self.trace_assignment(
+                    task,
+                    machine_id=machine_id,
+                    local_pass=local,
+                    deficit=task.job.running_maps / share,
+                )
             assignments.append(task)
 
         for _ in range(status.free_reduce_slots):
@@ -81,6 +91,13 @@ class FairScheduler(Scheduler):
                     break
             if task is None:
                 break
+            if self.tracer.enabled:
+                share = max(self.fair_share(reduce_slots, len(self.jt.active_jobs)), 1e-9)
+                self.trace_assignment(
+                    task,
+                    machine_id=machine_id,
+                    deficit=task.job.running_reduces / share,
+                )
             assignments.append(task)
 
         return assignments

@@ -29,9 +29,11 @@ class FifoScheduler(Scheduler):
 
         for _ in range(status.free_map_slots):
             task = None
-            for job in self.jobs_with_pending_maps():
+            for rank, job in enumerate(self.jobs_with_pending_maps()):
                 task = job.take_map(machine_id, prefer_local=True)
                 if task is not None:
+                    if self.tracer.enabled:
+                        self.trace_assignment(task, machine_id=machine_id, queue_rank=rank)
                     break
             if task is None:
                 break
@@ -39,9 +41,11 @@ class FifoScheduler(Scheduler):
 
         for _ in range(status.free_reduce_slots):
             task = None
-            for job in self.jobs_with_schedulable_reduces():
+            for rank, job in enumerate(self.jobs_with_schedulable_reduces()):
                 task = job.take_reduce()
                 if task is not None:
+                    if self.tracer.enabled:
+                        self.trace_assignment(task, machine_id=machine_id, queue_rank=rank)
                     break
             if task is None:
                 break

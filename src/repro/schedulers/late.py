@@ -89,6 +89,21 @@ class LateScheduler(FairScheduler):
             if candidate is None:
                 break
             self._speculated.add(candidate.task_id)
+            if self.tracer.enabled:
+                running = candidate.attempts[-1] if candidate.attempts else None
+                mean = self._mean_map_duration.get(candidate.job.job_id, 0.0)
+                self.trace_scheduler_event(
+                    detail="speculation",
+                    task_id=candidate.task_id,
+                    job_id=candidate.job.job_id,
+                    machine_id=status.machine_id,
+                    straggler_machine=None if running is None else running.machine_id,
+                    overrun=(
+                        (self.jt.sim.now - running.start_time) / mean
+                        if running is not None and mean
+                        else None
+                    ),
+                )
             assignments.append(candidate)
         return assignments
 

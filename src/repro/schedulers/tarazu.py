@@ -77,6 +77,15 @@ class TarazuScheduler(FairScheduler):
     def _note_map_launch(self, job: Job, machine_id: int) -> None:
         per_machine = self._maps_launched.setdefault(job.job_id, {})
         per_machine[machine_id] = per_machine.get(machine_id, 0) + 1
+        if self.tracer.enabled:
+            self.trace_scheduler_event(
+                detail="map-quota",
+                job_id=job.job_id,
+                machine_id=machine_id,
+                quota_weight=self._compute_weights[machine_id],
+                launched_here=per_machine[machine_id],
+                launched_total=sum(per_machine.values()),
+            )
 
     # ------------------------------------------------------------ assignment
     def select_tasks(self, status: TrackerStatus) -> List[Task]:
@@ -129,6 +138,13 @@ class TarazuScheduler(FairScheduler):
                     continue
                 task = job.take_reduce()
                 if task is not None:
+                    if self.tracer.enabled:
+                        self.trace_assignment(
+                            task,
+                            machine_id=machine_id,
+                            io_rank=io_rank,
+                            selectivity=selectivity,
+                        )
                     break
             if task is None:
                 break

@@ -15,6 +15,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
+from ..observability.tracer import NULL_TRACER, EventType
 from .events import AllOf, AnyOf, Event, SimulationError
 from .process import Process
 
@@ -49,8 +50,12 @@ class Simulator:
         self._now = 0.0
         self._heap: List[_HeapEntry] = []
         self._seq = 0
+        self._dispatched = 0
         self._running = False
         self._stopped = False
+        #: Observation hook; defaults to the no-op tracer (``enabled`` False),
+        #: so untraced runs pay one attribute check per ``run()`` call only.
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------ clock
     @property
@@ -117,6 +122,7 @@ class Simulator:
         if when < self._now:  # pragma: no cover - defensive
             raise SimulationError("event scheduled in the past")
         self._now = when
+        self._dispatched += 1
         event._dispatch()
 
     def run(self, until: Optional[float] = None) -> None:
@@ -130,19 +136,36 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run)")
         self._running = True
         self._stopped = False
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventType.SIM_START, self._now, until=until, queued=len(self._heap)
+            )
+        last_event_time = self._now
         try:
             if until is None:
                 while self._heap and not self._stopped:
                     self.step()
+                last_event_time = self._now
             else:
                 if until < self._now:
                     raise ValueError(f"run(until={until}) is in the past (now={self._now})")
                 while self._heap and self.peek() <= until and not self._stopped:
                     self.step()
+                last_event_time = self._now
                 if not self._stopped:
                     self._now = until
         finally:
             self._running = False
+            if self.tracer.enabled:
+                # Timestamped at the last dispatched event, not the (possibly
+                # far-future) `until` cap the clock parks at afterwards.
+                self.tracer.emit(
+                    EventType.SIM_END,
+                    last_event_time,
+                    clock=self._now,
+                    dispatched=self._dispatched,
+                    queued=len(self._heap),
+                )
 
     def stop(self) -> None:
         """Stop the run loop after the current event finishes dispatching."""
