@@ -11,7 +11,14 @@ Subcommands
     (Figs. 8-9).
 ``figure``
     Regenerate one paper figure's data (fig1a, fig1b, fig1c, fig1d, fig4,
-    fig6, fig7, fig10, fig11a, fig11b, fig12a, fig12b).
+    fig6, fig7, fig10, fig11a, fig11b, fig12a, fig12b), optionally through
+    the parallel sweep runner (``--workers``).
+``sweep``
+    Expand a (scheduler x seed x beta) grid over a job mix into
+    :class:`~repro.runner.ScenarioSpec` form and resolve it through the
+    parallel, content-addressed-cached :class:`~repro.runner.SweepRunner`.
+    ``--dry-run`` prints the expanded grid (spec hashes + cache status)
+    without simulating anything.
 ``trace``
     Summarize a JSONL trace file written by ``run --trace`` (event counts,
     decision-audit roll-up, flamegraph-style phase breakdown).
@@ -25,30 +32,21 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .cluster import CATALOG, paper_fleet
+from .core import EAntConfig
 from .experiments import (
+    FIGURE_NAMES,
     SCHEDULER_NAMES,
-    crossover_rate,
-    fig1a_hardware_impact,
-    fig1b_power_split,
-    fig1c_workload_impact,
-    fig1d_phase_breakdown,
-    fig4_model_accuracy,
-    fig6_locality_impact,
-    fig7_noise_scatter,
     fig9_adaptiveness,
-    fig10_exchange_effectiveness,
-    fig11a_machine_homogeneity,
-    fig11b_job_homogeneity,
-    fig12a_beta_sweep,
-    fig12b_interval_sweep,
-    peak_rate,
+    figure_result,
     run_msd_comparison,
     run_scenario,
 )
-from .workloads import PUMA, puma_job
+from .runner import ResultCache, ScenarioSpec, SweepError, SweepRunner, default_cache_dir
+from .workloads import JobSpec, PUMA, puma_job
 
 __all__ = ["main", "build_parser"]
 
@@ -95,12 +93,75 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("file", help="trace written by `run --trace`")
 
     figure = sub.add_parser("figure", help="regenerate one paper figure's data")
+    figure.add_argument("name", choices=list(FIGURE_NAMES))
     figure.add_argument(
-        "name",
-        choices=[
-            "fig1a", "fig1b", "fig1c", "fig1d", "fig4", "fig6", "fig7",
-            "fig10", "fig11a", "fig11b", "fig12a", "fig12b",
-        ],
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="resolve the figure's scenario grid on an N-worker pool",
+    )
+    figure.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="cache scenario results under DIR (implies --workers 1 if unset)",
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="run a scheduler/seed/beta grid through the sweep runner"
+    )
+    sweep.add_argument(
+        "--schedulers",
+        nargs="+",
+        choices=SCHEDULER_NAMES,
+        default=["fair", "e-ant"],
+        metavar="NAME",
+        help=f"schedulers to grid over (from: {', '.join(SCHEDULER_NAMES)})",
+    )
+    sweep.add_argument(
+        "--seeds",
+        nargs="+",
+        type=int,
+        default=[0, 1],
+        metavar="N",
+        help="workload seeds to grid over",
+    )
+    sweep.add_argument(
+        "--betas",
+        nargs="+",
+        type=float,
+        default=None,
+        metavar="B",
+        help="E-Ant heuristic weights to grid over (expands e-ant runs only)",
+    )
+    sweep.add_argument(
+        "--jobs",
+        nargs="+",
+        default=["wordcount:4", "grep:4", "terasort:4"],
+        metavar="APP:GB",
+        help="job mix every grid point simulates (submitted a minute apart)",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pool size (default: all CPUs; 1 = serial in-process)",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help=f"result cache location (default: {default_cache_dir()})",
+    )
+    sweep.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always simulate; neither read nor write the result cache",
+    )
+    sweep.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the expanded grid (hashes + cache status) and exit",
     )
     return parser
 
@@ -126,19 +187,41 @@ def _print_run_config(**fields) -> None:
     print(f"# {rendered}")
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    jobs = []
-    for index, item in enumerate(args.jobs):
+class JobTokenError(ValueError):
+    """A ``--jobs`` token failed validation (message is user-facing)."""
+
+
+def parse_job_tokens(tokens: List[str]) -> List[JobSpec]:
+    """Parse ``APP:GB`` tokens into jobs submitted a minute apart.
+
+    Raises :class:`JobTokenError` on an unknown application or a gigabyte
+    field that is not a positive finite number — ``float`` accepts
+    ``"nan"``, ``"inf"`` and negatives, which used to slip through here
+    and explode later inside :class:`~repro.workloads.JobSpec` validation.
+    """
+    jobs: List[JobSpec] = []
+    for index, token in enumerate(tokens):
+        app, _, gb = token.partition(":")
+        if app not in PUMA:
+            raise JobTokenError(
+                f"unknown application {app!r}; known: {sorted(PUMA)}"
+            )
         try:
-            app, _, gb = item.partition(":")
             size = float(gb) if gb else 4.0
         except ValueError:
-            print(f"bad job spec {item!r}; expected APP:GB", file=sys.stderr)
-            return 2
-        if app not in PUMA:
-            print(f"unknown application {app!r}; known: {sorted(PUMA)}", file=sys.stderr)
-            return 2
+            raise JobTokenError(f"{token}: expected form app:gb") from None
+        if not (size > 0) or size == float("inf"):  # also rejects NaN
+            raise JobTokenError(f"{token}: expected form app:gb")
         jobs.append(puma_job(app, input_gb=size, submit_time=index * 60.0))
+    return jobs
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        jobs = parse_job_tokens(args.jobs)
+    except JobTokenError as error:
+        print(error, file=sys.stderr)
+        return 2
     _print_run_config(
         scheduler=args.scheduler,
         seed=args.seed,
@@ -195,53 +278,104 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_figure(name: str) -> int:
-    if name == "fig1a":
-        curves = fig1a_hardware_impact()
-        for machine, points in curves.items():
-            for p in points:
-                print(f"{machine}\t{p.rate_per_min}\t{p.throughput_per_watt:.5f}")
-        print(f"# crossover ~{crossover_rate(curves):.1f} tasks/min (paper: ~12)")
-    elif name == "fig1b":
-        for (machine, load), p in fig1b_power_split().items():
-            print(f"{machine}\t{load}\t{p.idle_power_watts:.1f}\t{p.dynamic_power_watts:.1f}")
-    elif name == "fig1c":
-        for workload, points in fig1c_workload_impact().items():
-            for p in points:
-                print(f"{workload}\t{p.rate_per_min}\t{p.throughput_per_watt:.5f}")
-            print(f"# {workload} peak at {peak_rate(points):.0f}/min")
-    elif name == "fig1d":
-        for app, parts in fig1d_phase_breakdown().items():
-            print(f"{app}\t{parts['map']:.2f}\t{parts['shuffle']:.2f}\t{parts['reduce']:.2f}")
-    elif name == "fig4":
-        for row in fig4_model_accuracy():
-            print(
-                f"{row.machine}\t{row.workload}\t{row.measured_joules:.0f}\t"
-                f"{row.estimated_joules:.0f}\t{row.task_nrmse:.3f}"
-            )
-    elif name == "fig6":
-        for point in fig6_locality_impact():
-            print(f"{point.local_fraction}\t{point.completion_time_s:.0f}")
-    elif name == "fig7":
-        scatter = fig7_noise_scatter()
-        for index, energy in enumerate(scatter.task_energies):
-            print(f"{index}\t{energy:.1f}")
-    elif name == "fig10":
-        for setting, curve in fig10_exchange_effectiveness().items():
-            for t, saving in zip(curve.times_s, curve.savings_kj):
-                print(f"{setting}\t{t:.0f}\t{saving:.1f}")
-    elif name == "fig11a":
-        for point in fig11a_machine_homogeneity():
-            print(f"{point.homogeneity}\t{point.mean_convergence_s:.0f}")
-    elif name == "fig11b":
-        for point in fig11b_job_homogeneity():
-            print(f"{point.homogeneity}\t{point.mean_converged_only_s:.0f}\t{point.converged_fraction:.2f}")
-    elif name == "fig12a":
-        for point in fig12a_beta_sweep():
-            print(f"{point.beta}\t{point.energy_saving_kj:.1f}\t{point.fairness:.4f}")
-    elif name == "fig12b":
-        for point in fig12b_interval_sweep():
-            print(f"{point.interval_s:.0f}\t{point.energy_saving_kj:.1f}")
+def _build_runner(
+    workers: Optional[int], cache_dir: Optional[str], use_cache: bool = True
+) -> Optional[SweepRunner]:
+    """A :class:`SweepRunner` for the CLI flags, or ``None`` for the
+    historical serial-uncached path when no flag asks for more."""
+    if workers is None and cache_dir is None:
+        return None
+    cache = None
+    if use_cache:
+        cache = ResultCache(Path(cache_dir) if cache_dir else None)
+    return SweepRunner(workers=workers or 1, cache=cache)
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    runner = _build_runner(args.workers, args.cache_dir)
+    print(figure_result(args.name, runner=runner).render())
+    return 0
+
+
+def _sweep_grid(args: argparse.Namespace) -> List[ScenarioSpec]:
+    """Expand the sweep flags into the full spec grid, seed-major."""
+    jobs = tuple(parse_job_tokens(args.jobs))
+    specs: List[ScenarioSpec] = []
+    for seed in args.seeds:
+        for scheduler in args.schedulers:
+            if scheduler == "e-ant" and args.betas:
+                for beta in args.betas:
+                    specs.append(
+                        ScenarioSpec(
+                            jobs=jobs,
+                            scheduler=scheduler,
+                            seed=seed,
+                            eant_config=EAntConfig(beta=beta),
+                            label=f"e-ant@seed{seed}/beta={beta:g}",
+                        )
+                    )
+            else:
+                specs.append(
+                    ScenarioSpec(
+                        jobs=jobs,
+                        scheduler=scheduler,
+                        seed=seed,
+                        label=f"{scheduler}@seed{seed}",
+                    )
+                )
+    return specs
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        specs = _sweep_grid(args)
+    except JobTokenError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    cache: Optional[ResultCache] = None
+    if not args.no_cache:
+        cache = ResultCache(Path(args.cache_dir) if args.cache_dir else None)
+
+    if args.dry_run:
+        print(f"# {len(specs)} specs; cache "
+              f"{cache.generation_dir if cache else 'disabled'}")
+        for spec in specs:
+            if cache is None:
+                status = "-"
+            else:
+                status = "cached" if cache.path_for(spec).exists() else "miss"
+            print(f"{spec.spec_hash()[:12]}  {status:6s}  {spec.display_label}")
+        return 0
+
+    _print_run_config(
+        schedulers=",".join(args.schedulers),
+        seeds=",".join(str(s) for s in args.seeds),
+        betas=",".join(f"{b:g}" for b in args.betas) if args.betas else None,
+        jobs=",".join(args.jobs),
+        workers=args.workers if args.workers is not None else os.cpu_count(),
+    )
+    runner = SweepRunner(workers=args.workers, cache=cache, progress=print)
+    try:
+        records = runner.run(specs)
+    except SweepError as error:
+        print(error, file=sys.stderr)
+        return 1
+
+    print(f"\n{'label':32s} {'energy kJ':>10s} {'makespan min':>13s} {'mean JCT min':>13s}")
+    for spec, record in zip(specs, records):
+        metrics = record.metrics
+        print(
+            f"{spec.display_label:32s} {metrics.total_energy_kj:10.0f} "
+            f"{metrics.makespan / 60:13.1f} {metrics.mean_jct() / 60:13.2f}"
+        )
+    report = runner.last_report
+    if report is not None:
+        print(
+            f"\n# resolved {report.total} specs in {report.wall_seconds:.2f}s: "
+            f"{report.cache_hits} cached, {report.executed} executed "
+            f"({report.fell_back_serial} serial fallbacks, {report.retried} retries)"
+        )
     return 0
 
 
@@ -295,7 +429,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "compare":
             return _cmd_compare(args)
         if args.command == "figure":
-            return _cmd_figure(args.name)
+            return _cmd_figure(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         if args.command == "trace":
             return _cmd_trace(args)
         if args.command == "report":

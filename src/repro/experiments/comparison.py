@@ -4,6 +4,11 @@ One MSD workload is replayed under Fair, Tarazu and E-Ant with common
 random numbers; we report per-machine-type energy, CPU utilization,
 normalized completion times per job class, and E-Ant's task-assignment
 distributions by application and by task kind.
+
+The experiment is declarative: :func:`msd_comparison_specs` emits one
+:class:`~repro.runner.ScenarioSpec` per scheduler, and
+:func:`run_msd_comparison` resolves them through an optional
+:class:`~repro.runner.SweepRunner` (parallel + cached) or serially.
 """
 
 from __future__ import annotations
@@ -13,11 +18,12 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core import EAntConfig
 from ..metrics import RunMetrics
-from .harness import ScenarioResult, run_scenario
+from ..runner import RunRecord, ScenarioSpec, SweepRunner, resolve_specs
 from .scenarios import msd_scenario
 
 __all__ = [
     "ComparisonResult",
+    "msd_comparison_specs",
     "run_msd_comparison",
     "fig9_adaptiveness",
 ]
@@ -27,10 +33,10 @@ SCHEDULERS = ("fair", "tarazu", "e-ant")
 
 @dataclass
 class ComparisonResult:
-    """All three schedulers' results on one MSD workload."""
+    """All compared schedulers' results on one MSD workload."""
 
     seed: int
-    runs: Dict[str, ScenarioResult] = field(default_factory=dict)
+    runs: Dict[str, RunRecord] = field(default_factory=dict)
 
     def metrics(self, name: str) -> RunMetrics:
         return self.runs[name].metrics
@@ -76,24 +82,43 @@ class ComparisonResult:
         return table
 
 
+def msd_comparison_specs(
+    seed: int = 3,
+    n_jobs: int = 87,
+    eant_config: Optional[EAntConfig] = None,
+    schedulers: Tuple[str, ...] = SCHEDULERS,
+) -> List[ScenarioSpec]:
+    """One spec per scheduler, sharing one MSD workload draw (CRN)."""
+    jobs, hadoop = msd_scenario(seed=seed, n_jobs=n_jobs)
+    return [
+        ScenarioSpec(
+            jobs=tuple(jobs),
+            scheduler=name,
+            hadoop=hadoop,
+            seed=seed,
+            eant_config=eant_config if name == "e-ant" else None,
+            label=name,
+        )
+        for name in schedulers
+    ]
+
+
 def run_msd_comparison(
     seed: int = 3,
     n_jobs: int = 87,
     eant_config: Optional[EAntConfig] = None,
     schedulers: Tuple[str, ...] = SCHEDULERS,
+    runner: Optional[SweepRunner] = None,
 ) -> ComparisonResult:
     """Replay the MSD workload under each scheduler (Figs. 8 and 9)."""
-    jobs, hadoop = msd_scenario(seed=seed, n_jobs=n_jobs)
-    result = ComparisonResult(seed=seed)
-    for name in schedulers:
-        result.runs[name] = run_scenario(
-            jobs,
-            scheduler=name,
-            hadoop=hadoop,
-            seed=seed,
-            eant_config=eant_config,
-        )
-    return result
+    specs = msd_comparison_specs(
+        seed=seed, n_jobs=n_jobs, eant_config=eant_config, schedulers=schedulers
+    )
+    records = resolve_specs(specs, runner)
+    return ComparisonResult(
+        seed=seed,
+        runs={spec.label: record for spec, record in zip(specs, records)},
+    )
 
 
 def fig9_adaptiveness(
@@ -108,7 +133,7 @@ def fig9_adaptiveness(
     """
     eant = comparison.runs["e-ant"]
     collector = eant.metrics.collector
-    counts = {model: len(eant.cluster.machines_of_type(model)) for model in machine_types}
+    counts = {model: eant.machines_by_model[model] for model in machine_types}
     by_app_raw = collector.tasks_by_machine_and_app()
     by_kind_raw = collector.tasks_by_machine_and_kind()
     by_app = {

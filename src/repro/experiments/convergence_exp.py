@@ -5,24 +5,29 @@ The paper measures the time E-Ant needs to find a *stable* assignment
 intervals) as a function of how much homogeneity the exchange strategies
 can exploit: the number of hardware-identical machines, and the number of
 demand-identical jobs.  Both curves fall as homogeneity grows.
+
+Each homogeneity level is one declarative
+:class:`~repro.runner.ScenarioSpec`; the convergence summary rides along
+in the :class:`~repro.runner.RunRecord`, so the measurements work
+identically for serial, pooled, and cache-restored runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-from ..cluster import DESKTOP, T420, MachineSpec, paper_fleet
-from ..core import EAntConfig
+from ..cluster import DESKTOP, T420
 from ..hadoop import HadoopConfig
-from ..noise import NoiseModel
+from ..runner import RunRecord, ScenarioSpec, SweepRunner, resolve_specs
 from ..simulation import RandomStreams
-from ..workloads import JobSpec, uniform_job_stream
-from .harness import run_scenario
+from ..workloads import uniform_job_stream
 from .scenarios import noisy_model
 
 __all__ = [
     "ConvergenceMeasurement",
+    "fig11a_specs",
+    "fig11b_specs",
     "fig11a_machine_homogeneity",
     "fig11b_job_homogeneity",
 ]
@@ -52,31 +57,15 @@ class ConvergenceMeasurement:
         return self.converged_colonies / self.total_colonies
 
 
-def _measure(
-    fleet: Sequence[Tuple[MachineSpec, int]],
-    jobs: Sequence[JobSpec],
-    homogeneity: int,
-    seed: int,
-    noise: NoiseModel,
-) -> ConvergenceMeasurement:
-    result = run_scenario(
-        jobs,
-        scheduler="e-ant",
-        fleet=fleet,
-        hadoop=_FAST_INTERVAL,
-        noise=noise,
-        seed=seed,
-    )
-    detector = result.eant.convergence
-    times = [
-        detector.convergence_time(colony)
-        for colony in detector.converged_at
-    ]
-    times = [t for t in times if t is not None]
-    total = len(detector.first_seen)
+def _measurement(record: RunRecord, homogeneity: int) -> ConvergenceMeasurement:
+    """Fold one run's convergence summary into the Fig. 11 data point."""
+    if record.convergence is None:
+        raise ValueError("record carries no convergence summary (not an E-Ant run?)")
+    times = list(record.convergence.converged_times)
+    total = record.convergence.total_colonies
     # Colonies that never stabilized count as the full observation window,
     # so "slower than we could measure" is not reported as "fast".
-    horizon = result.metrics.makespan
+    horizon = record.metrics.makespan
     unconverged = total - len(times)
     padded = times + [horizon] * unconverged
     mean_time = sum(padded) / len(padded) if padded else float("nan")
@@ -90,19 +79,14 @@ def _measure(
     )
 
 
-def fig11a_machine_homogeneity(
+def fig11a_specs(
     counts: Sequence[int] = (1, 2, 3, 8),
     jobs_per_app: int = 4,
     seed: int = 2,
-) -> List[ConvergenceMeasurement]:
-    """Fig. 11(a): convergence time vs number of homogeneous machines.
-
-    The fleet holds ``n`` identical desktops plus two T420 servers; more
-    identical desktops give machine-level exchange more samples per
-    interval, so convergence accelerates.
-    """
+) -> List[ScenarioSpec]:
+    """One spec per machine-homogeneity level (Fig. 11(a))."""
     noise = noisy_model(2.0)
-    out: List[ConvergenceMeasurement] = []
+    specs: List[ScenarioSpec] = []
     for n in counts:
         streams = RandomStreams(seed + n)
         jobs = uniform_job_stream(
@@ -112,23 +96,46 @@ def fig11a_machine_homogeneity(
             mean_interarrival_s=30.0,
             rng=streams.stream("fig11a"),
         )
-        fleet = [(DESKTOP, n), (T420, 2)]
-        out.append(_measure(fleet, jobs, homogeneity=n, seed=seed, noise=noise))
-    return out
+        specs.append(
+            ScenarioSpec(
+                jobs=tuple(jobs),
+                scheduler="e-ant",
+                fleet=((DESKTOP, n), (T420, 2)),
+                hadoop=_FAST_INTERVAL,
+                noise=noise,
+                seed=seed,
+                label=f"fig11a/desktops={n}",
+            )
+        )
+    return specs
 
 
-def fig11b_job_homogeneity(
+def fig11a_machine_homogeneity(
+    counts: Sequence[int] = (1, 2, 3, 8),
+    jobs_per_app: int = 4,
+    seed: int = 2,
+    runner: Optional[SweepRunner] = None,
+) -> List[ConvergenceMeasurement]:
+    """Fig. 11(a): convergence time vs number of homogeneous machines.
+
+    The fleet holds ``n`` identical desktops plus two T420 servers; more
+    identical desktops give machine-level exchange more samples per
+    interval, so convergence accelerates.
+    """
+    records = resolve_specs(fig11a_specs(counts, jobs_per_app, seed), runner)
+    return [
+        _measurement(record, homogeneity=n)
+        for n, record in zip(counts, records)
+    ]
+
+
+def fig11b_specs(
     counts: Sequence[int] = (10, 20, 30, 40),
     seed: int = 2,
-) -> List[ConvergenceMeasurement]:
-    """Fig. 11(b): convergence time vs number of homogeneous jobs.
-
-    All jobs share one profile (Wordcount); more of them give job-level
-    exchange more shared evidence per interval.  Jobs are sized to span
-    several control intervals so stability is observable at all.
-    """
+) -> List[ScenarioSpec]:
+    """One spec per job-homogeneity level (Fig. 11(b))."""
     noise = noisy_model(2.0)
-    out: List[ConvergenceMeasurement] = []
+    specs: List[ScenarioSpec] = []
     for n in counts:
         streams = RandomStreams(seed + 100 * n)
         jobs = uniform_job_stream(
@@ -138,13 +145,32 @@ def fig11b_job_homogeneity(
             mean_interarrival_s=25.0,
             rng=streams.stream("fig11b"),
         )
-        out.append(
-            _measure(
-                fleet=paper_fleet(),
-                jobs=jobs,
-                homogeneity=n,
-                seed=seed,
+        specs.append(
+            ScenarioSpec(
+                jobs=tuple(jobs),
+                scheduler="e-ant",
+                hadoop=_FAST_INTERVAL,
                 noise=noise,
+                seed=seed,
+                label=f"fig11b/jobs={n}",
             )
         )
-    return out
+    return specs
+
+
+def fig11b_job_homogeneity(
+    counts: Sequence[int] = (10, 20, 30, 40),
+    seed: int = 2,
+    runner: Optional[SweepRunner] = None,
+) -> List[ConvergenceMeasurement]:
+    """Fig. 11(b): convergence time vs number of homogeneous jobs.
+
+    All jobs share one profile (Wordcount); more of them give job-level
+    exchange more shared evidence per interval.  Jobs are sized to span
+    several control intervals so stability is observable at all.
+    """
+    records = resolve_specs(fig11b_specs(counts, seed), runner)
+    return [
+        _measurement(record, homogeneity=n)
+        for n, record in zip(counts, records)
+    ]

@@ -5,22 +5,32 @@ are measured over time for the four exchange settings — none, +machine,
 +job, +both — under elevated system noise.  The paper reports roughly
 +7 % (machine), +10 % (job) and +15 % (both) relative improvements over
 the no-exchange strategy, with savings growing as jobs progress.
+
+The experiment is a declarative grid: per seed, one metered FIFO baseline
+plus one metered E-Ant run per exchange setting (:func:`fig10_specs`),
+with the meter readings riding along in each
+:class:`~repro.runner.RunRecord`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core import EAntConfig, ExchangeLevel
 from ..noise import NoiseModel
+from ..runner import ScenarioSpec, SweepRunner, resolve_specs
 from ..simulation import RandomStreams
-from .harness import run_scenario
 from .scenarios import exchange_workload, noisy_model
 
-__all__ = ["ExchangeCurve", "fig10_exchange_effectiveness", "EXCHANGE_SETTINGS"]
+__all__ = [
+    "ExchangeCurve",
+    "fig10_specs",
+    "fig10_exchange_effectiveness",
+    "EXCHANGE_SETTINGS",
+]
 
 EXCHANGE_SETTINGS: Dict[str, ExchangeLevel] = {
     "non-exchange": ExchangeLevel.NONE,
@@ -41,6 +51,14 @@ class ExchangeCurve:
     @property
     def final_saving_kj(self) -> float:
         return self.savings_kj[-1] if self.savings_kj else 0.0
+
+
+def _idle_watts(meter, machine_id: int) -> float:
+    """Idle power lookup working for both a live :class:`ClusterMeter`
+    and a detached :class:`~repro.runner.MeterRecord`."""
+    if hasattr(meter, "idle_watts"):
+        return meter.idle_watts(machine_id)
+    return meter.cluster.machine(machine_id).spec.power.idle_watts
 
 
 def _cumulative_energy(meter, times: Sequence[float]) -> List[float]:
@@ -67,19 +85,59 @@ def _cumulative_energy(meter, times: Sequence[float]) -> List[float]:
                 else:
                     break
             if t > last_time:
-                idle = meter.cluster.machine(machine_id).spec.power.idle_watts
-                value += idle * (t - last_time)
+                value += _idle_watts(meter, machine_id) * (t - last_time)
             total += value
         out.append(total / 1000.0)
     return out
+
+
+def fig10_specs(
+    seeds: Sequence[int] = (1, 2, 4),
+    jobs_per_app: int = 12,
+    input_gb: float = 8.0,
+    noise: Optional[NoiseModel] = None,
+) -> List[ScenarioSpec]:
+    """The Fig. 10 grid: per seed, a metered FIFO baseline followed by one
+    metered E-Ant run per exchange setting (block-ordered)."""
+    noise = noise if noise is not None else noisy_model(2.0)
+    specs: List[ScenarioSpec] = []
+    for seed in seeds:
+        streams = RandomStreams(seed)
+        jobs = tuple(
+            exchange_workload(streams, jobs_per_app=jobs_per_app, input_gb=input_gb)
+        )
+        specs.append(
+            ScenarioSpec(
+                jobs=jobs,
+                scheduler="fifo",
+                noise=noise,
+                seed=seed,
+                with_meter=True,
+                label=f"fig10/fifo@seed{seed}",
+            )
+        )
+        for setting, level in EXCHANGE_SETTINGS.items():
+            specs.append(
+                ScenarioSpec(
+                    jobs=jobs,
+                    scheduler="e-ant",
+                    noise=noise,
+                    seed=seed,
+                    eant_config=EAntConfig(exchange=level),
+                    with_meter=True,
+                    label=f"fig10/e-ant@seed{seed}/{setting}",
+                )
+            )
+    return specs
 
 
 def fig10_exchange_effectiveness(
     seeds: Sequence[int] = (1, 2, 4),
     jobs_per_app: int = 12,
     input_gb: float = 8.0,
-    noise: NoiseModel = None,
+    noise: Optional[NoiseModel] = None,
     sample_points: int = 10,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, ExchangeCurve]:
     """Fig. 10: savings over time per exchange setting (vs default Hadoop).
 
@@ -88,32 +146,23 @@ def fig10_exchange_effectiveness(
     baseline's cumulative energy minus the variant's, averaged over seeds
     (the paper likewise reports measurements of a repeated workload).
     """
-    noise = noise if noise is not None else noisy_model(2.0)
+    records = resolve_specs(
+        fig10_specs(seeds, jobs_per_app, input_gb, noise), runner
+    )
     fractions = np.linspace(1.0 / sample_points, 1.0, sample_points)
     sums: Dict[str, np.ndarray] = {s: np.zeros(sample_points) for s in EXCHANGE_SETTINGS}
     mean_horizon = 0.0
 
-    for seed in seeds:
-        streams = RandomStreams(seed)
-        jobs = exchange_workload(streams, jobs_per_app=jobs_per_app, input_gb=input_gb)
-        baseline = run_scenario(
-            jobs, scheduler="fifo", noise=noise, seed=seed, with_meter=True
-        )
+    stride = 1 + len(EXCHANGE_SETTINGS)
+    for block, _seed in enumerate(seeds):
+        baseline = records[block * stride]
         horizon = baseline.metrics.makespan
         mean_horizon += horizon / len(seeds)
         times = tuple(float(f) * horizon for f in fractions)
         base_curve = _cumulative_energy(baseline.meter, times)
-        for setting, level in EXCHANGE_SETTINGS.items():
-            config = EAntConfig(exchange=level)
-            run = run_scenario(
-                jobs,
-                scheduler="e-ant",
-                noise=noise,
-                seed=seed,
-                eant_config=config,
-                with_meter=True,
-            )
-            variant_curve = _cumulative_energy(run.meter, times)
+        for offset, setting in enumerate(EXCHANGE_SETTINGS):
+            variant = records[block * stride + 1 + offset]
+            variant_curve = _cumulative_energy(variant.meter, times)
             sums[setting] += np.array(base_curve) - np.array(variant_curve)
 
     curves: Dict[str, ExchangeCurve] = {}

@@ -1,118 +1,70 @@
 """The experiment harness: wire a scenario together, run it, collect results.
 
-One call to :func:`run_scenario` assembles simulator + cluster + HDFS +
-TaskTrackers + JobTracker + scheduler + workload submission, runs to
-completion and returns a :class:`ScenarioResult` with the
+:func:`run_scenario` is a thin wrapper over the declarative runner
+subsystem (:mod:`repro.runner`): it packs its keyword arguments into a
+:class:`~repro.runner.ScenarioSpec` and hands execution to
+:func:`~repro.runner.execute_spec`, returning the familiar
+:class:`~repro.runner.ScenarioResult` with the
 :class:`~repro.metrics.RunMetrics` every figure harness consumes.
 
 Scheduler identity is passed by *name* (``"fifo" | "fair" | "tarazu" |
 "late" | "e-ant"``) or as a factory; runs with different schedulers but the
 same seed see identical workloads, block placements, and noise draws
 (common random numbers via named RNG streams).
+
+.. deprecated::
+    Positional use of the optional parameters (everything after ``jobs``)
+    is deprecated; pass them as keywords, or build a
+    :class:`~repro.runner.ScenarioSpec` directly and call
+    :meth:`~repro.runner.ScenarioSpec.run`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..cluster import Cluster, MachineSpec, Network, paper_fleet
-from ..core import EAntConfig, EAntScheduler
-from ..energy import ClusterMeter
-from ..hadoop import BlockPlacer, HadoopConfig, JobTracker, TaskTracker
-from ..metrics import MetricsCollector, RunMetrics, build_job_results
+from ..cluster import MachineSpec, Network
+from ..core import EAntConfig
 from ..noise import DEFAULT_NOISE, NoiseModel
-from ..observability import (
-    NULL_TRACER,
-    EventType,
-    MetricsRegistry,
-    SnapshotSampler,
-    Tracer,
-    write_jsonl,
+from ..observability import Tracer
+from ..runner import (
+    SCHEDULER_NAMES,
+    ScenarioResult,
+    ScenarioSpec,
+    execute_spec,
+    make_scheduler,
 )
-from ..schedulers import (
-    CapacityScheduler,
-    CoveringSubsetScheduler,
-    FairScheduler,
-    FifoScheduler,
-    LateScheduler,
-    Scheduler,
-    TarazuScheduler,
-)
-from ..simulation import RandomStreams, Simulator
+from ..runner.engine import SchedulerFactory
+from ..hadoop import HadoopConfig
 from ..workloads import JobSpec
 
 __all__ = ["ScenarioResult", "run_scenario", "make_scheduler", "SCHEDULER_NAMES"]
 
-SchedulerFactory = Callable[[RandomStreams], Scheduler]
-
-SCHEDULER_NAMES = ("fifo", "fair", "capacity", "tarazu", "late", "covering-subset", "e-ant")
-
-
-def make_scheduler(
-    name: str,
-    streams: RandomStreams,
-    eant_config: Optional[EAntConfig] = None,
-) -> Scheduler:
-    """Instantiate a scheduler by name with its own RNG stream."""
-    key = name.strip().lower()
-    if key == "fifo":
-        return FifoScheduler()
-    if key == "fair":
-        return FairScheduler()
-    if key == "capacity":
-        return CapacityScheduler()
-    if key == "covering-subset":
-        return CoveringSubsetScheduler()
-    if key == "tarazu":
-        return TarazuScheduler()
-    if key == "late":
-        return LateScheduler()
-    if key in ("e-ant", "eant"):
-        return EAntScheduler(
-            config=eant_config or EAntConfig(),
-            rng=streams.stream("eant"),
-        )
-    raise ValueError(f"unknown scheduler {name!r}; known: {SCHEDULER_NAMES}")
+#: Pre-keyword-only positional order of ``run_scenario``'s optional
+#: parameters, kept solely for the deprecation shim.
+_COMPAT_ORDER = (
+    "scheduler",
+    "fleet",
+    "hadoop",
+    "noise",
+    "seed",
+    "eant_config",
+    "with_meter",
+    "meter_interval",
+    "placements",
+    "network",
+    "max_sim_time",
+    "trace",
+)
 
 
-@dataclass
-class ScenarioResult:
-    """Everything observable from one run."""
-
-    metrics: RunMetrics
-    scheduler: Scheduler
-    jobtracker: JobTracker
-    cluster: Cluster
-    meter: Optional[ClusterMeter] = None
-    tracer: Optional[Tracer] = None
-    registry: Optional[MetricsRegistry] = None
-
-    @property
-    def eant(self) -> EAntScheduler:
-        """The scheduler, asserted to be E-Ant (adaptiveness experiments)."""
-        if not isinstance(self.scheduler, EAntScheduler):
-            raise TypeError(f"scheduler is {self.scheduler.name!r}, not e-ant")
-        return self.scheduler
-
-
-def run_scenario(
-    jobs: Sequence[JobSpec],
-    scheduler: Union[str, SchedulerFactory] = "fair",
-    fleet: Optional[Sequence[Tuple[MachineSpec, int]]] = None,
-    hadoop: Optional[HadoopConfig] = None,
-    noise: NoiseModel = DEFAULT_NOISE,
-    seed: int = 0,
-    eant_config: Optional[EAntConfig] = None,
-    with_meter: bool = False,
-    meter_interval: float = 30.0,
-    placements: Optional[Dict[int, List[Tuple[int, ...]]]] = None,
-    network: Optional[Network] = None,
-    max_sim_time: float = 10_000_000.0,
-    trace: Union[None, str, Path, Tracer] = None,
-) -> ScenarioResult:
+def run_scenario(jobs: Sequence[JobSpec], *compat, **kwargs) -> ScenarioResult:
     """Run one complete scenario and return its results.
+
+    All optional parameters are keyword-only; positional use still works
+    through a compatibility shim that emits :class:`DeprecationWarning`.
 
     Parameters
     ----------
@@ -128,6 +80,8 @@ def run_scenario(
         E-Ant tuning (only used when ``scheduler == "e-ant"``).
     with_meter:
         Attach a periodic wall-power meter (adds readings to the result).
+    meter_interval:
+        Meter/snapshot sampling period in simulated seconds.
     placements:
         Optional per-job replica overrides: index in the submitted job
         list -> replica host tuples (locality experiments).
@@ -137,159 +91,69 @@ def run_scenario(
     max_sim_time:
         Hard cap guarding against non-terminating configurations.
     trace:
-        ``None`` (default) runs fully uninstrumented — every trace hook
-        stays on the :data:`~repro.observability.NULL_TRACER` no-op path.
-        A path writes a JSONL trace there on completion; a
+        ``None`` (default) runs fully uninstrumented.  A path writes a
+        JSONL trace there on completion; a
         :class:`~repro.observability.Tracer` collects events in memory.
-        Either way a :class:`~repro.observability.MetricsRegistry` is
-        attached and periodic ``metrics.snapshot`` events are emitted
-        every ``meter_interval`` simulated seconds.
     """
-    if not jobs:
-        raise ValueError("scenario needs at least one job")
-    ordered = sorted(jobs, key=lambda j: j.submit_time)
+    if compat:
+        warnings.warn(
+            "positional optional arguments to run_scenario() are deprecated; "
+            "pass them as keywords (e.g. run_scenario(jobs, scheduler='fair')) "
+            "or build a repro.runner.ScenarioSpec",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if len(compat) > len(_COMPAT_ORDER):
+            raise TypeError(
+                f"run_scenario() takes at most {len(_COMPAT_ORDER)} optional "
+                f"positional arguments ({len(compat)} given)"
+            )
+        for name, value in zip(_COMPAT_ORDER, compat):
+            if name in kwargs:
+                raise TypeError(f"run_scenario() got multiple values for argument {name!r}")
+            kwargs[name] = value
+    return _run_scenario(jobs, **kwargs)
 
-    sim = Simulator()
-    streams = RandomStreams(seed)
-    cluster = Cluster(sim, fleet if fleet is not None else paper_fleet(), network or Network())
-    config = hadoop if hadoop is not None else HadoopConfig()
-    placer = BlockPlacer(cluster, config.replication, streams.stream("hdfs"))
 
+def _run_scenario(
+    jobs: Sequence[JobSpec],
+    *,
+    scheduler: Union[str, SchedulerFactory] = "fair",
+    fleet: Optional[Sequence[Tuple[MachineSpec, int]]] = None,
+    hadoop: Optional[HadoopConfig] = None,
+    noise: Optional[NoiseModel] = DEFAULT_NOISE,
+    seed: int = 0,
+    eant_config: Optional[EAntConfig] = None,
+    with_meter: bool = False,
+    meter_interval: float = 30.0,
+    placements: Optional[Dict[int, List[Tuple[int, ...]]]] = None,
+    network: Optional[Network] = None,
+    max_sim_time: float = 10_000_000.0,
+    trace: Union[None, str, Path, Tracer] = None,
+) -> ScenarioResult:
+    """Keyword-only core: build the spec, delegate to the engine."""
+    factory: Optional[SchedulerFactory] = None
+    scheduler_name = scheduler
     if callable(scheduler):
-        policy = scheduler(streams)
-    else:
-        policy = make_scheduler(scheduler, streams, eant_config)
-
-    # Tracing is pure observation: it consumes no RNG and schedules no
-    # behavior-bearing events, so a traced run is bit-identical to an
-    # untraced one with the same seed.
-    tracer: Optional[Tracer] = None
-    registry: Optional[MetricsRegistry] = None
-    trace_path: Optional[Path] = None
-    if trace is not None:
-        if isinstance(trace, Tracer):
-            tracer = trace
-        else:
-            tracer = Tracer()
-            trace_path = Path(trace)
-            # Fail fast on an unwritable destination, not after the run.
-            trace_path.touch()
-        registry = MetricsRegistry()
-        sim.tracer = tracer
-
-    jobtracker = JobTracker(
-        sim,
-        cluster,
-        config,
-        policy,
-        placer,
-        skew_noise=noise,
-        rng=streams.stream("skew"),
-        tracer=tracer if tracer is not None else NULL_TRACER,
-        registry=registry,
-    )
-    jobtracker.expect_jobs(len(ordered))
-
-    collector = MetricsCollector(cluster)
-    jobtracker.add_report_listener(collector.on_report)
-
-    for machine in cluster:
-        tracker = TaskTracker(
-            sim,
-            machine,
-            config,
-            noise=noise,
-            rng=streams.stream(f"tt-{machine.machine_id}"),
-        )
-        tracker.start(jobtracker)
-
-    meter: Optional[ClusterMeter] = None
-    if with_meter:
-        meter = ClusterMeter(cluster, sample_interval=meter_interval)
-        meter.attach(sim, stop_when=lambda: jobtracker.is_shutdown)
-
-    sampler: Optional[SnapshotSampler] = None
-    if tracer is not None and registry is not None:
-        models: Dict[str, int] = {}
-        for machine in cluster:
-            models[machine.spec.model] = models.get(machine.spec.model, 0) + 1
-        tracer.emit(
-            EventType.HEADER,
-            0.0,
-            scheduler=policy.name,
-            seed=seed,
-            jobs=len(ordered),
-            machines=len(cluster),
-            fleet=models,
-            heartbeat_interval=config.heartbeat_interval,
-            control_interval=config.control_interval,
-            snapshot_interval=meter_interval,
-        )
-        sampler = SnapshotSampler(
-            registry=registry,
-            cluster=cluster,
-            jobtracker=jobtracker,
-            interval=meter_interval,
-            tracer=tracer,
-        )
-        sampler.attach(sim)
-
-    def submit_all():
-        for index, spec in enumerate(ordered):
-            if spec.submit_time > sim.now:
-                yield sim.timeout(spec.submit_time - sim.now)
-            override = placements.get(index) if placements else None
-            jobtracker.submit(spec, replica_hosts=override)
-
-    sim.process(submit_all(), name="job-submitter")
-
-    # Snapshot energy at the instant the workload completes, so trailing
-    # heartbeat ticks do not blur the comparison between schedulers.
-    snapshot: Dict[str, object] = {}
-
-    def on_all_done(_event):
-        cluster.finish_energy_accounting()
-        snapshot["energy_by_type"] = cluster.energy_by_type()
-        snapshot["idle"] = sum(m.energy.idle_joules for m in cluster)
-        snapshot["dynamic"] = sum(m.energy.dynamic_joules for m in cluster)
-        snapshot["utilization_by_type"] = cluster.utilization_by_type()
-        snapshot["makespan"] = sim.now
-
-    jobtracker.all_done_event.add_callback(on_all_done)
-    if sampler is not None:
-        # Close the sampled series at the same instant, so the trace ends on
-        # a snapshot of the completed workload (in event order — trailing
-        # heartbeats may still tick afterwards).
-        jobtracker.all_done_event.add_callback(lambda _e: sampler.sample(sim.now))
-
-    sim.run(until=max_sim_time)
-    if "makespan" not in snapshot:
-        raise RuntimeError(
-            f"scenario did not complete within {max_sim_time} simulated seconds "
-            f"({len(jobtracker.completed_jobs)}/{len(ordered)} jobs done)"
-        )
-
-    energy_by_type: Dict[str, float] = snapshot["energy_by_type"]  # type: ignore[assignment]
-    metrics = RunMetrics(
-        scheduler_name=policy.name,
+        # Ad-hoc policies cannot be named declaratively; the spec carries a
+        # placeholder and the factory rides along as a runtime override.
+        factory, scheduler_name = scheduler, "fair"
+    spec = ScenarioSpec(
+        jobs=tuple(jobs),
+        scheduler=scheduler_name,
+        fleet=tuple(fleet) if fleet is not None else None,
+        hadoop=hadoop,
+        noise=noise,
         seed=seed,
-        makespan=float(snapshot["makespan"]),  # type: ignore[arg-type]
-        total_energy_joules=sum(energy_by_type.values()),
-        energy_by_type=energy_by_type,
-        idle_energy_joules=float(snapshot["idle"]),  # type: ignore[arg-type]
-        dynamic_energy_joules=float(snapshot["dynamic"]),  # type: ignore[arg-type]
-        utilization_by_type=snapshot["utilization_by_type"],  # type: ignore[assignment]
-        job_results=build_job_results(jobtracker, cluster, config),
-        collector=collector,
+        eant_config=eant_config,
+        with_meter=with_meter,
+        meter_interval=meter_interval,
+        max_sim_time=max_sim_time,
     )
-    if tracer is not None and trace_path is not None:
-        write_jsonl(tracer, trace_path)
-    return ScenarioResult(
-        metrics=metrics,
-        scheduler=policy,
-        jobtracker=jobtracker,
-        cluster=cluster,
-        meter=meter,
-        tracer=tracer,
-        registry=registry,
+    return execute_spec(
+        spec,
+        trace=trace,
+        placements=placements,
+        network=network,
+        scheduler_factory=factory,
     )

@@ -3,25 +3,34 @@
 Open-loop task streams are offered to single machines at controlled rates;
 we measure throughput-per-watt, the idle/dynamic power split, and the
 map/shuffle/reduce completion-time breakdown of the PUMA applications.
+
+Every observation is one declarative :class:`~repro.runner.ScenarioSpec`
+(``fig1*_specs`` emit the grids), so the whole study can run through a
+:class:`~repro.runner.SweepRunner` — parallel and cached — or serially.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cluster import CORE_I7, XEON_E5, MachineSpec, paper_fleet
+from ..runner import RunRecord, ScenarioSpec, SweepRunner, resolve_specs
 from ..simulation import RandomStreams
 from ..workloads import GREP, PUMA, TERASORT, WORDCOUNT, WorkloadProfile, puma_job
-from .harness import run_scenario
 from .scenarios import motivation_rig, open_loop_jobs
 
 __all__ = [
     "EfficiencyPoint",
+    "motivation_spec",
     "throughput_per_watt",
+    "fig1a_specs",
     "fig1a_hardware_impact",
+    "fig1b_specs",
     "fig1b_power_split",
+    "fig1c_specs",
     "fig1c_workload_impact",
+    "fig1d_specs",
     "fig1d_phase_breakdown",
 ]
 
@@ -51,6 +60,54 @@ class EfficiencyPoint:
         return max(0.0, self.average_power_watts - self.idle_power_watts)
 
 
+def motivation_spec(
+    spec: MachineSpec,
+    profile: WorkloadProfile,
+    rate_per_min: float,
+    duration_s: float = 1800.0,
+    seed: int = 0,
+    map_slots: int = 6,
+) -> ScenarioSpec:
+    """Declarative form of one open-loop observation: ``profile`` tasks
+    offered to one machine at ``rate_per_min``."""
+    streams = RandomStreams(seed)
+    jobs = open_loop_jobs(profile, rate_per_min, duration_s, streams)
+    if not jobs:
+        raise ValueError("no arrivals generated; increase rate or duration")
+    return ScenarioSpec(
+        jobs=tuple(jobs),
+        scheduler="fifo",
+        fleet=tuple(motivation_rig(spec, map_slots=map_slots)),
+        seed=seed,
+        label=f"fig1/{spec.model}/{profile.name}@{rate_per_min:g}pm",
+    )
+
+
+def _efficiency_point(
+    record: RunRecord,
+    machine: MachineSpec,
+    profile: WorkloadProfile,
+    rate_per_min: float,
+) -> EfficiencyPoint:
+    """Fold one run record into the Fig. 1 observation.
+
+    The rig has exactly one machine, so the cluster's integrated energy is
+    that machine's."""
+    metrics = record.metrics
+    completed = len(metrics.job_results)
+    span = metrics.makespan
+    average_power = metrics.total_energy_joules / span if span > 0 else 0.0
+    return EfficiencyPoint(
+        machine=machine.model,
+        workload=profile.name,
+        rate_per_min=rate_per_min,
+        completed=completed,
+        throughput_per_min=completed / (span / 60.0) if span > 0 else 0.0,
+        average_power_watts=average_power,
+        idle_power_watts=machine.power.idle_watts,
+    )
+
+
 def throughput_per_watt(
     spec: MachineSpec,
     profile: WorkloadProfile,
@@ -60,46 +117,48 @@ def throughput_per_watt(
     map_slots: int = 6,
 ) -> EfficiencyPoint:
     """Offer ``profile`` tasks to one machine at ``rate_per_min``."""
-    streams = RandomStreams(seed)
-    jobs = open_loop_jobs(profile, rate_per_min, duration_s, streams)
-    if not jobs:
-        raise ValueError("no arrivals generated; increase rate or duration")
-    result = run_scenario(
-        jobs,
-        scheduler="fifo",
-        fleet=motivation_rig(spec, map_slots=map_slots),
-        seed=seed,
+    scenario = motivation_spec(
+        spec, profile, rate_per_min, duration_s=duration_s, seed=seed, map_slots=map_slots
     )
-    metrics = result.metrics
-    completed = len(metrics.job_results)
-    # Average power over the measurement span, from exact integration.
-    machine = result.cluster.machine(0)
-    span = metrics.makespan
-    average_power = machine.energy.total_joules / span if span > 0 else 0.0
-    return EfficiencyPoint(
-        machine=spec.model,
-        workload=profile.name,
-        rate_per_min=rate_per_min,
-        completed=completed,
-        throughput_per_min=completed / (span / 60.0) if span > 0 else 0.0,
-        average_power_watts=average_power,
-        idle_power_watts=spec.power.idle_watts,
-    )
+    return _efficiency_point(scenario.run_record(), spec, profile, rate_per_min)
+
+
+#: Fig. 1(a) compares the server and desktop parts on Wordcount.
+_FIG1A_MACHINES: Tuple[Tuple[str, MachineSpec], ...] = (
+    ("Xeon E5", XEON_E5),
+    ("Core i7", CORE_I7),
+)
+
+
+def fig1a_specs(
+    rates: Sequence[float] = (5, 10, 12, 15, 20, 25),
+    seed: int = 0,
+) -> List[ScenarioSpec]:
+    """The Fig. 1(a) grid, machine-major: all rates for the Xeon, then all
+    rates for the i7."""
+    return [
+        motivation_spec(spec, WORDCOUNT, rate, seed=seed)
+        for _label, spec in _FIG1A_MACHINES
+        for rate in rates
+    ]
 
 
 def fig1a_hardware_impact(
     rates: Sequence[float] = (5, 10, 12, 15, 20, 25),
     seed: int = 0,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, List[EfficiencyPoint]]:
     """Fig. 1(a): Xeon E5 vs Core i7 efficiency across arrival rates.
 
     The paper observes the desktop wins below ~12 tasks/min and the Xeon
     above it.
     """
+    records = resolve_specs(fig1a_specs(rates, seed), runner)
     out: Dict[str, List[EfficiencyPoint]] = {}
-    for label, spec in (("Xeon E5", XEON_E5), ("Core i7", CORE_I7)):
+    cursor = iter(records)
+    for label, spec in _FIG1A_MACHINES:
         out[label] = [
-            throughput_per_watt(spec, WORDCOUNT, rate, seed=seed) for rate in rates
+            _efficiency_point(next(cursor), spec, WORDCOUNT, rate) for rate in rates
         ]
     return out
 
@@ -120,32 +179,73 @@ def crossover_rate(curves: Dict[str, List[EfficiencyPoint]]) -> float:
     return float("inf")
 
 
+#: Fig. 1(b) observes both parts under a light and a heavy offered load.
+_FIG1B_MACHINES: Tuple[Tuple[str, MachineSpec], ...] = (
+    ("i7", CORE_I7),
+    ("E5", XEON_E5),
+)
+
+
+def fig1b_specs(
+    light_rate: float = 10.0,
+    heavy_rate: float = 20.0,
+    seed: int = 0,
+) -> List[ScenarioSpec]:
+    """The Fig. 1(b) grid: (machine, load) in row-major order."""
+    return [
+        motivation_spec(spec, WORDCOUNT, rate, seed=seed)
+        for _label, spec in _FIG1B_MACHINES
+        for rate in (light_rate, heavy_rate)
+    ]
+
+
 def fig1b_power_split(
     light_rate: float = 10.0,
     heavy_rate: float = 20.0,
     seed: int = 0,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[Tuple[str, str], EfficiencyPoint]:
     """Fig. 1(b): idle vs workload power under light/heavy load."""
+    records = resolve_specs(fig1b_specs(light_rate, heavy_rate, seed), runner)
     out: Dict[Tuple[str, str], EfficiencyPoint] = {}
-    for label, spec in (("i7", CORE_I7), ("E5", XEON_E5)):
+    cursor = iter(records)
+    for label, spec in _FIG1B_MACHINES:
         for load, rate in (("light", light_rate), ("heavy", heavy_rate)):
-            out[(label, load)] = throughput_per_watt(spec, WORDCOUNT, rate, seed=seed)
+            out[(label, load)] = _efficiency_point(next(cursor), spec, WORDCOUNT, rate)
     return out
+
+
+_FIG1C_PROFILES: Tuple[WorkloadProfile, ...] = (WORDCOUNT, GREP, TERASORT)
+
+
+def fig1c_specs(
+    rates: Sequence[float] = (10, 15, 20, 25, 30, 35, 40, 50),
+    seed: int = 0,
+) -> List[ScenarioSpec]:
+    """The Fig. 1(c) grid, application-major, all on the Xeon."""
+    return [
+        motivation_spec(XEON_E5, profile, rate, seed=seed)
+        for profile in _FIG1C_PROFILES
+        for rate in rates
+    ]
 
 
 def fig1c_workload_impact(
     rates: Sequence[float] = (10, 15, 20, 25, 30, 35, 40, 50),
     seed: int = 0,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, List[EfficiencyPoint]]:
     """Fig. 1(c): per-application efficiency on the Xeon across rates.
 
     The paper's peak efficiency rates order Wordcount < Grep <= Terasort
     (20, 25, 35 tasks/min) — CPU-heavy tasks saturate the machine first.
     """
+    records = resolve_specs(fig1c_specs(rates, seed), runner)
     out: Dict[str, List[EfficiencyPoint]] = {}
-    for profile in (WORDCOUNT, GREP, TERASORT):
+    cursor = iter(records)
+    for profile in _FIG1C_PROFILES:
         out[profile.name] = [
-            throughput_per_watt(XEON_E5, profile, rate, seed=seed) for rate in rates
+            _efficiency_point(next(cursor), XEON_E5, profile, rate) for rate in rates
         ]
     return out
 
@@ -156,18 +256,36 @@ def peak_rate(points: List[EfficiencyPoint]) -> float:
     return best.rate_per_min
 
 
-def fig1d_phase_breakdown(input_gb: float = 3.0, seed: int = 0) -> Dict[str, Dict[str, float]]:
+def fig1d_specs(input_gb: float = 3.0, seed: int = 0) -> List[ScenarioSpec]:
+    """One single-job spec per PUMA application (alphabetical)."""
+    return [
+        ScenarioSpec(
+            jobs=(puma_job(name, input_gb=input_gb),),
+            scheduler="fifo",
+            fleet=tuple(paper_fleet()),
+            seed=seed,
+            label=f"fig1d/{name}",
+        )
+        for name in sorted(PUMA)
+    ]
+
+
+def fig1d_phase_breakdown(
+    input_gb: float = 3.0,
+    seed: int = 0,
+    runner: Optional[SweepRunner] = None,
+) -> Dict[str, Dict[str, float]]:
     """Fig. 1(d): normalized map/shuffle/reduce time share per application.
 
     Wordcount should be map-dominated; Grep and Terasort shuffle/reduce-
     heavy.
     """
+    records = resolve_specs(fig1d_specs(input_gb, seed), runner)
     out: Dict[str, Dict[str, float]] = {}
-    for name in sorted(PUMA):
-        job = puma_job(name, input_gb=input_gb)
-        result = run_scenario([job], scheduler="fifo", fleet=paper_fleet(), seed=seed)
-        live_job = result.jobtracker.completed_jobs[0]
-        breakdown = live_job.phase_breakdown()
+    for name, record in zip(sorted(PUMA), records):
+        # A fig1d run holds exactly one job; its name is assigned by
+        # puma_job, so take the sole breakdown rather than guessing it.
+        (breakdown,) = record.phase_breakdown_by_job.values()
         total = sum(breakdown.values())
         out[name] = {phase: seconds / total for phase, seconds in breakdown.items()}
     return out

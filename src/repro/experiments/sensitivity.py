@@ -8,23 +8,30 @@
 * Fig. 12(b): sweeping the control interval; too short gives the task
   analyzer too few samples per update, too long adapts too rarely —
   energy saving peaks in between (the paper: at 5 minutes).
+
+Both sweeps are declarative grids: ``fig12*_specs`` emit the full
+``(seed x setting)`` spec list (baseline Fair run first per seed), and the
+``fig12*_sweep`` functions aggregate the resolved records.  Pass a
+:class:`~repro.runner.SweepRunner` to parallelize/cache the grid.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..core import EAntConfig
 from ..hadoop import HadoopConfig
-from .harness import run_scenario
+from ..runner import ScenarioSpec, SweepRunner, resolve_specs
 from .scenarios import msd_scenario
 
 __all__ = [
     "BetaPoint",
     "IntervalPoint",
+    "fig12a_specs",
+    "fig12b_specs",
     "fig12a_beta_sweep",
     "fig12b_interval_sweep",
 ]
@@ -49,30 +56,59 @@ class IntervalPoint:
     mean_jct_s: float
 
 
+def fig12a_specs(
+    betas: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4),
+    seeds: Sequence[int] = (3, 11, 23),
+    n_jobs: int = 60,
+) -> List[ScenarioSpec]:
+    """The Fig. 12(a) grid: per seed, one Fair baseline then one E-Ant run
+    per beta (block-ordered, so aggregation can walk fixed strides)."""
+    specs: List[ScenarioSpec] = []
+    for seed in seeds:
+        jobs, hadoop = msd_scenario(seed=seed, n_jobs=n_jobs)
+        specs.append(
+            ScenarioSpec(
+                jobs=tuple(jobs),
+                scheduler="fair",
+                hadoop=hadoop,
+                seed=seed,
+                label=f"fig12a/fair@seed{seed}",
+            )
+        )
+        for beta in betas:
+            specs.append(
+                ScenarioSpec(
+                    jobs=tuple(jobs),
+                    scheduler="e-ant",
+                    hadoop=hadoop,
+                    seed=seed,
+                    eant_config=EAntConfig(beta=beta),
+                    label=f"fig12a/e-ant@seed{seed}/beta={beta:g}",
+                )
+            )
+    return specs
+
+
 def fig12a_beta_sweep(
     betas: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4),
     seeds: Sequence[int] = (3, 11, 23),
     n_jobs: int = 60,
+    runner: Optional[SweepRunner] = None,
 ) -> List[BetaPoint]:
     """Fig. 12(a): beta vs (energy saving over default Hadoop, fairness).
 
     Each point is averaged over several workload draws — single-draw
     makespan variance otherwise swamps the beta effect.
     """
+    records = resolve_specs(fig12a_specs(betas, seeds, n_jobs), runner)
     saving: dict = {b: [] for b in betas}
     fairness: dict = {b: [] for b in betas}
     jct: dict = {b: [] for b in betas}
-    for seed in seeds:
-        jobs, hadoop = msd_scenario(seed=seed, n_jobs=n_jobs)
-        baseline = run_scenario(jobs, scheduler="fair", hadoop=hadoop, seed=seed).metrics
-        for beta in betas:
-            run = run_scenario(
-                jobs,
-                scheduler="e-ant",
-                hadoop=hadoop,
-                seed=seed,
-                eant_config=EAntConfig(beta=beta),
-            ).metrics
+    stride = 1 + len(betas)
+    for block, _seed in enumerate(seeds):
+        baseline = records[block * stride].metrics
+        for offset, beta in enumerate(betas):
+            run = records[block * stride + 1 + offset].metrics
             saving[beta].append(baseline.total_energy_kj - run.total_energy_kj)
             fairness[beta].append(run.fairness)
             jct[beta].append(run.mean_jct())
@@ -87,23 +123,53 @@ def fig12a_beta_sweep(
     ]
 
 
+def fig12b_specs(
+    intervals_min: Sequence[float] = (2, 3, 5, 8),
+    seeds: Sequence[int] = (3, 11, 23),
+    n_jobs: int = 60,
+) -> List[ScenarioSpec]:
+    """The Fig. 12(b) grid: per seed, one Fair baseline then one E-Ant run
+    per control-interval setting."""
+    specs: List[ScenarioSpec] = []
+    for seed in seeds:
+        jobs, _ = msd_scenario(seed=seed, n_jobs=n_jobs)
+        specs.append(
+            ScenarioSpec(
+                jobs=tuple(jobs),
+                scheduler="fair",
+                seed=seed,
+                label=f"fig12b/fair@seed{seed}",
+            )
+        )
+        for minutes in intervals_min:
+            specs.append(
+                ScenarioSpec(
+                    jobs=tuple(jobs),
+                    scheduler="e-ant",
+                    hadoop=HadoopConfig(control_interval=minutes * 60.0),
+                    seed=seed,
+                    label=f"fig12b/e-ant@seed{seed}/interval={minutes:g}min",
+                )
+            )
+    return specs
+
+
 def fig12b_interval_sweep(
     intervals_min: Sequence[float] = (2, 3, 5, 8),
     seeds: Sequence[int] = (3, 11, 23),
     n_jobs: int = 60,
+    runner: Optional[SweepRunner] = None,
 ) -> List[IntervalPoint]:
     """Fig. 12(b): control interval vs energy saving over default Hadoop,
     seed-averaged like the beta sweep."""
+    records = resolve_specs(fig12b_specs(intervals_min, seeds, n_jobs), runner)
     saving: dict = {m: [] for m in intervals_min}
     jct: dict = {m: [] for m in intervals_min}
-    for seed in seeds:
-        jobs, _ = msd_scenario(seed=seed, n_jobs=n_jobs)
-        baseline = run_scenario(jobs, scheduler="fair", seed=seed).metrics
-        for minutes in intervals_min:
-            hadoop = HadoopConfig(control_interval=minutes * 60.0)
-            run = run_scenario(
-                jobs, scheduler="e-ant", hadoop=hadoop, seed=seed
-            ).metrics
+    stride = 1 + len(intervals_min)
+    for block, _seed in enumerate(seeds):
+        baseline = records[block * stride].metrics
+        for offset, minutes in enumerate(intervals_min):
+            run = records[block * stride + 1 + offset].metrics
             saving[minutes].append(baseline.total_energy_kj - run.total_energy_kj)
             jct[minutes].append(run.mean_jct())
     return [

@@ -1,6 +1,12 @@
 """Metrics: energy roll-ups, fairness, per-run records."""
 
-from .collector import JobResult, MetricsCollector, RunMetrics, build_job_results
+from .collector import (
+    CollectorSummary,
+    JobResult,
+    MetricsCollector,
+    RunMetrics,
+    build_job_results,
+)
 from .timeline import MachineSeries, extract_timelines, sparkline, timeline_report
 from .fairness import (
     estimate_standalone_jct,
@@ -11,6 +17,7 @@ from .fairness import (
 
 __all__ = [
     "MetricsCollector",
+    "CollectorSummary",
     "JobResult",
     "RunMetrics",
     "build_job_results",

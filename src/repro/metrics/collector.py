@@ -9,7 +9,7 @@ records every experiment harness returns.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..cluster import Cluster
@@ -17,7 +17,7 @@ from ..hadoop import HadoopConfig, Job, JobTracker, TaskKind, TaskReport
 from ..workloads import JobSpec
 from .fairness import estimate_standalone_jct, fairness_from_slowdowns, slowdown
 
-__all__ = ["MetricsCollector", "JobResult", "RunMetrics"]
+__all__ = ["MetricsCollector", "CollectorSummary", "JobResult", "RunMetrics"]
 
 
 @dataclass(frozen=True)
@@ -39,8 +39,56 @@ class JobResult:
         return slowdown(self.completion_time, self.standalone_estimate)
 
 
+class _CollectorProjections:
+    """Projection methods shared by the live collector and its detached
+    summary — both expose ``completed``/``busy_seconds``/locality counters."""
+
+    completed: Dict[Tuple[str, str, str], int]
+    local_maps: int
+    total_maps: int
+
+    def tasks_by_machine_and_app(self) -> Dict[str, Dict[str, int]]:
+        """machine model -> application -> completed tasks (Fig. 9(a))."""
+        out: Dict[str, Dict[str, int]] = {}
+        for (model, application, _kind), count in self.completed.items():
+            out.setdefault(model, {}).setdefault(application, 0)
+            out[model][application] += count
+        return out
+
+    def tasks_by_machine_and_kind(self) -> Dict[str, Dict[str, int]]:
+        """machine model -> map/reduce -> completed tasks (Fig. 9(b))."""
+        out: Dict[str, Dict[str, int]] = {}
+        for (model, _application, kind), count in self.completed.items():
+            out.setdefault(model, {}).setdefault(kind, 0)
+            out[model][kind] += count
+        return out
+
+    @property
+    def locality_rate(self) -> float:
+        """Fraction of maps that read node-local input."""
+        if self.total_maps == 0:
+            return 0.0
+        return self.local_maps / self.total_maps
+
+
+@dataclass(frozen=True)
+class CollectorSummary(_CollectorProjections):
+    """A detached, picklable snapshot of a :class:`MetricsCollector`.
+
+    Holds only the aggregated counters — no cluster or simulator
+    references — so it can cross ``multiprocessing`` boundaries and live
+    in the result cache while keeping the projection API intact.
+    """
+
+    completed: Dict[Tuple[str, str, str], int]
+    busy_seconds: Dict[Tuple[str, str], float]
+    reports_seen: int
+    local_maps: int
+    total_maps: int
+
+
 @dataclass
-class MetricsCollector:
+class MetricsCollector(_CollectorProjections):
     """Aggregates task reports while a simulation runs.
 
     Attach with ``jobtracker.add_report_listener(collector.on_report)``.
@@ -71,29 +119,15 @@ class MetricsCollector:
             if report.local:
                 self.local_maps += 1
 
-    # ----------------------------------------------------------- projections
-    def tasks_by_machine_and_app(self) -> Dict[str, Dict[str, int]]:
-        """machine model -> application -> completed tasks (Fig. 9(a))."""
-        out: Dict[str, Dict[str, int]] = {}
-        for (model, application, _kind), count in self.completed.items():
-            out.setdefault(model, {}).setdefault(application, 0)
-            out[model][application] += count
-        return out
-
-    def tasks_by_machine_and_kind(self) -> Dict[str, Dict[str, int]]:
-        """machine model -> map/reduce -> completed tasks (Fig. 9(b))."""
-        out: Dict[str, Dict[str, int]] = {}
-        for (model, _application, kind), count in self.completed.items():
-            out.setdefault(model, {}).setdefault(kind, 0)
-            out[model][kind] += count
-        return out
-
-    @property
-    def locality_rate(self) -> float:
-        """Fraction of maps that read node-local input."""
-        if self.total_maps == 0:
-            return 0.0
-        return self.local_maps / self.total_maps
+    def detach(self) -> CollectorSummary:
+        """Snapshot the counters without the cluster reference."""
+        return CollectorSummary(
+            completed=dict(self.completed),
+            busy_seconds=dict(self.busy_seconds),
+            reports_seen=self.reports_seen,
+            local_maps=self.local_maps,
+            total_maps=self.total_maps,
+        )
 
 
 @dataclass
@@ -109,7 +143,18 @@ class RunMetrics:
     dynamic_energy_joules: float
     utilization_by_type: Dict[str, float]
     job_results: List[JobResult]
-    collector: MetricsCollector
+    #: Live collector during/after a run; a detached summary once the
+    #: metrics have been made portable (pickled, cached, or shipped back
+    #: from a worker process).
+    collector: "MetricsCollector | CollectorSummary"
+
+    def portable(self) -> "RunMetrics":
+        """A copy safe to pickle: the collector is detached from the
+        cluster/simulator object graph.  All numbers are unchanged."""
+        collector = self.collector
+        if isinstance(collector, MetricsCollector):
+            collector = collector.detach()
+        return replace(self, collector=collector)
 
     @property
     def total_energy_kj(self) -> float:

@@ -60,6 +60,11 @@ class EventType(str, enum.Enum):
     #: Periodic MetricsRegistry snapshot (counters/gauges/histograms +
     #: per-machine utilization/power samples).
     METRICS_SNAPSHOT = "metrics.snapshot"
+    #: Sweep-runner progress: one scenario resolved (cache hit, fresh run,
+    #: retry, or failure).  Emitted with wall-clock times, not sim time.
+    SWEEP_TASK = "sweep.task"
+    #: Sweep-runner roll-up after the whole grid resolved.
+    SWEEP_SUMMARY = "sweep.summary"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

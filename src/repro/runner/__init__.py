@@ -1,0 +1,44 @@
+"""Declarative scenario execution: specs, records, caching, parallel sweeps.
+
+The pieces (see ``docs/api.md`` for the full guide):
+
+* :class:`ScenarioSpec` — frozen, hashable, picklable description of one
+  run; canonical-JSON serialization and a stable SHA-256 content hash.
+* :func:`execute_spec` / :class:`ScenarioResult` — the execution engine
+  (live simulation objects; what ``run_scenario`` wraps).
+* :class:`RunRecord` — the portable projection of a finished run
+  (detached metrics, meter readings, convergence summary) that crosses
+  process boundaries and lives in the cache.
+* :class:`ResultCache` — content-addressed on-disk cache keyed by spec
+  hash plus a code-version salt.
+* :class:`SweepRunner` — parallel fan-out with per-task retry/timeout,
+  graceful serial degradation, and cache-first resolution.
+"""
+
+from .cache import CacheStats, ResultCache, code_version_salt, default_cache_dir
+from .engine import SCHEDULER_NAMES, ScenarioResult, execute_spec, make_scheduler
+from .record import ConvergenceRecord, MeterRecord, RunRecord, build_record
+from .spec import SPEC_VERSION, ScenarioSpec, canonical_json
+from .sweep import SweepError, SweepReport, SweepRunner, resolve_specs
+
+__all__ = [
+    "ScenarioSpec",
+    "SPEC_VERSION",
+    "canonical_json",
+    "ScenarioResult",
+    "execute_spec",
+    "make_scheduler",
+    "SCHEDULER_NAMES",
+    "RunRecord",
+    "MeterRecord",
+    "ConvergenceRecord",
+    "build_record",
+    "ResultCache",
+    "CacheStats",
+    "code_version_salt",
+    "default_cache_dir",
+    "SweepError",
+    "SweepReport",
+    "SweepRunner",
+    "resolve_specs",
+]

@@ -1,0 +1,197 @@
+"""Content-addressed result cache for scenario runs.
+
+Results are keyed by ``(code-version salt, spec hash)``:
+
+* the **spec hash** is the SHA-256 of the spec's canonical JSON
+  (:meth:`~repro.runner.spec.ScenarioSpec.spec_hash`), so any change to
+  any outcome-affecting input produces a different key, and
+* the **code-version salt** is the SHA-256 of every ``*.py`` source file
+  in the :mod:`repro` package, so editing the simulator invalidates every
+  cached result without any manual version bookkeeping.
+
+Layout (one directory per salt, fanned out by the first hash byte)::
+
+    <cache-dir>/
+      v1-<salt12>/
+        ab/
+          <spec-hash>.pkl        # pickled RunRecord
+          <spec-hash>.spec.json  # the spec's canonical JSON (debugging)
+
+The default cache directory is ``$EANT_REPRO_CACHE_DIR``, else
+``$XDG_CACHE_HOME/eant-repro``, else ``~/.cache/eant-repro``.
+Corrupt or unreadable entries are treated as misses and removed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+from .record import RunRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .spec import ScenarioSpec
+
+__all__ = ["ResultCache", "CacheStats", "code_version_salt", "default_cache_dir"]
+
+#: Environment override for the salt (useful to pin caches across
+#: deliberately-compatible code edits, or to segregate CI runs).
+SALT_ENV = "EANT_REPRO_CODE_SALT"
+CACHE_DIR_ENV = "EANT_REPRO_CACHE_DIR"
+
+_salt_cache: Optional[str] = None
+
+
+def code_version_salt() -> str:
+    """Hash of the installed ``repro`` package's Python sources.
+
+    Computed once per process; the :data:`SALT_ENV` environment variable
+    overrides it verbatim.
+    """
+    global _salt_cache
+    override = os.environ.get(SALT_ENV)
+    if override:
+        return override
+    if _salt_cache is None:
+        import repro
+
+        digest = hashlib.sha256()
+        package_root = Path(repro.__file__).resolve().parent
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(path.read_bytes())
+            digest.update(b"\x00")
+        _salt_cache = digest.hexdigest()
+    return _salt_cache
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root (env override > XDG > ``~/.cache``)."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "eant-repro"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+
+@dataclass
+class ResultCache:
+    """Filesystem cache of :class:`~repro.runner.record.RunRecord` objects.
+
+    Parameters
+    ----------
+    directory:
+        Cache root; defaults to :func:`default_cache_dir`.
+    salt:
+        Code-version salt; defaults to :func:`code_version_salt`.
+    """
+
+    directory: Optional[Path] = None
+    salt: Optional[str] = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.directory is None:
+            self.directory = default_cache_dir()
+        self.directory = Path(self.directory)
+        if self.salt is None:
+            self.salt = code_version_salt()
+
+    # -------------------------------------------------------------- layout
+    @property
+    def generation_dir(self) -> Path:
+        """The directory holding this code generation's entries."""
+        return self.directory / f"v1-{self.salt[:12]}"
+
+    def path_for(self, spec: "ScenarioSpec") -> Path:
+        digest = spec.spec_hash()
+        return self.generation_dir / digest[:2] / f"{digest}.pkl"
+
+    # ----------------------------------------------------------- get / put
+    def get(self, spec: "ScenarioSpec") -> Optional[RunRecord]:
+        """The cached record for ``spec``, or ``None`` on a miss.
+
+        A corrupt entry (truncated pickle, wrong type) counts as a miss
+        and is evicted so the slot heals on the next store.
+        """
+        path = self.path_for(spec)
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            with open(path, "rb") as handle:
+                record = pickle.load(handle)
+            if not isinstance(record, RunRecord):
+                raise TypeError(f"cache entry is {type(record).__name__}, not RunRecord")
+        except Exception:
+            self.stats.misses += 1
+            self.stats.evictions += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return record
+
+    def put(self, spec: "ScenarioSpec", record: RunRecord) -> Path:
+        """Store ``record`` under ``spec``'s content address (atomically)."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename so concurrent sweep workers never observe a
+        # half-written pickle.
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(record, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        sidecar = path.with_suffix("").with_suffix(".spec.json")
+        sidecar.write_text(spec.canonical_json() + "\n", encoding="utf-8")
+        self.stats.stores += 1
+        return path
+
+    def clear_generation(self) -> int:
+        """Delete every entry of the current code generation; returns the
+        number of records removed."""
+        removed = 0
+        root = self.generation_dir
+        if not root.exists():
+            return 0
+        for path in sorted(root.rglob("*"), reverse=True):
+            if path.is_file():
+                if path.suffix == ".pkl":
+                    removed += 1
+                path.unlink()
+            else:
+                try:
+                    path.rmdir()
+                except OSError:
+                    pass
+        try:
+            root.rmdir()
+        except OSError:
+            pass
+        return removed

@@ -1,0 +1,124 @@
+"""Portable run results: everything the figure harnesses consume, picklable.
+
+A :class:`~repro.runner.engine.ScenarioResult` holds the *live* simulation
+object graph (simulator, cluster, jobtracker) — great for interactive
+inspection, impossible to pickle across a ``multiprocessing`` boundary or
+store in a cache.  :class:`RunRecord` is its portable projection: the
+:class:`~repro.metrics.RunMetrics` (with a detached collector), the fleet
+composition, optional meter readings, the E-Ant convergence summary, and
+per-job phase breakdowns.  :func:`build_record` derives one from a
+finished result.
+
+Serial execution, parallel workers, and cache restoration all hand back
+the same ``RunRecord`` content for the same spec — the bit-identity
+guarantee the sweep runner is built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from ..core import EAntScheduler
+from ..energy.meter import MeterReading
+from ..metrics import RunMetrics
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import ScenarioResult
+    from .spec import ScenarioSpec
+
+__all__ = ["RunRecord", "MeterRecord", "ConvergenceRecord", "build_record"]
+
+
+@dataclass(frozen=True)
+class MeterRecord:
+    """Detached wall-power meter readings of one run.
+
+    Exposes the subset of the :class:`~repro.energy.ClusterMeter` API the
+    exchange experiment consumes (readings + per-machine idle power for
+    idle-floor extrapolation past the final sample).
+    """
+
+    readings: Tuple[MeterReading, ...]
+    idle_watts_by_machine: Dict[int, float]
+
+    def idle_watts(self, machine_id: int) -> float:
+        return self.idle_watts_by_machine[machine_id]
+
+
+@dataclass(frozen=True)
+class ConvergenceRecord:
+    """E-Ant colony-convergence summary (Figs. 11(a)-(b)).
+
+    ``converged_times`` holds the per-colony stabilization times of the
+    colonies that did converge; ``total_colonies`` counts every colony the
+    detector ever saw, so censored (never-stabilized) colonies remain
+    visible.
+    """
+
+    converged_times: Tuple[float, ...]
+    total_colonies: int
+
+    @property
+    def converged_colonies(self) -> int:
+        return len(self.converged_times)
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """The portable outcome of executing one :class:`ScenarioSpec`."""
+
+    spec_hash: str
+    metrics: RunMetrics
+    #: machine model -> number of machines in the fleet
+    machines_by_model: Dict[str, int]
+    meter: Optional[MeterRecord] = None
+    convergence: Optional[ConvergenceRecord] = None
+    #: job name -> {"map": s, "shuffle": s, "reduce": s} wall-clock seconds
+    phase_breakdown_by_job: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: seconds of wall-clock time the producing run took (0.0 on restore
+    #: from cache the field keeps the *original* run's cost)
+    wall_seconds: float = 0.0
+
+
+def build_record(spec: "ScenarioSpec", result: "ScenarioResult", wall_seconds: float = 0.0) -> RunRecord:
+    """Project a finished :class:`ScenarioResult` into a :class:`RunRecord`."""
+    cluster = result.cluster
+    machines_by_model: Dict[str, int] = {}
+    for machine in cluster:
+        model = machine.spec.model
+        machines_by_model[model] = machines_by_model.get(model, 0) + 1
+
+    meter: Optional[MeterRecord] = None
+    if result.meter is not None:
+        meter = MeterRecord(
+            readings=tuple(result.meter.readings),
+            idle_watts_by_machine={
+                machine.machine_id: machine.spec.power.idle_watts for machine in cluster
+            },
+        )
+
+    convergence: Optional[ConvergenceRecord] = None
+    if isinstance(result.scheduler, EAntScheduler):
+        detector = result.scheduler.convergence
+        times = [
+            detector.convergence_time(colony) for colony in detector.converged_at
+        ]
+        convergence = ConvergenceRecord(
+            converged_times=tuple(t for t in times if t is not None),
+            total_colonies=len(detector.first_seen),
+        )
+
+    breakdowns: Dict[str, Dict[str, float]] = {}
+    for job in result.jobtracker.completed_jobs:
+        breakdowns[job.name] = job.phase_breakdown()
+
+    return RunRecord(
+        spec_hash=spec.spec_hash(),
+        metrics=result.metrics.portable(),
+        machines_by_model=machines_by_model,
+        meter=meter,
+        convergence=convergence,
+        phase_breakdown_by_job=breakdowns,
+        wall_seconds=wall_seconds,
+    )

@@ -1,0 +1,262 @@
+"""Parallel sweep execution over lists of :class:`ScenarioSpec`.
+
+:class:`SweepRunner` fans a list of specs out over a ``multiprocessing``
+pool with per-task retry and timeout, falls back to in-process serial
+execution whenever the pool misbehaves (a worker crash, a fork failure, a
+sandboxed environment without shared-memory semaphores), and resolves
+specs through a content-addressed :class:`~repro.runner.cache.ResultCache`
+first when one is attached.
+
+Because every run rebuilds its simulator and RNG streams from the spec's
+seed, serial execution, pool execution, and cache restoration all produce
+bit-identical :class:`~repro.metrics.RunMetrics` for the same spec — the
+common-random-numbers guarantee survives the process boundary.
+
+Progress streams through the observability layer: attach a
+:class:`~repro.observability.Tracer` and each resolved spec emits a
+``sweep.task`` event (plus a final ``sweep.summary``); attach a
+``progress`` callable to get human-readable one-liners.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..observability import EventType, Tracer
+from .cache import ResultCache
+from .record import RunRecord, build_record
+from .spec import ScenarioSpec
+
+__all__ = ["SweepRunner", "SweepError", "SweepReport", "resolve_specs"]
+
+
+def resolve_specs(
+    specs: Sequence[ScenarioSpec],
+    runner: Optional["SweepRunner"] = None,
+) -> List[RunRecord]:
+    """Resolve a spec list through ``runner``, or serially in-process.
+
+    The figure harnesses call this with their optional ``runner``
+    argument: ``None`` preserves the historical serial, uncached behavior
+    exactly; passing a :class:`SweepRunner` buys parallelism and caching
+    without touching the harness code.
+    """
+    if runner is None:
+        return [spec.run_record() for spec in specs]
+    return runner.run(specs)
+
+ProgressFn = Callable[[str], None]
+
+
+class SweepError(RuntimeError):
+    """A spec failed even after retries and the serial fallback."""
+
+    def __init__(self, spec: ScenarioSpec, cause: BaseException) -> None:
+        super().__init__(
+            f"spec {spec.display_label} ({spec.short_hash}) failed: {cause!r}"
+        )
+        self.spec = spec
+        self.cause = cause
+
+
+def _execute_record_worker(spec: ScenarioSpec) -> RunRecord:
+    """Pool entry point: run one spec, return its portable record."""
+    start = time.perf_counter()
+    result = spec.run()
+    return build_record(spec, result, wall_seconds=time.perf_counter() - start)
+
+
+@dataclass
+class SweepReport:
+    """Accounting of one :meth:`SweepRunner.run` invocation."""
+
+    total: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    retried: int = 0
+    fell_back_serial: int = 0
+    wall_seconds: float = 0.0
+    #: index -> "cache" | "parallel" | "serial"
+    sources: Dict[int, str] = field(default_factory=dict)
+
+
+@dataclass
+class SweepRunner:
+    """Execute spec lists, in parallel, with caching and retry.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; ``None`` uses ``os.cpu_count()``, ``1`` runs serially
+        in-process (no pool, no pickling).
+    cache:
+        A :class:`ResultCache` to consult/populate, or ``None`` for no
+        caching (the default — figure harnesses opt in explicitly).
+    retries:
+        How many *additional* attempts a failed spec gets (in the parent
+        process, serially) before the sweep raises :class:`SweepError`.
+    task_timeout:
+        Seconds to wait for one pool task before treating it as failed
+        and re-running it serially; ``None`` waits forever.
+    tracer:
+        Optional observability sink for ``sweep.task`` / ``sweep.summary``
+        events (wall-clock timestamps relative to sweep start).
+    progress:
+        Optional callable receiving one human-readable line per resolved
+        spec (the CLI passes ``print``).
+    """
+
+    workers: Optional[int] = None
+    cache: Optional[ResultCache] = None
+    retries: int = 1
+    task_timeout: Optional[float] = None
+    tracer: Optional[Tracer] = None
+    progress: Optional[ProgressFn] = None
+
+    def __post_init__(self) -> None:
+        if self.workers is None:
+            self.workers = os.cpu_count() or 1
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.last_report: Optional[SweepReport] = None
+
+    # ------------------------------------------------------------- plumbing
+    def _emit(
+        self,
+        started: float,
+        index: int,
+        total: int,
+        spec: ScenarioSpec,
+        source: str,
+        seconds: float,
+    ) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(
+                EventType.SWEEP_TASK,
+                time.perf_counter() - started,
+                index=index,
+                total=total,
+                label=spec.display_label,
+                spec_hash=spec.short_hash,
+                source=source,
+                seconds=round(seconds, 6),
+            )
+        if self.progress is not None:
+            self.progress(
+                f"[{index + 1}/{total}] {spec.display_label:32s} "
+                f"{source:8s} {seconds:7.2f}s"
+            )
+
+    def _run_serial_one(
+        self, spec: ScenarioSpec, report: Optional[SweepReport] = None
+    ) -> RunRecord:
+        """One spec with retries, in-process."""
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.retries + 1):
+            if attempt and report is not None:
+                report.retried += 1
+            try:
+                return _execute_record_worker(spec)
+            except Exception as error:  # deterministic failures rarely heal,
+                last_error = error  # but retry covers transient ones (OOM, signals)
+        raise SweepError(spec, last_error)  # type: ignore[arg-type]
+
+    def _run_pool(
+        self,
+        pending: List[Tuple[int, ScenarioSpec]],
+        results: List[Optional[RunRecord]],
+        report: SweepReport,
+        started: float,
+        total: int,
+    ) -> List[Tuple[int, ScenarioSpec]]:
+        """Fan ``pending`` out over a pool; return what still needs serial."""
+        leftovers: List[Tuple[int, ScenarioSpec]] = []
+        processes = min(self.workers or 1, len(pending))
+        try:
+            with multiprocessing.Pool(processes=processes) as pool:
+                async_results = [
+                    (index, spec, pool.apply_async(_execute_record_worker, (spec,)))
+                    for index, spec in pending
+                ]
+                for index, spec, handle in async_results:
+                    try:
+                        record = handle.get(timeout=self.task_timeout)
+                    except Exception:
+                        # Worker crash, timeout, or unpicklable failure:
+                        # this spec goes to the serial fallback.
+                        leftovers.append((index, spec))
+                        continue
+                    results[index] = record
+                    report.executed += 1
+                    report.sources[index] = "parallel"
+                    self._emit(started, index, total, spec, "parallel", record.wall_seconds)
+        except Exception:
+            # The pool itself failed (fork refused, semaphores unavailable,
+            # broken pipe on teardown): degrade gracefully to serial for
+            # everything not already resolved.
+            leftovers = [(i, s) for i, s in pending if results[i] is None]
+        return leftovers
+
+    # ------------------------------------------------------------------ API
+    def run(self, specs: Sequence[ScenarioSpec]) -> List[RunRecord]:
+        """Resolve every spec (cache, pool, then serial fallback), in order.
+
+        The returned list is index-aligned with ``specs``.  Raises
+        :class:`SweepError` if any spec still fails after retries.
+        """
+        specs = list(specs)
+        total = len(specs)
+        started = time.perf_counter()
+        report = SweepReport(total=total)
+        results: List[Optional[RunRecord]] = [None] * total
+
+        pending: List[Tuple[int, ScenarioSpec]] = []
+        for index, spec in enumerate(specs):
+            cached = self.cache.get(spec) if self.cache is not None else None
+            if cached is not None:
+                results[index] = cached
+                report.cache_hits += 1
+                report.sources[index] = "cache"
+                self._emit(started, index, total, spec, "cache", 0.0)
+            else:
+                pending.append((index, spec))
+
+        if pending and (self.workers or 1) > 1 and len(pending) > 1:
+            pending = self._run_pool(pending, results, report, started, total)
+            report.fell_back_serial = len(pending)
+
+        for index, spec in pending:
+            attempt_started = time.perf_counter()
+            record = self._run_serial_one(spec, report)
+            results[index] = record
+            report.executed += 1
+            report.sources[index] = "serial"
+            self._emit(
+                started, index, total, spec, "serial",
+                time.perf_counter() - attempt_started,
+            )
+
+        if self.cache is not None:
+            for index, spec in enumerate(specs):
+                if report.sources.get(index) != "cache":
+                    self.cache.put(spec, results[index])  # type: ignore[arg-type]
+
+        report.wall_seconds = time.perf_counter() - started
+        if self.tracer is not None:
+            self.tracer.emit(
+                EventType.SWEEP_SUMMARY,
+                report.wall_seconds,
+                total=report.total,
+                cache_hits=report.cache_hits,
+                executed=report.executed,
+                serial_fallbacks=report.fell_back_serial,
+                wall_seconds=round(report.wall_seconds, 6),
+            )
+        self.last_report = report
+        return results  # type: ignore[return-value]

@@ -40,3 +40,61 @@ class TestCommands:
         assert main(["figure", "fig6"]) == 0
         out = capsys.readouterr().out.strip().splitlines()
         assert len(out) == 3  # one row per locality fraction
+
+
+class TestJobTokens:
+    """Malformed APP:GB tokens exit 2 with a parse message, never a
+    traceback — float() quietly accepts 'nan', 'inf' and negatives."""
+
+    @pytest.mark.parametrize("token", ["grep:abc", "grep:-3", "grep:0", "grep:nan", "grep:inf"])
+    def test_run_rejects_bad_gigabytes(self, token, capsys):
+        assert main(["run", "--jobs", token]) == 2
+        assert "expected form app:gb" in capsys.readouterr().err
+
+    def test_run_message_names_the_token(self, capsys):
+        main(["run", "--jobs", "grep:-3"])
+        assert "grep:-3" in capsys.readouterr().err
+
+    def test_unknown_app_message_kept(self, capsys):
+        assert main(["run", "--jobs", "hive:1"]) == 2
+        assert "unknown application" in capsys.readouterr().err
+
+
+class TestSweep:
+    GRID = ["sweep", "--jobs", "grep:1", "--seeds", "0", "1",
+            "--schedulers", "fifo", "fair"]
+
+    def test_dry_run_prints_grid_without_simulating(self, capsys, tmp_path):
+        assert main(self.GRID + ["--dry-run", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out[0].startswith("# 4 specs")
+        assert len(out) == 5  # header + one line per spec
+        assert all("miss" in line for line in out[1:])
+
+    def test_dry_run_no_cache(self, capsys):
+        assert main(self.GRID + ["--dry-run", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cache disabled" in out
+
+    def test_bad_token_exits_2(self, capsys):
+        assert main(["sweep", "--jobs", "grep:oops", "--dry-run", "--no-cache"]) == 2
+        assert "expected form app:gb" in capsys.readouterr().err
+
+    def test_micro_sweep_runs_and_caches(self, capsys, tmp_path):
+        args = ["sweep", "--jobs", "grep:1", "--seeds", "0",
+                "--schedulers", "fifo", "fair", "--workers", "2",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "resolved 2 specs" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "2 cached, 0 executed" in second
+
+    def test_beta_grid_expands_eant_only(self, capsys):
+        assert main(["sweep", "--jobs", "grep:1", "--seeds", "0",
+                     "--schedulers", "fair", "e-ant", "--betas", "0.1", "0.3",
+                     "--dry-run", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "# 3 specs" in out  # fair once, e-ant per beta
+        assert "beta=0.1" in out and "beta=0.3" in out

@@ -1,0 +1,159 @@
+"""ScenarioSpec identity: canonical JSON, hashing, round-trips, the shim."""
+
+import json
+import pickle
+import subprocess
+import sys
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.core import EAntConfig, ExchangeLevel
+from repro.experiments import run_scenario
+from repro.runner import SPEC_VERSION, ScenarioSpec
+from repro.workloads import puma_job
+
+
+def small_spec(**overrides) -> ScenarioSpec:
+    fields = dict(
+        jobs=(puma_job("grep", 1.0), puma_job("wordcount", 1.0, submit_time=30.0)),
+        scheduler="fair",
+        seed=7,
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+class TestNormalization:
+    def test_empty_jobs_rejected(self):
+        with pytest.raises(ValueError, match="at least one job"):
+            ScenarioSpec(jobs=())
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            small_spec(scheduler="yarn")
+
+    def test_eant_alias_normalized(self):
+        assert small_spec(scheduler="eant").scheduler == "e-ant"
+
+    def test_defaults_filled_in(self):
+        spec = small_spec()
+        assert spec.fleet is not None
+        assert spec.hadoop is not None
+        assert spec.noise is not None
+
+
+class TestHashing:
+    def test_hash_is_hex_sha256(self):
+        digest = small_spec().spec_hash()
+        assert len(digest) == 64
+        int(digest, 16)  # raises on non-hex
+
+    def test_every_field_change_changes_hash(self):
+        base = small_spec().spec_hash()
+        variants = [
+            small_spec(seed=8),
+            small_spec(scheduler="fifo"),
+            small_spec(jobs=(puma_job("grep", 1.0),)),
+            small_spec(with_meter=True),
+            small_spec(meter_interval=60.0),
+            small_spec(max_sim_time=1000.0),
+            small_spec(eant_config=EAntConfig(beta=0.2)),
+            small_spec(eant_config=EAntConfig(exchange=ExchangeLevel.MACHINE)),
+        ]
+        digests = {v.spec_hash() for v in variants}
+        assert base not in digests
+        assert len(digests) == len(variants)
+
+    def test_label_excluded_from_identity(self):
+        assert small_spec(label="a").spec_hash() == small_spec(label="b").spec_hash()
+        assert small_spec(label="a") == small_spec(label="b")
+        assert "label" not in small_spec(label="a").to_json_dict()
+
+    def test_hash_independent_of_dict_ordering(self):
+        spec = small_spec(eant_config=EAntConfig(beta=0.2))
+        payload = spec.to_json_dict()
+        reordered = json.loads(
+            json.dumps(payload), object_pairs_hook=lambda pairs: dict(reversed(pairs))
+        )
+        assert ScenarioSpec.from_json_dict(reordered).spec_hash() == spec.spec_hash()
+
+    def test_hash_stable_across_process_restart(self):
+        """The content hash is a durable cache key, not id()-flavored."""
+        script = (
+            "import sys; sys.path.insert(0, sys.argv[1])\n"
+            "from repro.runner import ScenarioSpec\n"
+            "from repro.workloads import puma_job\n"
+            "spec = ScenarioSpec(jobs=(puma_job('grep', 1.0),"
+            " puma_job('wordcount', 1.0, submit_time=30.0)),"
+            " scheduler='fair', seed=7)\n"
+            "print(spec.spec_hash())\n"
+        )
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        fresh = subprocess.run(
+            [sys.executable, "-c", script, src],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        assert fresh == small_spec().spec_hash()
+
+
+class TestRoundTrips:
+    def test_json_round_trip(self):
+        spec = small_spec(
+            with_meter=True,
+            eant_config=EAntConfig(beta=0.3, exchange=ExchangeLevel.BOTH),
+        )
+        restored = ScenarioSpec.from_json(spec.canonical_json())
+        assert restored == spec
+        assert restored.spec_hash() == spec.spec_hash()
+
+    def test_json_carries_spec_version(self):
+        assert small_spec().to_json_dict()["spec_version"] == SPEC_VERSION
+
+    def test_pickle_round_trip(self):
+        spec = small_spec(eant_config=EAntConfig(beta=0.1))
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.spec_hash() == spec.spec_hash()
+
+    def test_with_overrides(self):
+        spec = small_spec()
+        other = spec.with_overrides(seed=9)
+        assert other.seed == 9
+        assert other.jobs == spec.jobs
+        assert other.spec_hash() != spec.spec_hash()
+
+
+class TestRunEquivalence:
+    def test_spec_run_matches_run_scenario(self):
+        jobs = [puma_job("grep", 1.0)]
+        via_spec = ScenarioSpec(jobs=tuple(jobs), scheduler="fair", seed=3).run()
+        via_harness = run_scenario(jobs, scheduler="fair", seed=3)
+        assert via_spec.metrics.total_energy_joules == pytest.approx(
+            via_harness.metrics.total_energy_joules
+        )
+        assert via_spec.metrics.makespan == pytest.approx(via_harness.metrics.makespan)
+
+
+class TestPositionalCompatShim:
+    def test_positional_scheduler_warns_and_works(self):
+        jobs = [puma_job("grep", 1.0)]
+        with pytest.warns(DeprecationWarning, match="pass them as keywords"):
+            legacy = run_scenario(jobs, "fair")
+        modern = run_scenario(jobs, scheduler="fair")
+        assert legacy.metrics.total_energy_joules == pytest.approx(
+            modern.metrics.total_energy_joules
+        )
+
+    def test_keyword_call_does_not_warn(self):
+        jobs = [puma_job("grep", 1.0)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_scenario(jobs, scheduler="fifo", seed=1)
+
+    def test_duplicate_argument_rejected(self):
+        jobs = [puma_job("grep", 1.0)]
+        with pytest.raises(TypeError), warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            run_scenario(jobs, "fair", scheduler="fifo")

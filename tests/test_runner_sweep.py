@@ -1,0 +1,156 @@
+"""Sweep-runner behavior: bit-identity across execution modes, fallback."""
+
+import pytest
+
+import repro.runner.sweep as sweep_module
+from repro.runner import (
+    ResultCache,
+    ScenarioSpec,
+    SweepError,
+    SweepRunner,
+    resolve_specs,
+)
+from repro.workloads import puma_job
+
+
+def micro_specs(n_seeds: int = 4) -> list:
+    """A small grid that still exercises scheduling + energy accounting."""
+    return [
+        ScenarioSpec(
+            jobs=(puma_job("grep", 0.5), puma_job("wordcount", 0.5, submit_time=30.0)),
+            scheduler=scheduler,
+            seed=seed,
+            label=f"{scheduler}@{seed}",
+        )
+        for seed in range(n_seeds)
+        for scheduler in ("fifo", "fair")
+    ]
+
+
+class TestBitIdentity:
+    def test_serial_parallel_and_cache_agree(self, tmp_path):
+        """The headline guarantee: all three resolution paths produce
+        identical RunMetrics for the same spec."""
+        specs = micro_specs(2)
+        serial = [spec.run_record() for spec in specs]
+        parallel = SweepRunner(workers=2, cache=ResultCache(tmp_path)).run(specs)
+        restored = SweepRunner(workers=2, cache=ResultCache(tmp_path)).run(specs)
+        for spec, a, b, c in zip(specs, serial, parallel, restored):
+            assert a.spec_hash == spec.spec_hash()
+            assert a.metrics == b.metrics == c.metrics
+            assert a.phase_breakdown_by_job == b.phase_breakdown_by_job
+
+    def test_results_are_index_aligned(self):
+        specs = micro_specs(2)
+        records = SweepRunner(workers=2).run(specs)
+        assert [r.spec_hash for r in records] == [s.spec_hash() for s in specs]
+
+
+class TestCachePath:
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        specs = micro_specs(1)
+        runner = SweepRunner(workers=1, cache=ResultCache(tmp_path))
+        runner.run(specs)
+        assert runner.last_report.executed == len(specs)
+        runner.run(specs)
+        report = runner.last_report
+        assert report.cache_hits == len(specs)
+        assert report.executed == 0
+        assert all(source == "cache" for source in report.sources.values())
+
+    def test_no_cache_always_executes(self):
+        specs = micro_specs(1)
+        runner = SweepRunner(workers=1)
+        runner.run(specs)
+        runner.run(specs)
+        assert runner.last_report.cache_hits == 0
+        assert runner.last_report.executed == len(specs)
+
+
+class TestSerialFallback:
+    def test_broken_pool_degrades_to_serial(self, monkeypatch):
+        def broken_pool(*args, **kwargs):
+            raise OSError("no semaphores here")
+
+        monkeypatch.setattr(sweep_module.multiprocessing, "Pool", broken_pool)
+        specs = micro_specs(1)
+        runner = SweepRunner(workers=4)
+        records = runner.run(specs)
+        assert len(records) == len(specs)
+        report = runner.last_report
+        assert report.fell_back_serial == len(specs)
+        assert all(source == "serial" for source in report.sources.values())
+
+    def test_single_worker_never_opens_a_pool(self, monkeypatch):
+        def exploding_pool(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("workers=1 must not fork")
+
+        monkeypatch.setattr(sweep_module.multiprocessing, "Pool", exploding_pool)
+        records = SweepRunner(workers=1).run(micro_specs(1))
+        assert len(records) == 2
+
+
+class TestRetries:
+    def test_persistent_failure_raises_sweep_error(self, monkeypatch):
+        attempts = []
+
+        def always_fails(spec):
+            attempts.append(spec.spec_hash())
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(sweep_module, "_execute_record_worker", always_fails)
+        spec = micro_specs(1)[0]
+        runner = SweepRunner(workers=1, retries=2)
+        with pytest.raises(SweepError, match="boom"):
+            runner.run([spec])
+        assert len(attempts) == 3  # initial try + 2 retries
+
+    def test_transient_failure_heals(self, monkeypatch):
+        real_worker = sweep_module._execute_record_worker
+        calls = []
+
+        def flaky(spec):
+            calls.append(spec)
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+            return real_worker(spec)
+
+        monkeypatch.setattr(sweep_module, "_execute_record_worker", flaky)
+        runner = SweepRunner(workers=1, retries=1)
+        records = runner.run(micro_specs(1)[:1])
+        assert len(records) == 1
+        assert runner.last_report.retried == 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRunner(workers=0)
+        with pytest.raises(ValueError):
+            SweepRunner(retries=-1)
+
+
+class TestResolveSpecs:
+    def test_none_runner_is_serial(self):
+        specs = micro_specs(1)
+        records = resolve_specs(specs, None)
+        assert [r.spec_hash for r in records] == [s.spec_hash() for s in specs]
+
+    def test_runner_path_matches_serial(self, tmp_path):
+        specs = micro_specs(1)
+        serial = resolve_specs(specs, None)
+        swept = resolve_specs(specs, SweepRunner(workers=2, cache=ResultCache(tmp_path)))
+        for a, b in zip(serial, swept):
+            assert a.metrics == b.metrics
+
+
+class TestProgressAndTracing:
+    def test_progress_lines_and_trace_events(self, tmp_path):
+        from repro.observability import EventType, Tracer
+
+        lines = []
+        tracer = Tracer()
+        specs = micro_specs(1)
+        SweepRunner(workers=1, tracer=tracer, progress=lines.append).run(specs)
+        assert len(lines) == len(specs)
+        kinds = [event.type for event in tracer.events]
+        assert kinds.count(EventType.SWEEP_TASK) == len(specs)
+        assert kinds.count(EventType.SWEEP_SUMMARY) == 1
