@@ -13,8 +13,9 @@ The library has three layers:
   the baseline schedulers it is compared against
   (:mod:`repro.schedulers`: FIFO, Fair, Tarazu, LATE).
 * **Evaluation** — metrics (:mod:`repro.metrics`), structured tracing and
-  telemetry (:mod:`repro.observability`), and one harness per paper
-  figure/table (:mod:`repro.experiments`).
+  telemetry (:mod:`repro.observability`), fault injection and cluster
+  dynamics (:mod:`repro.faults`), and one harness per paper figure/table
+  (:mod:`repro.experiments`).
 
 Quickstart::
 
@@ -28,6 +29,7 @@ __version__ = "1.0.0"
 from .cluster import Cluster, MachineSpec, PowerModel, paper_fleet
 from .core import EAntConfig, EAntScheduler, ExchangeLevel
 from .experiments import run_msd_comparison, run_scenario
+from .faults import FaultEvent, FaultPlan
 from .hadoop import HadoopConfig
 from .noise import DEFAULT_NOISE, NO_NOISE, NoiseModel
 from .observability import MetricsRegistry, Tracer
@@ -74,6 +76,8 @@ __all__ = [
     "EAntScheduler",
     "EAntConfig",
     "ExchangeLevel",
+    "FaultEvent",
+    "FaultPlan",
     "Tracer",
     "MetricsRegistry",
     "run_scenario",

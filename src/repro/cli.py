@@ -11,8 +11,8 @@ Subcommands
     (Figs. 8-9).
 ``figure``
     Regenerate one paper figure's data (fig1a, fig1b, fig1c, fig1d, fig4,
-    fig6, fig7, fig10, fig11a, fig11b, fig12a, fig12b), optionally through
-    the parallel sweep runner (``--workers``).
+    fig6, fig7, fig10, fig11a, fig11b, fig12a, fig12b, churn), optionally
+    through the parallel sweep runner (``--workers``).
 ``sweep``
     Expand a (scheduler x seed x beta) grid over a job mix into
     :class:`~repro.runner.ScenarioSpec` form and resolve it through the
@@ -37,6 +37,8 @@ from typing import List, Optional
 
 from .cluster import CATALOG, paper_fleet
 from .core import EAntConfig
+from .faults import FaultPlan, FaultPlanError
+from .hadoop import HadoopConfig
 from .experiments import (
     FIGURE_NAMES,
     SCHEDULER_NAMES,
@@ -80,6 +82,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         metavar="FILE",
         help="write a JSONL trace of the run (inspect with `trace`/`report`)",
+    )
+    run.add_argument(
+        "--tracker-expiry",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds without a heartbeat before the JobTracker declares a "
+        "TaskTracker dead (0 disables expiry; default 30)",
+    )
+    run.add_argument(
+        "--faults",
+        metavar="PLAN.json",
+        help="inject the fault plan from a JSON file (see docs/faults.md)",
     )
 
     compare = sub.add_parser("compare", help="Fair vs Tarazu vs E-Ant on MSD")
@@ -163,6 +178,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the expanded grid (hashes + cache status) and exit",
     )
+    sweep.add_argument(
+        "--tracker-expiry",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="tracker expiry override applied to every grid point",
+    )
+    sweep.add_argument(
+        "--faults",
+        metavar="PLAN.json",
+        help="fault plan (JSON file) injected into every grid point",
+    )
     return parser
 
 
@@ -188,7 +215,39 @@ def _print_run_config(**fields) -> None:
 
 
 class JobTokenError(ValueError):
-    """A ``--jobs`` token failed validation (message is user-facing)."""
+    """A CLI option failed validation (message is user-facing, exit 2).
+
+    Historically raised only for ``--jobs`` tokens; ``--tracker-expiry``
+    and ``--faults`` share the same contract and exception."""
+
+
+def parse_tracker_expiry(value: Optional[float]) -> Optional[HadoopConfig]:
+    """Validate ``--tracker-expiry`` into a :class:`HadoopConfig` override.
+
+    ``None`` (flag absent) keeps the default config.  Like the job tokens,
+    bad values raise :class:`JobTokenError` so the CLI exits 2 with a
+    one-line message instead of a traceback — ``float`` accepts ``"nan"``
+    and ``"inf"``, which must not reach the simulator.
+    """
+    if value is None:
+        return None
+    if not (value >= 0) or value == float("inf"):  # also rejects NaN
+        raise JobTokenError(
+            f"--tracker-expiry must be a non-negative finite number of "
+            f"seconds (got {value!r})"
+        )
+    return HadoopConfig(tracker_expiry=value)
+
+
+def load_fault_plan(path: Optional[str]) -> Optional[FaultPlan]:
+    """Load ``--faults PLAN.json``, mapping every failure mode (missing
+    file, bad JSON, invalid plan) to a one-line :class:`JobTokenError`."""
+    if path is None:
+        return None
+    try:
+        return FaultPlan.from_file(path)
+    except FaultPlanError as error:
+        raise JobTokenError(f"--faults {path}: {error}") from None
 
 
 def parse_job_tokens(tokens: List[str]) -> List[JobSpec]:
@@ -219,6 +278,8 @@ def parse_job_tokens(tokens: List[str]) -> List[JobSpec]:
 def _cmd_run(args: argparse.Namespace) -> int:
     try:
         jobs = parse_job_tokens(args.jobs)
+        hadoop = parse_tracker_expiry(args.tracker_expiry)
+        faults = load_fault_plan(args.faults)
     except JobTokenError as error:
         print(error, file=sys.stderr)
         return 2
@@ -227,6 +288,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=",".join(args.jobs),
         trace=args.trace,
+        tracker_expiry=args.tracker_expiry,
+        faults=args.faults,
     )
     try:
         result = run_scenario(
@@ -236,6 +299,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             with_meter=args.timeline,
             meter_interval=10.0,
             trace=args.trace,
+            hadoop=hadoop,
+            faults=faults,
         )
     except OSError as error:
         print(f"cannot write trace {args.trace!r}: {error}", file=sys.stderr)
@@ -244,6 +309,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print("\nenergy by machine type (kJ):")
     for model, joules in sorted(result.metrics.energy_by_type.items()):
         print(f"  {model:8s} {joules / 1000:8.1f}")
+    if result.injector is not None:
+        print("\nfault timeline:")
+        for rec in result.injector.recovery_summary():
+            target = "-" if rec.machine_id is None else str(rec.machine_id)
+            print(
+                f"  t={rec.time:8.1f}s  {rec.kind:12s} machine={target:3s} "
+                f"disrupted={rec.tasks_disrupted}  "
+                f"recovered in {rec.recovery_seconds:.1f}s"
+            )
     if args.timeline and result.meter is not None:
         from .metrics import timeline_report
 
@@ -300,6 +374,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _sweep_grid(args: argparse.Namespace) -> List[ScenarioSpec]:
     """Expand the sweep flags into the full spec grid, seed-major."""
     jobs = tuple(parse_job_tokens(args.jobs))
+    hadoop = parse_tracker_expiry(args.tracker_expiry)
+    faults = load_fault_plan(args.faults)
     specs: List[ScenarioSpec] = []
     for seed in args.seeds:
         for scheduler in args.schedulers:
@@ -309,8 +385,10 @@ def _sweep_grid(args: argparse.Namespace) -> List[ScenarioSpec]:
                         ScenarioSpec(
                             jobs=jobs,
                             scheduler=scheduler,
+                            hadoop=hadoop,
                             seed=seed,
                             eant_config=EAntConfig(beta=beta),
+                            faults=faults,
                             label=f"e-ant@seed{seed}/beta={beta:g}",
                         )
                     )
@@ -319,7 +397,9 @@ def _sweep_grid(args: argparse.Namespace) -> List[ScenarioSpec]:
                     ScenarioSpec(
                         jobs=jobs,
                         scheduler=scheduler,
+                        hadoop=hadoop,
                         seed=seed,
+                        faults=faults,
                         label=f"{scheduler}@seed{seed}",
                     )
                 )

@@ -111,6 +111,13 @@ class Machine:
     #: time-weighted utilization accumulator for average-utilization metrics
     _util_seconds: float = 0.0
     _util_last_time: float = 0.0
+    #: multiplier on cpu/io speed — < 1.0 while thermally throttled
+    speed_scale: float = 1.0
+    #: True once removed from service and powered off (never reversed)
+    decommissioned: bool = False
+    #: sim time this machine entered service (non-zero for mid-run joins);
+    #: the anchor for average-utilization and energy windows
+    commissioned_at: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.hostname:
@@ -121,6 +128,21 @@ class Machine:
     def bind(self, sim: "Simulator") -> None:
         """Attach to a simulator clock (called by the cluster builder)."""
         self._sim = sim
+
+    def commission(self, sim: "Simulator") -> None:
+        """Bind to ``sim`` and anchor all accounting windows at its clock.
+
+        Machines built before the simulation starts use :meth:`bind` (their
+        windows open at t=0); machines that *join* mid-run must not be
+        billed idle joules or averaged utilization for time they did not
+        exist, so their windows open at the join instant.
+        """
+        self.bind(sim)
+        now = sim.now
+        self.commissioned_at = now
+        self._util_last_time = now
+        assert self.energy is not None
+        self.energy._last_time = now
 
     # ----------------------------------------------------------- CPU tracking
     @property
@@ -157,6 +179,60 @@ class Machine:
         self._advance()
         self._busy_cpu = max(0.0, self._busy_cpu - core_demand)
 
+    @property
+    def effective_cpu_speed(self) -> float:
+        """Per-core speed after any thermal-throttle scale."""
+        speed = self.spec.cpu_speed
+        if self.speed_scale != 1.0:
+            speed *= self.speed_scale
+        return speed
+
+    @property
+    def effective_io_speed(self) -> float:
+        """IO bandwidth after any thermal-throttle scale."""
+        speed = self.spec.io_speed
+        if self.speed_scale != 1.0:
+            speed *= self.speed_scale
+        return speed
+
+    def set_speed_scale(self, factor: float) -> None:
+        """Throttle (or restore) this machine to ``factor`` of rated speed.
+
+        Closes the energy window first, then scales both the execution
+        speed seen by new task phases and the dynamic power term.  Phases
+        already in flight keep their sampled duration (the same
+        quasi-static approximation the network model uses for flows).
+        """
+        if factor <= 0:
+            raise ValueError("speed scale must be positive")
+        self._advance()
+        self.speed_scale = factor
+        assert self.energy is not None
+        self.energy.dynamic_scale = factor
+
+    def decommission(self) -> None:
+        """Permanently remove this machine from service and power it off."""
+        now = self._now()
+        self._util_seconds += self.utilization * (now - self._util_last_time)
+        self._util_last_time = now
+        self.decommissioned = True
+        assert self.energy is not None
+        self.energy.power_off(now)
+
+    def power_watts(self) -> float:
+        """Instantaneous wall power, honouring throttle and power-off state.
+
+        Identical to ``spec.power.power(utilization)`` for a healthy
+        machine; 0 W once decommissioned; idle + scaled dynamic term while
+        throttled.
+        """
+        if self.decommissioned:
+            return 0.0
+        dynamic = self.spec.power.alpha_watts * self.utilization
+        if self.speed_scale != 1.0:
+            dynamic *= self.speed_scale
+        return self.spec.power.idle_watts + dynamic
+
     def cpu_contention(self, extra_demand: float = 0.0) -> float:
         """Slowdown factor for CPU work given current + ``extra_demand`` load.
 
@@ -192,9 +268,9 @@ class Machine:
 
     # ---------------------------------------------------------------- metrics
     def average_utilization(self, now: Optional[float] = None) -> float:
-        """Time-weighted mean utilization since the simulation began."""
+        """Time-weighted mean utilization since this machine entered service."""
         now = self._now() if now is None else now
-        elapsed = now - 0.0
+        elapsed = now - self.commissioned_at
         if elapsed <= 0:
             return 0.0
         pending = self.utilization * (now - self._util_last_time)

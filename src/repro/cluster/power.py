@@ -80,6 +80,12 @@ class EnergyAccumulator:
     dynamic_joules: float = 0.0
     _trace: List[Tuple[float, float]] = field(default_factory=list)
     keep_trace: bool = False
+    #: multiplier on the dynamic (alpha) term — thermal throttling draws
+    #: proportionally less switching power at reduced clocks
+    dynamic_scale: float = 1.0
+    #: False once the machine is powered off (decommission): no further
+    #: idle or dynamic joules accrue
+    powered: bool = True
 
     @property
     def utilization(self) -> float:
@@ -96,13 +102,37 @@ class EnergyAccumulator:
         if now < self._last_time:
             raise ValueError(f"time went backwards: {now} < {self._last_time}")
         duration = now - self._last_time
-        if duration > 0:
+        if duration > 0 and self.powered:
             self.idle_joules += self.model.idle_energy(duration)
-            self.dynamic_joules += self.model.dynamic_energy(self._utilization, duration)
+            dynamic = self.model.dynamic_energy(self._utilization, duration)
+            if self.dynamic_scale != 1.0:
+                dynamic *= self.dynamic_scale
+            self.dynamic_joules += dynamic
         self._last_time = now
         self._utilization = min(max(new_utilization, 0.0), 1.0)
         if self.keep_trace:
             self._trace.append((now, self._utilization))
+
+    def set_dynamic_scale(self, now: float, scale: float) -> None:
+        """Close the window at ``now``, then scale the dynamic term by ``scale``.
+
+        Used by the fault injector's ``slowdown`` event: a thermally
+        throttled machine runs its cores slower and draws proportionally
+        less dynamic power; the idle floor is unaffected.
+        """
+        if scale < 0:
+            raise ValueError("dynamic power scale must be non-negative")
+        self.finish(now)
+        self.dynamic_scale = scale
+
+    def power_off(self, now: float) -> None:
+        """Close the window at ``now`` and stop accruing energy entirely.
+
+        Used for decommissioned machines: the accumulated joules stay in
+        the run's totals but the machine draws nothing from here on.
+        """
+        self.finish(now)
+        self.powered = False
 
     def finish(self, now: float) -> None:
         """Close the integration window at ``now`` without changing state."""
@@ -116,12 +146,13 @@ class EnergyAccumulator:
         splitting a constant-utilization window is exact in real
         arithmetic but changes the rounding of the running sums.
         """
+        if not self.powered:
+            return self.total_joules
         duration = max(0.0, now - self._last_time)
-        return (
-            self.total_joules
-            + self.model.idle_energy(duration)
-            + self.model.dynamic_energy(self._utilization, duration)
-        )
+        dynamic = self.model.dynamic_energy(self._utilization, duration)
+        if self.dynamic_scale != 1.0:
+            dynamic *= self.dynamic_scale
+        return self.total_joules + self.model.idle_energy(duration) + dynamic
 
     @property
     def trace(self) -> List[Tuple[float, float]]:

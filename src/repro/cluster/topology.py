@@ -125,6 +125,21 @@ class Cluster:
         if not self.machines:
             raise ValueError("cluster must contain at least one machine")
 
+    def add_machine(self, spec: MachineSpec, hostname: str = "") -> Machine:
+        """Commission a brand-new machine into the running cluster.
+
+        The machine gets the next free id and its accounting windows are
+        anchored at the current sim time, so it is billed no idle joules
+        for the span before it joined.  It starts with no HDFS blocks
+        (blocks are not rebalanced onto new DataNodes), matching how a
+        freshly added Hadoop node behaves until the balancer runs.
+        """
+        next_id = max(self.machines) + 1
+        machine = Machine(machine_id=next_id, spec=spec, hostname=hostname)
+        machine.commission(self.sim)
+        self.machines[next_id] = machine
+        return machine
+
     # ------------------------------------------------------------- accessors
     def __len__(self) -> int:
         return len(self.machines)
@@ -157,19 +172,27 @@ class Cluster:
         return {key: sorted(ids) for key, ids in groups.items()}
 
     def group_of(self, machine_id: int) -> List[int]:
-        """Ids of machines hardware-identical to ``machine_id`` (incl. it)."""
+        """Ids of in-service machines hardware-identical to ``machine_id``."""
         signature = self.machines[machine_id].spec.hardware_signature()
         return [
             m.machine_id
             for m in self.machines.values()
-            if m.spec.hardware_signature() == signature
+            if m.spec.hardware_signature() == signature and not m.decommissioned
         ]
 
     # ----------------------------------------------------------- energy/meta
     def total_slots(self) -> Tuple[int, int]:
-        """Cluster-wide (map_slots, reduce_slots)."""
-        maps = sum(m.spec.map_slots for m in self.machines.values())
-        reduces = sum(m.spec.reduce_slots for m in self.machines.values())
+        """Cluster-wide (map_slots, reduce_slots) of in-service machines.
+
+        Decommissioned machines stay in the topology for energy history but
+        no longer contribute capacity to fairness pools.
+        """
+        maps = sum(
+            m.spec.map_slots for m in self.machines.values() if not m.decommissioned
+        )
+        reduces = sum(
+            m.spec.reduce_slots for m in self.machines.values() if not m.decommissioned
+        )
         return maps, reduces
 
     def finish_energy_accounting(self) -> None:

@@ -51,6 +51,13 @@ class TaskAnalyzer:
                 for machine in self.cluster
             }
 
+    def add_machine(self, machine) -> None:
+        """Instantiate an energy model for a machine that joined mid-run."""
+        assert self.models is not None
+        self.models.setdefault(
+            machine.machine_id, TaskEnergyModel.for_spec(machine.spec)
+        )
+
     # ------------------------------------------------------------- estimates
     def estimate(self, report: TaskReport) -> float:
         """Eq. 2 energy estimate (J) for one completed task."""

@@ -140,6 +140,46 @@ class PheromoneTable:
         else:
             self._tau[colony] = {m: self.initial for m in self.machine_ids}
 
+    # ------------------------------------------------------- fleet dynamics
+    def add_machine(self, machine_id: int, group: Sequence[int]) -> None:
+        """Admit a machine that joined the cluster mid-run.
+
+        ``group`` is the full membership of its hardware-identical group
+        (including ``machine_id`` itself).  Every live colony row and every
+        stored group profile is seeded at the prior ``initial`` — the new
+        machine starts with no evidence, exactly like every path did at
+        t=0, and earns (or loses) pheromone from its first control
+        interval of feedback.
+        """
+        if machine_id not in self.machine_ids:
+            self.machine_ids.append(machine_id)
+        members = tuple(sorted(set(group) | {machine_id}))
+        for member in members:
+            self._group_of[member] = members
+        for row in self._tau.values():
+            row.setdefault(machine_id, self.initial)
+        for profile in self._group_profiles.values():
+            profile.setdefault(machine_id, self.initial)
+
+    def remove_machine(self, machine_id: int) -> None:
+        """Prune a departed (decommissioned) machine's paths everywhere.
+
+        Its pheromone simply vanishes: stale tau toward a machine that can
+        never host another task would otherwise keep soaking up assignment
+        probability and distort each colony's normalization (Eq. 3).
+        """
+        if machine_id in self.machine_ids:
+            self.machine_ids.remove(machine_id)
+        for row in self._tau.values():
+            row.pop(machine_id, None)
+        for profile in self._group_profiles.values():
+            profile.pop(machine_id, None)
+        members = self._group_of.pop(machine_id, None)
+        if members is not None:
+            remaining = tuple(m for m in members if m != machine_id)
+            for member in remaining:
+                self._group_of[member] = remaining
+
     def drop_colony(self, colony: ColonyKey) -> None:
         """Forget a finished job's colony (its group profile persists)."""
         self._tau.pop(colony, None)
@@ -306,7 +346,10 @@ class PheromoneTable:
         """
         grouped: Dict[Tuple[int, ...], List[float]] = {}
         for machine_id, deltas in per_machine.items():
-            grouped.setdefault(self._group_of[machine_id], []).extend(deltas)
+            # Feedback can trail a machine's removal by one control
+            # interval; a departed machine falls back to a singleton group.
+            group = self._group_of.get(machine_id, (machine_id,))
+            grouped.setdefault(group, []).extend(deltas)
         result: Dict[int, List[float]] = {}
         for group, deltas in grouped.items():
             mean_delta = sum(deltas) / len(deltas)

@@ -202,11 +202,34 @@ class EAntScheduler(Scheduler):
             for signature, ids in cluster.homogeneous_groups().items()
             for machine_id in ids
         }
-        # The fleet is fixed for a run (trackers may expire, machines never
-        # leave the topology), so the audit path can reuse the slot totals
-        # instead of re-walking the cluster on every traced decision.
+        # The audit path reuses cached slot totals instead of re-walking
+        # the cluster on every traced decision; fleet changes (join /
+        # decommission) refresh the cache via the machine hooks below.
         self._static_slot_totals = cluster.total_slots()
         jobtracker.start_control_loop()
+
+    def on_machine_added(self, machine) -> None:
+        """Seed pheromone paths to a machine that joined mid-run.
+
+        The new machine's rows start at the table's prior — no evidence
+        yet, exactly like every path at t=0 — and its hardware group is
+        extended so machine-level exchange immediately shares the group's
+        experience with it.
+        """
+        assert self.pheromones is not None and self.analyzer is not None
+        group = self.jt.cluster.group_of(machine.machine_id)
+        self.pheromones.add_machine(machine.machine_id, group)
+        self.analyzer.add_machine(machine)
+        signature = machine.spec.hardware_signature()
+        for member in group:
+            self._machine_group[member] = signature
+        self._static_slot_totals = self.jt.cluster.total_slots()
+
+    def on_machine_removed(self, machine) -> None:
+        """Prune stale pheromone paths to a decommissioned machine."""
+        assert self.pheromones is not None
+        self.pheromones.remove_machine(machine.machine_id)
+        self._static_slot_totals = self.jt.cluster.total_slots()
 
     def on_job_added(self, job: Job) -> None:
         assert self.pheromones is not None

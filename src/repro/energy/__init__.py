@@ -3,6 +3,7 @@
 from .estimation import fit_power_model, nrmse, rmse
 from .meter import ClusterMeter, MeterReading
 from .powermgmt import PowerManager, SleepPolicy, pick_covering_subset
+from .waste import attempt_wasted_joules, killed_attempts, wasted_energy_breakdown
 from .model import (
     DEFAULT_DELTA_T,
     SampledTrace,
@@ -27,4 +28,7 @@ __all__ = [
     "SleepPolicy",
     "pick_covering_subset",
     "MeterReading",
+    "attempt_wasted_joules",
+    "killed_attempts",
+    "wasted_energy_breakdown",
 ]

@@ -75,7 +75,7 @@ class ClusterMeter:
                     time=now,
                     machine_id=machine.machine_id,
                     utilization=utilization,
-                    power_watts=machine.spec.power.power(utilization),
+                    power_watts=machine.power_watts(),
                     cumulative_joules=machine.energy.total_joules,
                 )
             )

@@ -1,0 +1,70 @@
+"""Wasted-energy accounting for killed task attempts.
+
+When a TaskTracker crashes (or a speculative duplicate loses, or a
+decommission kills resident work), the joules its attempts burned bought
+nothing — the tasks re-execute from scratch elsewhere.  This module
+separates that waste out of the run's energy total, attempt by attempt,
+using the same Eq. 2 attribution the task-energy model applies to
+successful tasks:
+
+    E_wasted(a) = alpha * core_seconds(a) / cores          (dynamic share)
+                + (P_idle / mslot) * duration(a)           (idle share)
+
+``core_seconds`` is accumulated by the TaskTracker as each phase runs
+(partial phases included), so an attempt interrupted mid-phase is billed
+exactly for the demand it exerted.  Like Eq. 2, the attribution is
+per-task: concurrent attempts each carry their own share of the machine's
+draw.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from ..cluster import Cluster
+from ..hadoop.job import TaskAttempt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hadoop.jobtracker import JobTracker
+
+__all__ = ["killed_attempts", "attempt_wasted_joules", "wasted_energy_breakdown"]
+
+
+def killed_attempts(jobtracker: "JobTracker") -> List[TaskAttempt]:
+    """Every killed attempt across the run's jobs, in job/task order."""
+    out: List[TaskAttempt] = []
+    for job_id in sorted(jobtracker.jobs):
+        job = jobtracker.jobs[job_id]
+        for task in job.maps + job.reduces:
+            out.extend(a for a in task.attempts if a.killed)
+    return out
+
+
+def attempt_wasted_joules(attempt: TaskAttempt, cluster: Cluster) -> float:
+    """Joules a killed ``attempt`` burned for nothing (Eq. 2 attribution)."""
+    machine = cluster.machine(attempt.machine_id)
+    spec = machine.spec
+    dynamic = spec.power.alpha_watts * attempt.core_seconds / spec.cores
+    duration = 0.0 if attempt.finish_time is None else attempt.duration
+    idle = machine.idle_share_per_slot() * duration
+    return dynamic + idle
+
+
+def wasted_energy_breakdown(
+    jobtracker: "JobTracker", cluster: Cluster
+) -> Tuple[int, float, Dict[str, float]]:
+    """(killed attempt count, total wasted joules, wasted joules per model).
+
+    The count is exactly the number of ``task.killed`` trace events a
+    traced run of the same spec emits, so metrics and trace stay
+    consistent.
+    """
+    attempts = killed_attempts(jobtracker)
+    total = 0.0
+    by_model: Dict[str, float] = {}
+    for attempt in attempts:
+        joules = attempt_wasted_joules(attempt, cluster)
+        total += joules
+        model = cluster.machine(attempt.machine_id).spec.model
+        by_model[model] = by_model.get(model, 0.0) + joules
+    return len(attempts), total, by_model

@@ -5,6 +5,7 @@
 * :mod:`.locality` — Fig. 6 (data-locality impact)
 * :mod:`.comparison` — Figs. 8(a)-(c) and Fig. 9 (headline evaluation)
 * :mod:`.exchange` — Fig. 10 (exchange-strategy effectiveness)
+* :mod:`.churn` — adaptiveness under cluster churn (crash + rejoin)
 * :mod:`.convergence_exp` — Figs. 11(a)-(b) (search speed)
 * :mod:`.sensitivity` — Figs. 12(a)-(b) (beta / control interval)
 * :mod:`.overhead` — Section VI-D scheduling overhead
@@ -16,6 +17,14 @@ figure functions accept ``runner=`` (a :class:`~repro.runner.SweepRunner`)
 to resolve those grids in parallel with result caching.
 """
 
+from .churn import (
+    CHURN_SCHEDULERS,
+    ChurnResult,
+    ChurnWindow,
+    churn_adaptiveness,
+    churn_plan,
+    churn_specs,
+)
 from .comparison import (
     ComparisonResult,
     fig9_adaptiveness,
@@ -111,6 +120,12 @@ __all__ = [
     "EXCHANGE_SETTINGS",
     "fig10_specs",
     "fig10_exchange_effectiveness",
+    "CHURN_SCHEDULERS",
+    "ChurnResult",
+    "ChurnWindow",
+    "churn_plan",
+    "churn_specs",
+    "churn_adaptiveness",
     "ConvergenceMeasurement",
     "fig11a_specs",
     "fig11a_machine_homogeneity",

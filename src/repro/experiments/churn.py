@@ -1,0 +1,208 @@
+"""Adaptiveness under cluster churn (Fig. 9-style, with faults).
+
+The paper's adaptiveness argument (Section VI-C) is that E-Ant keeps
+steering work toward energy-efficient machines as conditions change.  This
+experiment stresses that claim with *cluster dynamics*: mid-run, a busy
+machine crashes, and later rejoins.  A static policy (Fair) keeps its
+slot-shaped view of the world; an adaptive one (E-Ant) must prune the
+dead machine's pheromone trails, absorb the re-executed work, and rebuild
+its preference for the machine once it returns.
+
+The observable is *windowed energy efficiency* — tasks completed per
+kilojoule consumed — in three windows: before the crash, during the
+outage, and after the rejoin.  An adaptive scheduler's post-rejoin
+efficiency should climb back toward its pre-fault level (the re-converge),
+while the recovery metrics (re-executed attempts, wasted joules) quantify
+what the fault cost each policy.
+
+Like the other scenario-grid figures this is fully declarative:
+:func:`churn_specs` emits one metered :class:`~repro.runner.ScenarioSpec`
+per (seed, scheduler) with the fault plan folded into the spec identity,
+so ``repro figure churn`` resolves through the
+:class:`~repro.runner.SweepRunner` with caching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..faults import FaultPlan
+from ..runner import ScenarioSpec, SweepRunner, resolve_specs
+from ..simulation import RandomStreams
+from .exchange import _cumulative_energy
+from .scenarios import exchange_workload
+
+__all__ = [
+    "CHURN_SCHEDULERS",
+    "ChurnWindow",
+    "ChurnResult",
+    "churn_plan",
+    "churn_specs",
+    "churn_adaptiveness",
+]
+
+#: Policies compared through the crash+rejoin timeline, in report order.
+CHURN_SCHEDULERS: Tuple[str, ...] = ("fair", "tarazu", "e-ant")
+
+#: Default fault timeline: machine 3 (a busy mid-fleet slave) crashes at
+#: t=240 s and rejoins 300 s later.  Chosen so both fault instants land
+#: well inside the default workload's ~800-900 s makespan, leaving a
+#: meaningful post-rejoin window.
+DEFAULT_CRASH_MACHINE = 3
+DEFAULT_CRASH_AT = 240.0
+DEFAULT_REJOIN_AFTER = 300.0
+
+
+@dataclass(frozen=True)
+class ChurnWindow:
+    """Tasks/energy/efficiency of one scheduler in one timeline window."""
+
+    name: str  # "pre-fault" | "outage" | "post-rejoin"
+    tasks: float
+    energy_kj: float
+
+    @property
+    def tasks_per_kj(self) -> float:
+        return self.tasks / self.energy_kj if self.energy_kj > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class ChurnResult:
+    """Per-scheduler outcome of the churn timeline, averaged over seeds."""
+
+    scheduler: str
+    windows: Tuple[ChurnWindow, ...]
+    makespan_s: float
+    total_energy_kj: float
+    reexecuted_tasks: float
+    wasted_energy_kj: float
+
+    def window(self, name: str) -> ChurnWindow:
+        for w in self.windows:
+            if w.name == name:
+                return w
+        raise KeyError(name)
+
+    @property
+    def recovery_ratio(self) -> float:
+        """Post-rejoin efficiency relative to pre-fault efficiency.
+
+        1.0 means the policy fully re-converged to its pre-fault operating
+        point; a static policy typically stays depressed after absorbing
+        the re-executed work.
+        """
+        pre = self.window("pre-fault").tasks_per_kj
+        post = self.window("post-rejoin").tasks_per_kj
+        return post / pre if pre > 0 else 0.0
+
+
+def churn_plan(
+    machine_id: int = DEFAULT_CRASH_MACHINE,
+    crash_at: float = DEFAULT_CRASH_AT,
+    rejoin_after: float = DEFAULT_REJOIN_AFTER,
+) -> FaultPlan:
+    """The crash+rejoin timeline every compared scheduler experiences."""
+    return FaultPlan.crash_and_rejoin(machine_id, at=crash_at, rejoin_after=rejoin_after)
+
+
+def churn_specs(
+    seeds: Sequence[int] = (1, 2),
+    jobs_per_app: int = 8,
+    input_gb: float = 4.0,
+    plan: Optional[FaultPlan] = None,
+    schedulers: Sequence[str] = CHURN_SCHEDULERS,
+) -> List[ScenarioSpec]:
+    """The churn grid: per seed, one metered faulted run per scheduler.
+
+    Common random numbers: every scheduler at a given seed sees the same
+    workload, the same noise draws, and the same fault timeline.
+    """
+    plan = plan if plan is not None else churn_plan()
+    specs: List[ScenarioSpec] = []
+    for seed in seeds:
+        streams = RandomStreams(seed)
+        jobs = tuple(
+            exchange_workload(streams, jobs_per_app=jobs_per_app, input_gb=input_gb)
+        )
+        for scheduler in schedulers:
+            specs.append(
+                ScenarioSpec(
+                    jobs=jobs,
+                    scheduler=scheduler,
+                    seed=seed,
+                    with_meter=True,
+                    faults=plan,
+                    label=f"churn/{scheduler}@seed{seed}",
+                )
+            )
+    return specs
+
+
+def _window_edges(plan: FaultPlan, makespan: float) -> Tuple[float, float, float, float]:
+    """(0, crash, rejoin, makespan) — fault instants clipped to the run.
+
+    A run that finishes before a fault instant simply has an empty
+    window; pick crash/rejoin times inside the workload's horizon for a
+    meaningful comparison."""
+    crash = plan.events[0].time
+    rejoin = plan.events[-1].time
+    return 0.0, min(crash, makespan), min(rejoin, makespan), makespan
+
+
+def churn_adaptiveness(
+    seeds: Sequence[int] = (1, 2),
+    jobs_per_app: int = 8,
+    input_gb: float = 4.0,
+    plan: Optional[FaultPlan] = None,
+    schedulers: Sequence[str] = CHURN_SCHEDULERS,
+    runner: Optional[SweepRunner] = None,
+) -> Dict[str, ChurnResult]:
+    """Run the churn grid and reduce it to per-scheduler window efficiency.
+
+    Returns ``scheduler -> ChurnResult`` with tasks-per-kJ in the
+    pre-fault / outage / post-rejoin windows (seed-averaged), plus the
+    recovery cost counters from :class:`~repro.metrics.RunMetrics`.
+    """
+    plan = plan if plan is not None else churn_plan()
+    records = resolve_specs(
+        churn_specs(seeds, jobs_per_app, input_gb, plan, schedulers), runner
+    )
+
+    window_names = ("pre-fault", "outage", "post-rejoin")
+    out: Dict[str, ChurnResult] = {}
+    for offset, scheduler in enumerate(schedulers):
+        tasks_sum = [0.0, 0.0, 0.0]
+        energy_sum = [0.0, 0.0, 0.0]
+        makespan_sum = 0.0
+        total_kj_sum = 0.0
+        reexec_sum = 0.0
+        wasted_sum = 0.0
+        for block, _seed in enumerate(seeds):
+            record = records[block * len(schedulers) + offset]
+            metrics = record.metrics
+            edges = _window_edges(plan, metrics.makespan)
+            cumulative = _cumulative_energy(record.meter, edges)
+            completions = metrics.collector.completion_times
+            for i in range(3):
+                lo, hi = edges[i], edges[i + 1]
+                tasks_sum[i] += sum(1 for t in completions if lo <= t < hi or (i == 2 and t == hi))
+                energy_sum[i] += cumulative[i + 1] - cumulative[i]
+            makespan_sum += metrics.makespan
+            total_kj_sum += metrics.total_energy_kj
+            reexec_sum += metrics.reexecuted_tasks
+            wasted_sum += metrics.wasted_energy_joules / 1000.0
+        n = len(seeds)
+        windows = tuple(
+            ChurnWindow(name=name, tasks=tasks_sum[i] / n, energy_kj=energy_sum[i] / n)
+            for i, name in enumerate(window_names)
+        )
+        out[scheduler] = ChurnResult(
+            scheduler=scheduler,
+            windows=windows,
+            makespan_s=makespan_sum / n,
+            total_energy_kj=total_kj_sum / n,
+            reexecuted_tasks=reexec_sum / n,
+            wasted_energy_kj=wasted_sum / n,
+        )
+    return out

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
 from ..runner import SweepRunner
+from .churn import churn_adaptiveness
 from .convergence_exp import fig11a_machine_homogeneity, fig11b_job_homogeneity
 from .energy_model import fig4_model_accuracy, fig7_noise_scatter
 from .exchange import fig10_exchange_effectiveness
@@ -245,6 +246,35 @@ def _fig12b(runner: Optional[SweepRunner]) -> FigureResult:
     )
 
 
+def _churn(runner: Optional[SweepRunner]) -> FigureResult:
+    results = churn_adaptiveness(runner=runner)
+    series = {
+        scheduler: tuple(
+            f"{scheduler}\t{window.name}\t{window.tasks:.1f}\t"
+            f"{window.energy_kj:.1f}\t{window.tasks_per_kj:.4f}"
+            for window in result.windows
+        )
+        for scheduler, result in results.items()
+    }
+    return FigureResult(
+        name="churn",
+        series=series,
+        metadata={
+            "recovery_ratio": {s: r.recovery_ratio for s, r in results.items()},
+            "reexecuted_tasks": {s: r.reexecuted_tasks for s, r in results.items()},
+            "wasted_energy_kj": {s: r.wasted_energy_kj for s, r in results.items()},
+        },
+        series_notes={
+            scheduler: (
+                f"post-rejoin efficiency {result.recovery_ratio:.0%} of pre-fault; "
+                f"{result.reexecuted_tasks:.1f} attempts re-executed, "
+                f"{result.wasted_energy_kj:.1f} kJ wasted"
+            )
+            for scheduler, result in results.items()
+        },
+    )
+
+
 _BUILDERS: Dict[str, Callable[[Optional[SweepRunner]], FigureResult]] = {
     "fig1a": _fig1a,
     "fig1b": _fig1b,
@@ -258,6 +288,7 @@ _BUILDERS: Dict[str, Callable[[Optional[SweepRunner]], FigureResult]] = {
     "fig11b": _fig11b,
     "fig12a": _fig12a,
     "fig12b": _fig12b,
+    "churn": _churn,
 }
 
 #: Every figure ``repro figure`` can regenerate, in paper order.

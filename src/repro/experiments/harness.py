@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..cluster import MachineSpec, Network
 from ..core import EAntConfig
+from ..faults import FaultPlan
 from ..noise import DEFAULT_NOISE, NoiseModel
 from ..observability import Tracer
 from ..runner import (
@@ -94,6 +95,10 @@ def run_scenario(jobs: Sequence[JobSpec], *compat, **kwargs) -> ScenarioResult:
         ``None`` (default) runs fully uninstrumented.  A path writes a
         JSONL trace there on completion; a
         :class:`~repro.observability.Tracer` collects events in memory.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` executed against the run
+        (keyword-only; part of the spec identity, so faulted and fault-free
+        runs never share a cache entry).
     """
     if compat:
         warnings.warn(
@@ -130,6 +135,7 @@ def _run_scenario(
     network: Optional[Network] = None,
     max_sim_time: float = 10_000_000.0,
     trace: Union[None, str, Path, Tracer] = None,
+    faults: Optional["FaultPlan"] = None,
 ) -> ScenarioResult:
     """Keyword-only core: build the spec, delegate to the engine."""
     factory: Optional[SchedulerFactory] = None
@@ -149,6 +155,7 @@ def _run_scenario(
         with_meter=with_meter,
         meter_interval=meter_interval,
         max_sim_time=max_sim_time,
+        faults=faults,
     )
     return execute_spec(
         spec,

@@ -1,0 +1,19 @@
+"""Fault injection and cluster dynamics.
+
+Declarative :class:`FaultPlan` schedules (crash / recover / join /
+decommission / slowdown / flaky_heartbeats) executed deterministically by
+:class:`FaultInjector` from the ``"faults"`` RNG stream.  See
+``docs/faults.md`` for the plan schema and event semantics.
+"""
+
+from .injector import FaultInjector, FaultRecovery
+from .plan import FaultEvent, FaultKind, FaultPlan, FaultPlanError
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRecovery",
+]

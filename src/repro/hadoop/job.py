@@ -94,6 +94,10 @@ class TaskAttempt:
     local: bool = True
     succeeded: bool = False
     killed: bool = False
+    #: Core-seconds of CPU demand this attempt actually exerted (partial
+    #: phases included) — the basis of wasted-energy accounting for
+    #: attempts that die before completing.
+    core_seconds: float = 0.0
 
     @property
     def attempt_id(self) -> str:

@@ -94,6 +94,7 @@ class JobTracker:
         self.trackers: Dict[int, TaskTracker] = {}
         self.last_heartbeat: Dict[int, float] = {}
         self.expired_trackers: List[int] = []
+        self.recovered_trackers: List[int] = []
         self.reports: List[TaskReport] = []
         self._listeners: List[ReportListener] = []
         self._next_job_id = 0
@@ -316,6 +317,14 @@ class JobTracker:
         self.expired_trackers.append(machine_id)
         if self.tracer.enabled:
             self.tracer.emit(EventType.TRACKER_EXPIRED, self.sim.now, machine_id=machine_id)
+        self._requeue_lost_tasks(machine_id)
+
+    def _requeue_lost_tasks(self, machine_id: int) -> int:
+        """Requeue running tasks whose latest attempt died on ``machine_id``.
+
+        Returns how many tasks went back to pending queues.
+        """
+        requeued = 0
         for job in list(self.active_jobs):
             for task in job.maps + job.reduces:
                 if task.state.value != "running" or not task.attempts:
@@ -326,6 +335,28 @@ class JobTracker:
                     if latest.finish_time is None:
                         latest.finish_time = self.sim.now
                     job.requeue(task)
+                    requeued += 1
+        return requeued
+
+    def tracker_recovered(self, tracker: TaskTracker) -> None:
+        """A crashed TaskTracker restarted and is rejoining service.
+
+        Re-registers the tracker and refreshes its heartbeat timestamp so
+        lazy expiry does not immediately re-expire it during the desync
+        delay before its first heartbeat.  If the crash was shorter than
+        ``tracker_expiry`` the JobTracker never noticed the silence, so
+        the tasks that died with the daemon are requeued here — a
+        restarted TaskTracker always comes back empty.
+        """
+        machine_id = tracker.machine.machine_id
+        self.trackers[machine_id] = tracker
+        self.last_heartbeat[machine_id] = self.sim.now
+        self._requeue_lost_tasks(machine_id)
+        self.recovered_trackers.append(machine_id)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventType.TRACKER_RECOVERED, self.sim.now, machine_id=machine_id
+            )
 
     # ------------------------------------------------------------ completions
     def add_report_listener(self, listener: ReportListener) -> None:

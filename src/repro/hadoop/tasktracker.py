@@ -76,6 +76,11 @@ class TaskTracker:
         self._attempt_processes: Dict[str, Process] = {}
         self._heartbeat_process: Optional[Process] = None
         self._crashed = False
+        #: probability a heartbeat is silently dropped (fault injection);
+        #: draws come from the injector's dedicated "faults" stream so the
+        #: tracker's own noise draws stay untouched
+        self.heartbeat_drop_probability = 0.0
+        self._flaky_rng: Optional[np.random.Generator] = None
         #: Total tasks this tracker has completed, by kind (metrics).
         self.completed_counts: Dict[TaskKind, int] = {TaskKind.MAP: 0, TaskKind.REDUCE: 0}
 
@@ -94,10 +99,29 @@ class TaskTracker:
         # Desynchronize trackers slightly, as real daemons are.
         yield self.sim.timeout(float(self.rng.uniform(0, self.config.heartbeat_interval)))
         while not self.jobtracker.is_shutdown and not self._crashed:
-            assignments = self.jobtracker.heartbeat(self)
+            if (
+                self.heartbeat_drop_probability > 0.0
+                and self._flaky_rng is not None
+                and float(self._flaky_rng.random()) < self.heartbeat_drop_probability
+            ):
+                # Flaky NIC/daemon: the heartbeat is lost in transit.  The
+                # JobTracker sees nothing — long enough streaks trip expiry.
+                assignments: List[Task] = []
+            else:
+                assignments = self.jobtracker.heartbeat(self)
             for task in assignments:
                 self.launch(task)
             yield self.sim.timeout(self.config.heartbeat_interval)
+
+    def set_flaky(
+        self, drop_probability: float, rng: Optional[np.random.Generator]
+    ) -> None:
+        """Start (or stop, with 0.0) dropping heartbeats with the given
+        probability, drawing from ``rng`` (the injector's faults stream)."""
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop probability must be in [0, 1]")
+        self.heartbeat_drop_probability = drop_probability
+        self._flaky_rng = rng
 
     # ------------------------------------------------------------------ slots
     @property
@@ -173,6 +197,24 @@ class TaskTracker:
         for process in list(self._attempt_processes.values()):
             process.interrupt("crash")
 
+    def recover(self) -> None:
+        """Rejoin after a crash: re-register and resume heartbeats.
+
+        The daemon comes back empty-handed — every attempt that was
+        resident at crash time died with the process and its task must be
+        re-executed elsewhere (the JobTracker requeues them on re-register
+        if heartbeat expiry has not already done so).  Mirrors restarting
+        the TaskTracker daemon on a rebooted node.
+        """
+        if not self._crashed:
+            raise RuntimeError(f"{self.machine.hostname} is not crashed")
+        assert self.jobtracker is not None
+        self._crashed = False
+        self.jobtracker.tracker_recovered(self)
+        self._heartbeat_process = self.sim.process(
+            self._heartbeat_loop(), name=f"tt-{self.machine.hostname}"
+        )
+
     def _finish_attempt(self, attempt: TaskAttempt, succeeded: bool) -> None:
         """Release the slot and report the outcome."""
         task = attempt.task
@@ -220,7 +262,7 @@ class TaskTracker:
         local = machine.machine_id in task.preferred_hosts
         attempt.local = local
 
-        io_work = profile.map_io_seconds * blocks / spec.io_speed
+        io_work = profile.map_io_seconds * blocks / machine.effective_io_speed
         network_time = 0.0
         flow = None
         if not local:
@@ -241,7 +283,7 @@ class TaskTracker:
         cpu_time = (
             profile.map_cpu_seconds
             * blocks
-            / spec.cpu_speed
+            / machine.effective_cpu_speed
             * machine.cpu_contention(profile.map_cores)
             * self.noise.duration_factor(self.rng)
         )
@@ -252,11 +294,15 @@ class TaskTracker:
             # Phase 1: input read (+ remote fetch) and spill.
             machine.io_begin()
             machine.add_cpu_load(self.config.io_phase_cores)
+            phase_started = self.sim.now
             try:
                 yield self.sim.timeout(io_time)
             finally:
                 machine.io_end()
                 machine.remove_cpu_load(self.config.io_phase_cores)
+                attempt.core_seconds += (
+                    self.sim.now - phase_started
+                ) * self.config.io_phase_cores
                 if flow is not None:
                     self.jobtracker.cluster.network.end_flow(*flow)
                     flow = None
@@ -264,10 +310,14 @@ class TaskTracker:
 
             # Phase 2: the map function itself.
             machine.add_cpu_load(profile.map_cores)
+            phase_started = self.sim.now
             try:
                 yield self.sim.timeout(cpu_time)
             finally:
                 machine.remove_cpu_load(profile.map_cores)
+                attempt.core_seconds += (
+                    self.sim.now - phase_started
+                ) * profile.map_cores
             attempt.phases["cpu"] = cpu_time
         except Interrupt:
             self._finish_attempt(attempt, succeeded=False)
@@ -318,6 +368,9 @@ class TaskTracker:
             finally:
                 machine.io_end()
                 machine.remove_cpu_load(self.config.io_phase_cores)
+                attempt.core_seconds += (
+                    self.sim.now - shuffle_started
+                ) * self.config.io_phase_cores
                 network.end_flow(*flow)
             attempt.phases["shuffle"] = self.sim.now - shuffle_started
 
@@ -325,32 +378,40 @@ class TaskTracker:
             sort_time = (
                 profile.reduce_io_per_mb
                 * shuffle_mb
-                / spec.io_speed
+                / machine.effective_io_speed
                 * machine.io_contention()
                 * self.noise.duration_factor(self.rng)
             )
             machine.io_begin()
             machine.add_cpu_load(self.config.io_phase_cores)
+            phase_started = self.sim.now
             try:
                 yield self.sim.timeout(sort_time)
             finally:
                 machine.io_end()
                 machine.remove_cpu_load(self.config.io_phase_cores)
+                attempt.core_seconds += (
+                    self.sim.now - phase_started
+                ) * self.config.io_phase_cores
             attempt.phases["sort"] = sort_time
 
             # The reduce function (CPU-bound).
             reduce_time = (
                 profile.reduce_cpu_per_mb
                 * shuffle_mb
-                / spec.cpu_speed
+                / machine.effective_cpu_speed
                 * machine.cpu_contention(profile.reduce_cores)
                 * self.noise.duration_factor(self.rng)
             )
             machine.add_cpu_load(profile.reduce_cores)
+            phase_started = self.sim.now
             try:
                 yield self.sim.timeout(reduce_time)
             finally:
                 machine.remove_cpu_load(profile.reduce_cores)
+                attempt.core_seconds += (
+                    self.sim.now - phase_started
+                ) * profile.reduce_cores
             attempt.phases["reduce"] = reduce_time
         except Interrupt:
             self._finish_attempt(attempt, succeeded=False)

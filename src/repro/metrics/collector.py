@@ -85,6 +85,9 @@ class CollectorSummary(_CollectorProjections):
     reports_seen: int
     local_maps: int
     total_maps: int
+    #: Finish time of every completed task, in report order (defaulted so
+    #: summaries pickled before this field existed still unpickle).
+    completion_times: Tuple[float, ...] = ()
 
 
 @dataclass
@@ -102,6 +105,9 @@ class MetricsCollector(_CollectorProjections):
     reports_seen: int = 0
     local_maps: int = 0
     total_maps: int = 0
+    #: Finish time of every completed task, in report order — the raw
+    #: series behind windowed throughput/efficiency (churn experiment).
+    completion_times: List[float] = field(default_factory=list)
 
     def on_report(self, report: TaskReport) -> None:
         """JobTracker report listener."""
@@ -114,6 +120,7 @@ class MetricsCollector(_CollectorProjections):
         busy_key = (model, application)
         self.busy_seconds[busy_key] = self.busy_seconds.get(busy_key, 0.0) + report.duration
         self.reports_seen += 1
+        self.completion_times.append(report.finish_time)
         if report.kind is TaskKind.MAP:
             self.total_maps += 1
             if report.local:
@@ -127,6 +134,7 @@ class MetricsCollector(_CollectorProjections):
             reports_seen=self.reports_seen,
             local_maps=self.local_maps,
             total_maps=self.total_maps,
+            completion_times=tuple(self.completion_times),
         )
 
 
@@ -147,6 +155,12 @@ class RunMetrics:
     #: metrics have been made portable (pickled, cached, or shipped back
     #: from a worker process).
     collector: "MetricsCollector | CollectorSummary"
+    #: Attempts killed by faults/speculation that had to re-execute
+    #: elsewhere (0 on fault-free runs).
+    reexecuted_tasks: int = 0
+    #: Joules those killed attempts burned for nothing (Eq. 2 attribution;
+    #: a subset of ``total_energy_joules``, never additional draw).
+    wasted_energy_joules: float = 0.0
 
     def portable(self) -> "RunMetrics":
         """A copy safe to pickle: the collector is detached from the
@@ -194,6 +208,11 @@ class RunMetrics:
             f"  mean JCT       : {self.mean_jct() / 60:.1f} min",
             f"  fairness       : {self.fairness:.2f} (1/var slowdown)",
         ]
+        if self.reexecuted_tasks:
+            lines.append(
+                f"  re-executed    : {self.reexecuted_tasks} attempts "
+                f"({self.wasted_energy_joules / 1000:.1f} kJ wasted)"
+            )
         return "\n".join(lines)
 
 

@@ -209,7 +209,7 @@ class SnapshotSampler:
             # float state untouched, so a traced run stays bit-identical
             # to an untraced one.
             utilization = machine.utilization
-            power = machine.spec.power.power(utilization)
+            power = machine.power_watts()
             joules = machine.energy.projected_joules(now)
             model = machine.spec.model
             self.registry.gauge("machine_utilization", machine=machine.hostname).set(

@@ -9,13 +9,23 @@ renderer the online ``--timeline`` view uses.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from ..metrics.timeline import MachineSeries, render_series_report
 from .exporters import flame_summary, trace_summary
 from .tracer import EventType, TraceEvent
 
-__all__ = ["machine_series_from_trace", "report_from_trace"]
+__all__ = ["fault_marks_from_trace", "machine_series_from_trace", "report_from_trace"]
+
+#: Single-character timeline markers per fault/recovery event kind.
+_FAULT_MARKS = {
+    "crash": "C",
+    "recover": "R",
+    "join": "J",
+    "decommission": "D",
+    "slowdown": "S",
+    "flaky_heartbeats": "F",
+}
 
 
 def machine_series_from_trace(events: Sequence[TraceEvent]) -> Dict[int, MachineSeries]:
@@ -60,8 +70,66 @@ def machine_series_from_trace(events: Sequence[TraceEvent]) -> Dict[int, Machine
     }
 
 
+def fault_marks_from_trace(
+    events: Sequence[TraceEvent],
+) -> List[Tuple[float, str, str]]:
+    """(time, marker char, description) per fault/recovery event in a trace.
+
+    Covers injected faults (``fault.injected``), tracker recoveries
+    (``tracker.recovered``), and natural expiries (``tracker.expired``) —
+    the cluster-dynamics events the sparkline timeline annotates.
+    """
+    marks: List[Tuple[float, str, str]] = []
+    for event in events:
+        if event.type == EventType.FAULT_INJECTED:
+            kind = str(event.data.get("kind", "?"))
+            detail = f"{kind} machine={event.data.get('machine_id')}"
+            disrupted = event.data.get("tasks_disrupted")
+            if disrupted:
+                detail += f" disrupted={disrupted}"
+            if event.data.get("factor") is not None:
+                detail += f" factor={event.data['factor']:g}"
+            marks.append((event.time, _FAULT_MARKS.get(kind, "?"), detail))
+        elif event.type == EventType.TRACKER_RECOVERED:
+            marks.append(
+                (event.time, "R", f"tracker recovered machine={event.data.get('machine_id')}")
+            )
+        elif event.type == EventType.TRACKER_EXPIRED:
+            marks.append(
+                (event.time, "X", f"tracker expired machine={event.data.get('machine_id')}")
+            )
+    return marks
+
+
+def _render_fault_timeline(
+    marks: Sequence[Tuple[float, str, str]],
+    t_lo: float,
+    t_hi: float,
+    width: int,
+) -> str:
+    """A marker row aligned under the sparkline columns, plus a legend."""
+    row = [" "] * width
+    span = t_hi - t_lo
+    for time, char, _detail in marks:
+        if span > 0:
+            column = int((time - t_lo) / span * (width - 1))
+        else:
+            column = 0
+        column = min(width - 1, max(0, column))
+        # Later marks in the same column win; the legend keeps them all.
+        row[column] = char
+    lines = [f"{'faults':12s} {''.join(row)}"]
+    for time, char, detail in marks:
+        lines.append(f"  {char} t={time:8.1f}s  {detail}")
+    return "\n".join(lines)
+
+
 def report_from_trace(events: Sequence[TraceEvent], width: int = 60) -> str:
-    """Full offline report: summary, flame profile, per-machine sparklines."""
+    """Full offline report: summary, flame profile, per-machine sparklines.
+
+    Traces recorded under a fault plan additionally get a fault/recovery
+    marker row aligned with the sparkline columns and a per-event legend.
+    """
     sections = [trace_summary(events), "", flame_summary(events), ""]
     try:
         series = machine_series_from_trace(events)
@@ -70,4 +138,12 @@ def report_from_trace(events: Sequence[TraceEvent], width: int = 60) -> str:
     else:
         sections.append("per-machine utilization/power (replayed from trace):")
         sections.append(render_series_report(series, width=width, show_utilization=True))
+        marks = fault_marks_from_trace(events)
+        if marks:
+            all_times = [t for s in series.values() for t in s.times]
+            t_lo = min(all_times) if all_times else 0.0
+            t_hi = max(all_times) if all_times else 0.0
+            sections.append("")
+            sections.append("fault/recovery timeline:")
+            sections.append(_render_fault_timeline(marks, t_lo, t_hi, width))
     return "\n".join(sections)

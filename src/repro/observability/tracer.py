@@ -57,6 +57,12 @@ class EventType(str, enum.Enum):
     SCHEDULER_EVENT = "scheduler.event"
     #: TaskTracker declared dead; its running work was requeued.
     TRACKER_EXPIRED = "tracker.expired"
+    #: A FaultPlan event fired (crash, recover, join, decommission,
+    #: slowdown, flaky_heartbeats — the ``kind`` field says which).
+    FAULT_INJECTED = "fault.injected"
+    #: A crashed TaskTracker re-registered with the JobTracker and
+    #: resumed heartbeats.
+    TRACKER_RECOVERED = "tracker.recovered"
     #: Periodic MetricsRegistry snapshot (counters/gauges/histograms +
     #: per-machine utilization/power samples).
     METRICS_SNAPSHOT = "metrics.snapshot"

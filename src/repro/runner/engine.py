@@ -24,7 +24,8 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
 from ..cluster import Cluster, Network
 from ..core import EAntConfig, EAntScheduler
-from ..energy import ClusterMeter
+from ..energy import ClusterMeter, wasted_energy_breakdown
+from ..faults import FaultInjector
 from ..hadoop import BlockPlacer, JobTracker, TaskTracker
 from ..metrics import MetricsCollector, RunMetrics, build_job_results
 from ..observability import (
@@ -94,6 +95,7 @@ class ScenarioResult:
     meter: Optional[ClusterMeter] = None
     tracer: Optional[Tracer] = None
     registry: Optional[MetricsRegistry] = None
+    injector: Optional[FaultInjector] = None
 
     @property
     def eant(self) -> EAntScheduler:
@@ -184,6 +186,7 @@ def execute_spec(
     collector = MetricsCollector(cluster)
     jobtracker.add_report_listener(collector.on_report)
 
+    trackers: List[TaskTracker] = []
     for machine in cluster:
         tracker = TaskTracker(
             sim,
@@ -193,6 +196,22 @@ def execute_spec(
             rng=streams.stream(f"tt-{machine.machine_id}"),
         )
         tracker.start(jobtracker)
+        trackers.append(tracker)
+
+    injector: Optional[FaultInjector] = None
+    if spec.faults is not None:
+        injector = FaultInjector(
+            plan=spec.faults,
+            sim=sim,
+            cluster=cluster,
+            jobtracker=jobtracker,
+            config=config,
+            streams=streams,
+            trackers=trackers,
+            noise=spec.noise,
+            tracer=tracer if tracer is not None else NULL_TRACER,
+        )
+        injector.attach()
 
     meter: Optional[ClusterMeter] = None
     if spec.with_meter:
@@ -260,6 +279,10 @@ def execute_spec(
             f"({len(jobtracker.completed_jobs)}/{len(ordered)} jobs done)"
         )
 
+    # Killed attempts exist without faults too (speculative duplicates),
+    # so the waste accounting runs unconditionally.
+    reexecuted, wasted_joules, _ = wasted_energy_breakdown(jobtracker, cluster)
+
     energy_by_type: Dict[str, float] = snapshot["energy_by_type"]  # type: ignore[assignment]
     metrics = RunMetrics(
         scheduler_name=policy.name,
@@ -272,6 +295,8 @@ def execute_spec(
         utilization_by_type=snapshot["utilization_by_type"],  # type: ignore[assignment]
         job_results=build_job_results(jobtracker, cluster, config),
         collector=collector,
+        reexecuted_tasks=reexecuted,
+        wasted_energy_joules=wasted_joules,
     )
     if tracer is not None and trace_path is not None:
         write_jsonl(tracer, trace_path)
@@ -283,4 +308,5 @@ def execute_spec(
         meter=meter,
         tracer=tracer,
         registry=registry,
+        injector=injector,
     )

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from ..core import EAntScheduler
 from ..energy.meter import MeterReading
+from ..faults import FaultRecovery
 from ..metrics import RunMetrics
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -76,6 +77,8 @@ class RunRecord:
     convergence: Optional[ConvergenceRecord] = None
     #: job name -> {"map": s, "shuffle": s, "reduce": s} wall-clock seconds
     phase_breakdown_by_job: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Per-disruptive-fault recovery summaries (empty on fault-free runs)
+    faults: Tuple[FaultRecovery, ...] = ()
     #: seconds of wall-clock time the producing run took (0.0 on restore
     #: from cache the field keeps the *original* run's cost)
     wall_seconds: float = 0.0
@@ -113,6 +116,10 @@ def build_record(spec: "ScenarioSpec", result: "ScenarioResult", wall_seconds: f
     for job in result.jobtracker.completed_jobs:
         breakdowns[job.name] = job.phase_breakdown()
 
+    recoveries: Tuple[FaultRecovery, ...] = ()
+    if result.injector is not None:
+        recoveries = tuple(result.injector.recovery_summary())
+
     return RunRecord(
         spec_hash=spec.spec_hash(),
         metrics=result.metrics.portable(),
@@ -120,5 +127,6 @@ def build_record(spec: "ScenarioSpec", result: "ScenarioResult", wall_seconds: f
         meter=meter,
         convergence=convergence,
         phase_breakdown_by_job=breakdowns,
+        faults=recoveries,
         wall_seconds=wall_seconds,
     )

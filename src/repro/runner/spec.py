@@ -29,6 +29,7 @@ from typing import Any, Dict, Optional, Sequence, Tuple, Union
 
 from ..cluster import MachineSpec, PowerModel, paper_fleet
 from ..core import EAntConfig, ExchangeLevel
+from ..faults import FaultPlan
 from ..hadoop import HadoopConfig
 from ..noise import DEFAULT_NOISE, NoiseModel
 from ..workloads import JobSpec, WorkloadProfile
@@ -129,6 +130,7 @@ class ScenarioSpec:
     with_meter: bool = False
     meter_interval: float = 30.0
     max_sim_time: float = 10_000_000.0
+    faults: Optional[FaultPlan] = None
     label: Optional[str] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
@@ -153,11 +155,17 @@ class ScenarioSpec:
             raise ValueError("meter_interval must be positive")
         if self.max_sim_time <= 0:
             raise ValueError("max_sim_time must be positive")
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ValueError("faults must be a FaultPlan (or None)")
+        if self.faults is not None and not self.faults.events:
+            # An empty plan is the same run as no plan; normalize so both
+            # spellings share one identity (and one cache entry).
+            object.__setattr__(self, "faults", None)
 
     # ------------------------------------------------------------- identity
     def to_json_dict(self) -> Dict[str, Any]:
         """The identity-bearing fields as plain JSON-ready data."""
-        return {
+        out = {
             "spec_version": SPEC_VERSION,
             "jobs": _jsonable(self.jobs),
             "scheduler": self.scheduler,
@@ -170,6 +178,11 @@ class ScenarioSpec:
             "meter_interval": self.meter_interval,
             "max_sim_time": self.max_sim_time,
         }
+        # Written only when present: a fault-free spec keeps the canonical
+        # JSON (hence hash) it had before fault plans existed.
+        if self.faults is not None:
+            out["faults"] = self.faults.to_json_dict()
+        return out
 
     def canonical_json(self) -> str:
         """Canonical (sorted-key, compact) JSON of the identity fields."""
@@ -214,6 +227,11 @@ class ScenarioSpec:
             with_meter=data["with_meter"],
             meter_interval=data["meter_interval"],
             max_sim_time=data["max_sim_time"],
+            faults=(
+                FaultPlan.from_json_dict(data["faults"])
+                if data.get("faults") is not None
+                else None
+            ),
         )
 
     @classmethod

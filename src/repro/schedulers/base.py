@@ -60,6 +60,17 @@ class Scheduler(abc.ABC):
     def on_control_interval(self, now: float) -> None:
         """Periodic tick (the paper's 5-minute control interval)."""
 
+    def on_machine_added(self, machine: Any) -> None:
+        """A brand-new machine joined the cluster mid-run.
+
+        Called by the fault injector after the machine is commissioned and
+        its TaskTracker started.  Baselines that read the cluster live need
+        no action; policies that cache fleet state must refresh it here.
+        """
+
+    def on_machine_removed(self, machine: Any) -> None:
+        """A machine left the cluster for good (decommission)."""
+
     # ------------------------------------------------------------ assignment
     @abc.abstractmethod
     def select_tasks(self, status: TrackerStatus) -> List[Task]:

@@ -1,0 +1,56 @@
+"""Churn-adaptiveness experiment tests (crash + rejoin timeline)."""
+
+from repro.experiments import (
+    CHURN_SCHEDULERS,
+    churn_adaptiveness,
+    churn_plan,
+    churn_specs,
+    figure_result,
+)
+from repro.faults import FaultKind
+
+
+class TestChurnSpecs:
+    def test_grid_shape_and_identity(self):
+        specs = churn_specs(seeds=(1, 2))
+        assert len(specs) == 2 * len(CHURN_SCHEDULERS)
+        # Every spec carries the plan in its identity.
+        for spec in specs:
+            assert spec.faults is not None
+            assert "faults" in spec.to_json_dict()
+        # Same scheduler, different seeds -> different hashes.
+        assert specs[0].spec_hash() != specs[len(CHURN_SCHEDULERS)].spec_hash()
+
+    def test_default_plan_is_crash_then_rejoin(self):
+        plan = churn_plan()
+        assert [e.kind for e in plan.events] == [FaultKind.CRASH, FaultKind.RECOVER]
+
+
+class TestChurnAdaptiveness:
+    def test_eant_reconverges_better_than_static_fair(self):
+        results = churn_adaptiveness(seeds=(1,))
+        assert set(results) == set(CHURN_SCHEDULERS)
+        for result in results.values():
+            names = [w.name for w in result.windows]
+            assert names == ["pre-fault", "outage", "post-rejoin"]
+            assert result.window("pre-fault").tasks > 0
+            assert result.window("pre-fault").energy_kj > 0
+            # The crash hit a busy machine: work was re-executed at a cost.
+            assert result.reexecuted_tasks > 0
+            assert result.wasted_energy_kj > 0
+        # The adaptiveness claim: E-Ant's post-rejoin efficiency recovers
+        # toward its pre-fault level better than static Fair's does.
+        assert results["e-ant"].recovery_ratio > results["fair"].recovery_ratio
+
+
+class TestChurnFigure:
+    def test_figure_renders_rows_and_recovery_notes(self):
+        figure = figure_result("churn")
+        rendered = figure.render()
+        for scheduler in CHURN_SCHEDULERS:
+            assert scheduler in figure.series
+            assert len(figure.series[scheduler]) == 3
+            assert f"{scheduler}\tpre-fault" in rendered
+        assert "post-rejoin efficiency" in rendered
+        ratios = figure.metadata["recovery_ratio"]
+        assert ratios["e-ant"] > ratios["fair"]

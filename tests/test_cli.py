@@ -98,3 +98,74 @@ class TestSweep:
         out = capsys.readouterr().out
         assert "# 3 specs" in out  # fair once, e-ant per beta
         assert "beta=0.1" in out and "beta=0.3" in out
+
+
+class TestTrackerExpiry:
+    """--tracker-expiry shares the job-token contract: bad values exit 2
+    with a one-line message (float() quietly accepts nan/inf/negatives)."""
+
+    @pytest.mark.parametrize("value", ["-3", "nan", "inf"])
+    def test_bad_values_exit_2(self, value, capsys):
+        assert main(["run", "--jobs", "grep:1", "--tracker-expiry", value]) == 2
+        err = capsys.readouterr().err
+        assert "--tracker-expiry" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_non_numeric_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "--jobs", "grep:1", "--tracker-expiry", "soon"])
+        assert exc.value.code == 2
+
+    def test_valid_value_echoed_in_config(self, capsys):
+        assert main(["run", "--jobs", "grep:1", "--seed", "1",
+                     "--tracker-expiry", "45"]) == 0
+        assert "tracker_expiry=45" in capsys.readouterr().out
+
+
+class TestFaultFlags:
+    def _plan_file(self, tmp_path):
+        from repro.faults import FaultPlan
+
+        path = tmp_path / "plan.json"
+        path.write_text(FaultPlan.crash_and_rejoin(0, at=20.0, rejoin_after=40.0).to_json())
+        return str(path)
+
+    def test_run_prints_fault_timeline(self, capsys, tmp_path):
+        assert main(["run", "--scheduler", "fair", "--jobs", "grep:2",
+                     "--seed", "2", "--faults", self._plan_file(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fault timeline:" in out
+        assert "crash" in out and "recover" in out
+
+    def test_bad_json_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        assert main(["run", "--jobs", "grep:1", "--faults", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "invalid JSON" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_missing_file_exits_2(self, capsys, tmp_path):
+        missing = str(tmp_path / "absent.json")
+        assert main(["run", "--jobs", "grep:1", "--faults", missing]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read" in err and missing in err
+
+    def test_invalid_plan_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text('{"events": [{"time": 1.0, "kind": "meteor", "machine_id": 0}]}')
+        assert main(["run", "--jobs", "grep:1", "--faults", str(path)]) == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_sweep_folds_plan_into_grid(self, capsys, tmp_path):
+        base = ["sweep", "--jobs", "grep:1", "--seeds", "0",
+                "--schedulers", "fair", "--dry-run", "--no-cache"]
+        assert main(base + ["--faults", self._plan_file(tmp_path)]) == 0
+        faulted_hash = capsys.readouterr().out.splitlines()[1].split()[0]
+        assert main(base) == 0
+        plain_hash = capsys.readouterr().out.splitlines()[1].split()[0]
+        # The plan is part of spec identity: distinct cache entries.
+        assert faulted_hash != plain_hash
+
+    def test_churn_figure_in_choices(self):
+        assert build_parser().parse_args(["figure", "churn"]).name == "churn"

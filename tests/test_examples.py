@@ -32,6 +32,13 @@ def test_msd_comparison_runs_small(capsys):
     assert "Fig 9" in out
 
 
+def test_fault_injection_runs(capsys):
+    run_example("fault_injection.py")
+    out = capsys.readouterr().out
+    assert "re-executed" in out
+    assert "recovery ratio" in out
+
+
 def test_all_examples_exist():
     names = {p.name for p in EXAMPLES.glob("*.py")}
     assert {
@@ -40,4 +47,5 @@ def test_all_examples_exist():
         "energy_model_validation.py",
         "custom_scheduler.py",
         "noise_and_exchange.py",
+        "fault_injection.py",
     } <= names

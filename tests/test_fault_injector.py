@@ -1,0 +1,247 @@
+"""FaultInjector behavior tests against the live simulation stack."""
+
+import pytest
+
+from repro.cluster import T420
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
+from repro.hadoop import HadoopConfig
+from repro.observability import EventType, Tracer
+from repro.simulation import RandomStreams
+
+from .conftest import build_stack, wordcount_spec
+
+
+def inject(plan, *, config=None, tracer=None, seed=0, fleet=None):
+    """build_stack plus an attached injector executing ``plan``."""
+    config = config or HadoopConfig(tracker_expiry=20.0)
+    sim, cluster, jt, trackers = build_stack(config=config, fleet=fleet, seed=seed)
+    if tracer is not None:
+        sim.tracer = jt.tracer = tracer
+    injector = FaultInjector(
+        plan=plan,
+        sim=sim,
+        cluster=cluster,
+        jobtracker=jt,
+        config=config,
+        streams=RandomStreams(seed),
+        trackers=trackers,
+        tracer=tracer if tracer is not None else jt.tracer,
+    )
+    injector.attach()
+    return sim, cluster, jt, trackers, injector
+
+
+class TestCrashRecover:
+    def test_crash_and_rejoin_completes_all_tasks(self):
+        plan = FaultPlan.crash_and_rejoin(0, at=10.0, rejoin_after=30.0)
+        sim, _cluster, jt, trackers, injector = inject(plan)
+        jt.expect_jobs(1)
+        job = jt.submit(wordcount_spec(num_maps=24, num_reduces=2))
+        sim.run()
+        assert job.is_done
+        assert job.completed_maps == 24
+        # The rejoined tracker re-registered with the JobTracker.
+        machine_id = trackers[0].machine.machine_id
+        assert machine_id in jt.trackers
+        assert machine_id in jt.recovered_trackers
+
+    def test_rejoined_tracker_gets_work_again(self):
+        plan = FaultPlan.crash_and_rejoin(0, at=5.0, rejoin_after=10.0)
+        sim, _cluster, jt, trackers, _injector = inject(plan)
+        jt.expect_jobs(1)
+        jt.submit(wordcount_spec(num_maps=40, num_reduces=0))
+        sim.run()
+        machine_id = trackers[0].machine.machine_id
+        post_rejoin = [
+            r for r in jt.reports if r.machine_id == machine_id and r.finish_time > 15.0
+        ]
+        assert post_rejoin, "recovered tracker never completed a task"
+
+    def test_recover_before_expiry_still_requeues(self):
+        # Expiry of 1000s never fires inside this run; the rejoin path
+        # itself must requeue the attempts that died with the crash.
+        plan = FaultPlan.crash_and_rejoin(0, at=10.0, rejoin_after=30.0)
+        sim, _cluster, jt, _trackers, _injector = inject(
+            plan, config=HadoopConfig(tracker_expiry=1000.0)
+        )
+        jt.expect_jobs(1)
+        job = jt.submit(wordcount_spec(num_maps=24, num_reduces=1))
+        sim.run()
+        assert job.is_done
+
+    def test_fault_events_traced(self):
+        tracer = Tracer()
+        plan = FaultPlan.crash_and_rejoin(0, at=10.0, rejoin_after=30.0)
+        sim, _cluster, jt, _trackers, _injector = inject(plan, tracer=tracer)
+        jt.expect_jobs(1)
+        jt.submit(wordcount_spec(num_maps=24, num_reduces=1))
+        sim.run()
+        injected = [e for e in tracer.events if e.type == EventType.FAULT_INJECTED]
+        assert [e.data["kind"] for e in injected] == ["crash", "recover"]
+        recovered = [e for e in tracer.events if e.type == EventType.TRACKER_RECOVERED]
+        assert len(recovered) == 1 and recovered[0].time == 40.0
+
+    def test_recovery_summary_counts_disrupted_tasks(self):
+        plan = FaultPlan.crash_and_rejoin(0, at=10.0, rejoin_after=30.0)
+        sim, _cluster, jt, trackers, injector = inject(plan)
+        jt.expect_jobs(1)
+        job = jt.submit(wordcount_spec(num_maps=24, num_reduces=0))
+        sim.run()
+        assert job.is_done
+        crash = injector.recovery_summary()[0]
+        assert crash.kind == "crash"
+        assert crash.tasks_disrupted > 0
+        assert crash.recovery_seconds > 0
+
+
+class TestJoin:
+    def test_joined_machine_serves_tasks(self):
+        plan = FaultPlan(events=(FaultEvent(time=15.0, kind="join", model="t420"),))
+        sim, cluster, jt, _trackers, injector = inject(plan)
+        before = len(cluster)
+        jt.expect_jobs(1)
+        job = jt.submit(wordcount_spec(num_maps=60, num_reduces=0))
+        sim.run()
+        assert job.is_done
+        assert len(cluster) == before + 1
+        new_id = injector.joined_machine_ids[0]
+        served = [r for r in jt.reports if r.machine_id == new_id]
+        assert served, "joined machine never completed a task"
+
+    def test_joined_machine_energy_starts_at_join(self):
+        plan = FaultPlan(events=(FaultEvent(time=15.0, kind="join", model="t420"),))
+        sim, cluster, jt, _trackers, injector = inject(plan)
+        jt.expect_jobs(1)
+        jt.submit(wordcount_spec(num_maps=8, num_reduces=0))
+        sim.run()
+        machine = cluster.machine(injector.joined_machine_ids[0])
+        machine.finish()
+        # No idle joules billed for [0, 15): strictly less than a full-run
+        # idle floor would imply.
+        assert machine.commissioned_at == 15.0
+        assert machine.energy.total_joules < T420.power.idle_watts * sim.now
+
+    def test_unknown_model_raises_at_fire_time(self):
+        plan = FaultPlan(events=(FaultEvent(time=1.0, kind="join", model="cray-1"),))
+        sim, _cluster, jt, _trackers, _injector = inject(plan)
+        jt.expect_jobs(1)
+        jt.submit(wordcount_spec(num_maps=4, num_reduces=0))
+        with pytest.raises(KeyError):
+            sim.run()
+
+
+class TestDecommission:
+    def test_decommission_requeues_and_powers_off(self):
+        plan = FaultPlan(
+            events=(FaultEvent(time=10.0, kind="decommission", machine_id=0),)
+        )
+        sim, cluster, jt, trackers, _injector = inject(plan)
+        jt.expect_jobs(1)
+        job = jt.submit(wordcount_spec(num_maps=24, num_reduces=1))
+        sim.run()
+        assert job.is_done
+        machine = trackers[0].machine
+        assert machine.decommissioned
+        assert machine.power_watts() == 0.0
+        # Energy integration stopped at the decommission instant.
+        frozen = machine.energy.total_joules
+        assert machine.energy.projected_joules(sim.now) == frozen
+        # The fleet no longer offers its slots.
+        assert machine.machine_id not in [
+            m.machine_id for m in cluster if not m.decommissioned
+        ]
+
+    def test_decommissioned_machine_out_of_slot_totals(self):
+        plan = FaultPlan(
+            events=(FaultEvent(time=10.0, kind="decommission", machine_id=0),)
+        )
+        sim, cluster, jt, _trackers, _injector = inject(plan)
+        before = cluster.total_slots()
+        jt.expect_jobs(1)
+        jt.submit(wordcount_spec(num_maps=8, num_reduces=0))
+        sim.run()
+        after = cluster.total_slots()
+        assert after[0] < before[0]
+
+
+class TestSlowdown:
+    def test_slowdown_scales_speed_and_restores(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(
+                    time=5.0, kind="slowdown", machine_id=0, factor=0.5, duration=20.0
+                ),
+            )
+        )
+        sim, _cluster, jt, trackers, _injector = inject(plan)
+        machine = trackers[0].machine
+        jt.expect_jobs(1)
+        job = jt.submit(wordcount_spec(num_maps=16, num_reduces=0))
+        sim.run(until=6.0)
+        assert machine.speed_scale == 0.5
+        assert machine.effective_cpu_speed == machine.spec.cpu_speed * 0.5
+        sim.run(until=26.0)
+        assert machine.speed_scale == 1.0
+        sim.run()
+        assert job.is_done
+
+    def test_permanent_slowdown_without_duration(self):
+        plan = FaultPlan(
+            events=(FaultEvent(time=5.0, kind="slowdown", machine_id=0, factor=0.25),)
+        )
+        sim, _cluster, jt, trackers, _injector = inject(plan)
+        jt.expect_jobs(1)
+        job = jt.submit(wordcount_spec(num_maps=8, num_reduces=0))
+        sim.run()
+        assert job.is_done
+        assert trackers[0].machine.speed_scale == 0.25
+
+
+class TestFlakyHeartbeats:
+    def test_total_drop_trips_expiry_but_job_finishes(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(
+                    time=5.0,
+                    kind="flaky_heartbeats",
+                    machine_id=0,
+                    drop_probability=1.0,
+                ),
+            )
+        )
+        sim, _cluster, jt, trackers, _injector = inject(plan)
+        jt.expect_jobs(1)
+        job = jt.submit(wordcount_spec(num_maps=24, num_reduces=1))
+        sim.run()
+        assert job.is_done
+        assert trackers[0].machine.machine_id in jt.expired_trackers
+
+    def test_flaky_window_ends(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(
+                    time=5.0,
+                    kind="flaky_heartbeats",
+                    machine_id=0,
+                    drop_probability=0.5,
+                    duration=30.0,
+                ),
+            )
+        )
+        sim, _cluster, jt, trackers, _injector = inject(plan)
+        jt.expect_jobs(1)
+        job = jt.submit(wordcount_spec(num_maps=16, num_reduces=0))
+        sim.run(until=36.0)
+        assert trackers[0].heartbeat_drop_probability == 0.0
+        sim.run()
+        assert job.is_done
+
+
+class TestInjectorErrors:
+    def test_unknown_machine_id(self):
+        plan = FaultPlan(events=(FaultEvent(time=1.0, kind="crash", machine_id=99),))
+        sim, _cluster, jt, _trackers, _injector = inject(plan)
+        jt.expect_jobs(1)
+        jt.submit(wordcount_spec(num_maps=4, num_reduces=0))
+        with pytest.raises(RuntimeError, match="does not exist"):
+            sim.run()

@@ -1,0 +1,146 @@
+"""FaultPlan / FaultEvent validation and serialization tests."""
+
+import json
+
+import pytest
+
+from repro.faults import FaultEvent, FaultKind, FaultPlan, FaultPlanError
+
+
+class TestFaultEventValidation:
+    def test_minimal_crash(self):
+        event = FaultEvent(time=10.0, kind="crash", machine_id=2)
+        assert event.kind is FaultKind.CRASH
+        assert event.machine_id == 2
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultEvent(time=1.0, kind="meteor", machine_id=0)
+
+    @pytest.mark.parametrize("time", [-1.0, float("nan"), float("inf")])
+    def test_bad_time_rejected(self, time):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(time=time, kind="crash", machine_id=0)
+
+    def test_targeted_kinds_require_machine_id(self):
+        for kind in ("crash", "recover", "decommission", "slowdown", "flaky_heartbeats"):
+            with pytest.raises(FaultPlanError, match="machine_id"):
+                FaultEvent(time=1.0, kind=kind)
+
+    def test_join_requires_model(self):
+        with pytest.raises(FaultPlanError, match="model"):
+            FaultEvent(time=1.0, kind="join")
+        event = FaultEvent(time=1.0, kind="join", model="t420")
+        assert event.model == "t420"
+
+    def test_slowdown_requires_factor_in_range(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(time=1.0, kind="slowdown", machine_id=0)
+        with pytest.raises(FaultPlanError):
+            FaultEvent(time=1.0, kind="slowdown", machine_id=0, factor=0.0)
+        with pytest.raises(FaultPlanError):
+            FaultEvent(time=1.0, kind="slowdown", machine_id=0, factor=1.5)
+        event = FaultEvent(time=1.0, kind="slowdown", machine_id=0, factor=0.5)
+        assert event.factor == 0.5
+
+    def test_factor_only_for_slowdown(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(time=1.0, kind="crash", machine_id=0, factor=0.5)
+
+    def test_flaky_requires_drop_probability(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(time=1.0, kind="flaky_heartbeats", machine_id=0)
+        event = FaultEvent(
+            time=1.0, kind="flaky_heartbeats", machine_id=0, drop_probability=0.8
+        )
+        assert event.drop_probability == 0.8
+
+    def test_bool_machine_id_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(time=1.0, kind="crash", machine_id=True)
+
+
+class TestFaultPlan:
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(time=50.0, kind="recover", machine_id=1),
+                FaultEvent(time=10.0, kind="crash", machine_id=1),
+            )
+        )
+        assert [e.time for e in plan.events] == [10.0, 50.0]
+
+    def test_recover_without_crash_rejected(self):
+        with pytest.raises(FaultPlanError, match="recover"):
+            FaultPlan(events=(FaultEvent(time=10.0, kind="recover", machine_id=1),))
+
+    def test_double_crash_without_recover_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(
+                events=(
+                    FaultEvent(time=10.0, kind="crash", machine_id=1),
+                    FaultEvent(time=20.0, kind="crash", machine_id=1),
+                )
+            )
+
+    def test_crash_recover_crash_ok(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(time=10.0, kind="crash", machine_id=1),
+                FaultEvent(time=20.0, kind="recover", machine_id=1),
+                FaultEvent(time=30.0, kind="crash", machine_id=1),
+            )
+        )
+        assert len(plan) == 3
+
+    def test_crash_and_rejoin_helper(self):
+        plan = FaultPlan.crash_and_rejoin(3, at=100.0, rejoin_after=50.0)
+        assert [e.kind for e in plan.events] == [FaultKind.CRASH, FaultKind.RECOVER]
+        assert plan.events[1].time == 150.0
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan.crash_and_rejoin(0, at=1.0, rejoin_after=1.0)
+
+
+class TestFaultPlanJson:
+    def test_round_trip(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(time=10.0, kind="crash", machine_id=1),
+                FaultEvent(time=20.0, kind="recover", machine_id=1),
+                FaultEvent(time=30.0, kind="join", model="t420"),
+                FaultEvent(time=40.0, kind="slowdown", machine_id=2, factor=0.5, duration=60.0),
+            )
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_nulls_omitted_from_json(self):
+        data = FaultEvent(time=1.0, kind="crash", machine_id=0).to_json_dict()
+        assert set(data) == {"time", "kind", "machine_id"}
+
+    def test_unknown_event_field_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown"):
+            FaultPlan.from_json_dict(
+                {"events": [{"time": 1.0, "kind": "crash", "machine_id": 0, "bogus": 1}]}
+            )
+
+    def test_invalid_json_wrapped(self):
+        with pytest.raises(FaultPlanError, match="invalid JSON"):
+            FaultPlan.from_json("{nope")
+
+    def test_from_file_missing_wrapped(self, tmp_path):
+        with pytest.raises(FaultPlanError, match="cannot read"):
+            FaultPlan.from_file(tmp_path / "absent.json")
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        plan = FaultPlan.crash_and_rejoin(1, at=5.0, rejoin_after=5.0)
+        path.write_text(plan.to_json())
+        assert FaultPlan.from_file(path) == plan
+
+    def test_events_must_be_list(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_json_dict({"events": {"time": 1.0}})
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_json(json.dumps({"events": "crash"}))

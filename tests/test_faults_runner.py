@@ -1,0 +1,164 @@
+"""Fault plans through the declarative runner: identity, caching,
+determinism, recovery metrics, and the churn experiment smoke."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import FaultEvent, FaultPlan
+from repro.observability import Tracer
+from repro.observability.report import fault_marks_from_trace, report_from_trace
+from repro.runner import ResultCache, ScenarioSpec, SweepRunner
+from repro.workloads import puma_job
+
+
+def small_jobs(n=3, gb=1.0):
+    return tuple(puma_job("wordcount", input_gb=gb, submit_time=i * 15.0) for i in range(n))
+
+
+def crash_plan(machine_id=0, at=20.0, rejoin_after=40.0):
+    return FaultPlan.crash_and_rejoin(machine_id, at=at, rejoin_after=rejoin_after)
+
+
+class TestSpecIdentity:
+    def test_fault_plan_changes_spec_hash(self):
+        base = ScenarioSpec(jobs=small_jobs(), seed=1)
+        faulted = base.with_overrides(faults=crash_plan())
+        assert base.spec_hash() != faulted.spec_hash()
+
+    def test_different_plans_different_hashes(self):
+        jobs = small_jobs()
+        a = ScenarioSpec(jobs=jobs, seed=1, faults=crash_plan(at=20.0))
+        b = ScenarioSpec(jobs=jobs, seed=1, faults=crash_plan(at=25.0))
+        assert a.spec_hash() != b.spec_hash()
+
+    def test_fault_free_hash_has_no_faults_key(self):
+        spec = ScenarioSpec(jobs=small_jobs(), seed=1)
+        assert "faults" not in spec.to_json_dict()
+
+    def test_empty_plan_normalizes_to_none(self):
+        spec = ScenarioSpec(jobs=small_jobs(), seed=1, faults=FaultPlan())
+        assert spec.faults is None
+        assert spec.spec_hash() == ScenarioSpec(jobs=small_jobs(), seed=1).spec_hash()
+
+    def test_json_round_trip_preserves_plan(self):
+        spec = ScenarioSpec(jobs=small_jobs(), seed=1, faults=crash_plan())
+        rebuilt = ScenarioSpec.from_json(spec.canonical_json())
+        assert rebuilt.faults == spec.faults
+        assert rebuilt.spec_hash() == spec.spec_hash()
+
+    def test_non_plan_faults_rejected(self):
+        with pytest.raises(ValueError, match="FaultPlan"):
+            ScenarioSpec(jobs=small_jobs(), faults={"events": []})
+
+
+class TestFaultedRun:
+    def test_churn_smoke_all_tasks_finish(self):
+        """A mid-run crash of a busy machine neither deadlocks nor loses
+        tasks, and the recovery counters are consistent with the trace."""
+        tracer = Tracer()
+        spec = ScenarioSpec(
+            jobs=small_jobs(n=4, gb=2.0), scheduler="fair", seed=2, faults=crash_plan()
+        )
+        result = spec.run(trace=tracer)
+        metrics = result.metrics
+        assert len(metrics.job_results) == 4
+        assert metrics.reexecuted_tasks > 0
+        assert metrics.wasted_energy_joules > 0
+        killed_in_trace = sum(1 for e in tracer.events if e.type == "task.killed")
+        assert metrics.reexecuted_tasks == killed_in_trace
+
+    def test_recovery_metrics_in_record(self):
+        spec = ScenarioSpec(
+            jobs=small_jobs(n=4, gb=2.0), scheduler="fair", seed=2, faults=crash_plan()
+        )
+        record = spec.run_record()
+        kinds = [f.kind for f in record.faults]
+        assert kinds == ["crash", "recover"]
+        crash = record.faults[0]
+        assert crash.tasks_disrupted == record.metrics.reexecuted_tasks
+        assert crash.recovery_seconds > 0
+
+    def test_determinism_same_seed_same_plan(self):
+        """Bit-identical RunMetrics for identical (seed, plan) pairs."""
+        spec = ScenarioSpec(
+            jobs=small_jobs(n=3, gb=1.0), scheduler="e-ant", seed=5, faults=crash_plan()
+        )
+        a = spec.run().metrics
+        b = spec.run().metrics
+        assert a.makespan == b.makespan
+        assert a.total_energy_joules == b.total_energy_joules
+        assert a.energy_by_type == b.energy_by_type
+        assert a.wasted_energy_joules == b.wasted_energy_joules
+        assert a.reexecuted_tasks == b.reexecuted_tasks
+        assert [dataclasses.astuple(j) for j in a.job_results] == [
+            dataclasses.astuple(j) for j in b.job_results
+        ]
+
+    def test_fault_free_run_unaffected_by_subsystem(self):
+        """The faults machinery must not perturb fault-free runs: same
+        seed, no plan — byte-identical metrics whether or not the faults
+        subsystem is imported/active elsewhere."""
+        spec = ScenarioSpec(jobs=small_jobs(), scheduler="e-ant", seed=7)
+        a = spec.run().metrics
+        b = spec.run().metrics
+        assert a.makespan == b.makespan
+        assert a.total_energy_joules == b.total_energy_joules
+        assert a.reexecuted_tasks == 0
+        assert a.wasted_energy_joules == 0.0
+
+
+class TestSweepCache:
+    def test_faulted_spec_caches_and_hits(self, tmp_path):
+        spec = ScenarioSpec(
+            jobs=small_jobs(), scheduler="fair", seed=3, faults=crash_plan()
+        )
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(workers=1, cache=cache)
+        first = runner.run([spec])
+        assert runner.last_report.executed == 1
+        second = runner.run([spec])
+        assert runner.last_report.cache_hits == 1
+        assert first[0].metrics.makespan == second[0].metrics.makespan
+        assert [f.kind for f in second[0].faults] == ["crash", "recover"]
+
+    def test_faulted_and_fault_free_distinct_entries(self, tmp_path):
+        jobs = small_jobs()
+        plain = ScenarioSpec(jobs=jobs, scheduler="fair", seed=3)
+        faulted = plain.with_overrides(faults=crash_plan())
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(workers=1, cache=cache)
+        runner.run([plain, faulted])
+        assert runner.last_report.executed == 2
+        assert cache.path_for(plain) != cache.path_for(faulted)
+
+
+class TestReportTimeline:
+    def _trace(self):
+        tracer = Tracer()
+        spec = ScenarioSpec(
+            jobs=small_jobs(n=4, gb=2.0),
+            scheduler="fair",
+            seed=2,
+            faults=FaultPlan(
+                events=(
+                    FaultEvent(time=20.0, kind="crash", machine_id=0),
+                    FaultEvent(time=60.0, kind="recover", machine_id=0),
+                    FaultEvent(time=80.0, kind="slowdown", machine_id=1, factor=0.5),
+                )
+            ),
+        )
+        spec.run(trace=tracer)
+        return tracer.events
+
+    def test_fault_marks_extracted(self):
+        marks = fault_marks_from_trace(self._trace())
+        chars = [c for _t, c, _d in marks]
+        assert "C" in chars and "R" in chars and "S" in chars
+
+    def test_report_renders_fault_section(self):
+        report = report_from_trace(self._trace())
+        assert "fault/recovery timeline:" in report
+        assert "crash machine=0" in report
+        assert "tracker recovered machine=0" in report
+        assert "slowdown machine=1" in report
