@@ -1,0 +1,90 @@
+"""Kernel-throughput regression gate against ``BENCH_kernel.json``.
+
+Wall-clock numbers do not transfer between machines, so the committed
+baseline stores a *ratio*: how much slower the retained naive reference
+(:func:`repro.core.reference.reference_mode`) runs the 20k-event kernel
+benchmark than the optimized hot path, measured in the same process.
+If an optimization is accidentally reverted or pessimized, the optimized
+time rises toward the reference time and the ratio collapses toward 1.0
+— independent of how fast the host happens to be.
+
+The gate fails when the measured ratio drops below
+``expected_ratio * fail_below_fraction`` (0.8 — i.e. a >20 % relative
+throughput regression).  Run it locally or in CI::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+
+Exit status 0 on pass, 1 on regression.  After a *deliberate* kernel
+change, refresh the baseline by re-measuring (the script prints the
+observed ratio) and editing ``BENCH_kernel.json`` in the same commit.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_kernel.json"
+
+
+def _run_events(n: int) -> float:
+    from repro.simulation import Simulator
+
+    sim = Simulator()
+
+    def chain():
+        for _ in range(n):
+            yield sim.timeout(1.0)
+
+    sim.process(chain())
+    sim.run()
+    return sim.now
+
+
+def _best_of(fn, reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main(reps: int = 15) -> int:
+    from repro.core.reference import reference_mode
+
+    baseline = json.loads(BASELINE_PATH.read_text())["reference_ratio"]
+    events = int(baseline["events"])
+    expected = float(baseline["expected_ratio"])
+    fraction = float(baseline["fail_below_fraction"])
+
+    _run_events(events)  # warm imports and allocator before timing
+    optimized = _best_of(lambda: _run_events(events), reps)
+    with reference_mode():
+        reference = _best_of(lambda: _run_events(events), reps)
+    # Second optimized pass guards against the machine speeding up/slowing
+    # down mid-measurement skewing the ratio in either direction.
+    optimized = min(optimized, _best_of(lambda: _run_events(events), reps))
+
+    ratio = reference / optimized
+    threshold = expected * fraction
+    print(
+        f"kernel {events} events: optimized {optimized * 1e3:.2f} ms, "
+        f"reference {reference * 1e3:.2f} ms, ratio {ratio:.2f}x "
+        f"(baseline {expected:.2f}x, threshold {threshold:.2f}x)"
+    )
+    if ratio < threshold:
+        print(
+            "FAIL: kernel speedup regressed >20% against BENCH_kernel.json — "
+            "either fix the hot path or deliberately refresh the baseline."
+        )
+        return 1
+    print("PASS: kernel throughput within baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,13 @@
-"""Micro-benchmarks of the simulation substrate itself."""
+"""Micro-benchmarks of the simulation substrate itself.
 
+``test_event_throughput`` vs ``test_event_throughput_reference`` is the
+pair behind ``BENCH_kernel.json``'s regression ratio: the same 20k-event
+chain on the optimized hot path and on the retained naive reference
+(``repro.core.reference``).  ``benchmarks/check_regression.py`` measures
+the same ratio without pytest for the CI gate.
+"""
+
+from repro.core.reference import reference_mode
 from repro.simulation import Simulator
 
 from .conftest import heading
@@ -20,6 +28,16 @@ def _run_events(n):
 def test_event_throughput(benchmark):
     result = benchmark(_run_events, 20_000)
     heading("DES kernel: 20k sequential timeout events")
+    assert result == 20_000.0
+
+
+def test_event_throughput_reference(benchmark):
+    def run():
+        with reference_mode():
+            return _run_events(20_000)
+
+    result = benchmark(run)
+    heading("DES kernel (naive reference paths): 20k sequential timeout events")
     assert result == 20_000.0
 
 

@@ -9,7 +9,7 @@ IO contention, and integrates its own energy consumption.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from .power import EnergyAccumulator, PowerModel
 
@@ -115,6 +115,9 @@ class Machine:
     speed_scale: float = 1.0
     #: True once removed from service and powered off (never reversed)
     decommissioned: bool = False
+    #: invoked when this machine's capacity leaves service (decommission);
+    #: the owning Cluster installs this to drop its cached slot totals
+    on_capacity_change: Optional[Callable[[], None]] = field(default=None, repr=False)
     #: sim time this machine entered service (non-zero for mid-run joins);
     #: the anchor for average-utilization and energy windows
     commissioned_at: float = 0.0
@@ -162,10 +165,25 @@ class Machine:
 
     def _advance(self) -> None:
         now = self._now()
-        self._util_seconds += self.utilization * (now - self._util_last_time)
+        # Same expression as the ``utilization`` property, evaluated once
+        # per advance instead of twice (this runs on every task load change).
+        util = min(self._busy_cpu / self.spec.cores, 1.0)
+        energy = self.energy
+        assert energy is not None
+        if now == self._util_last_time and not energy.keep_trace:
+            # Zero-length window — several load changes routinely share one
+            # timestamp (a phase boundary fires a remove/add pair, meter
+            # samples coincide with heartbeats).  The time-weighted sums
+            # would gain exactly 0.0 and the integrator no joules; only the
+            # utilization level for the *next* window needs recording.
+            # (``_util_last_time`` and ``energy._last_time`` move in
+            # lockstep — every writer updates both — so the integrator's
+            # window is also zero-length here.)
+            energy._utilization = util
+            return
+        self._util_seconds += util * (now - self._util_last_time)
         self._util_last_time = now
-        assert self.energy is not None
-        self.energy.advance(now, self.utilization)
+        energy.advance(now, util)
 
     def add_cpu_load(self, core_demand: float) -> None:
         """A task began consuming ``core_demand`` cores of CPU."""
@@ -218,6 +236,8 @@ class Machine:
         self.decommissioned = True
         assert self.energy is not None
         self.energy.power_off(now)
+        if self.on_capacity_change is not None:
+            self.on_capacity_change()
 
     def power_watts(self) -> float:
         """Instantaneous wall power, honouring throttle and power-off state.

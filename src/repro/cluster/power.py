@@ -103,8 +103,13 @@ class EnergyAccumulator:
             raise ValueError(f"time went backwards: {now} < {self._last_time}")
         duration = now - self._last_time
         if duration > 0 and self.powered:
-            self.idle_joules += self.model.idle_energy(duration)
-            dynamic = self.model.dynamic_energy(self._utilization, duration)
+            # ``idle_energy``/``dynamic_energy`` inlined: same expressions in
+            # the same order, minus two method calls on the hottest energy
+            # path.  ``_utilization`` is stored clamped, so the re-clamp
+            # inside ``dynamic_energy`` would be a bit-exact no-op.
+            model = self.model
+            self.idle_joules += model.idle_watts * duration
+            dynamic = model.alpha_watts * self._utilization * duration
             if self.dynamic_scale != 1.0:
                 dynamic *= self.dynamic_scale
             self.dynamic_joules += dynamic

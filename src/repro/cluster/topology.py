@@ -113,6 +113,10 @@ class Cluster:
         self.sim = sim
         self.network = network or Network()
         self.machines: Dict[int, Machine] = {}
+        #: memoized (map_slots, reduce_slots); the fairness math of every
+        #: scheduler reads the totals on each heartbeat while the fleet
+        #: only changes at commissions/decommissions, which invalidate it
+        self._slot_totals: Optional[Tuple[int, int]] = None
         next_id = 0
         for spec, count in fleet:
             if count < 0:
@@ -120,6 +124,7 @@ class Cluster:
             for _ in range(count):
                 machine = Machine(machine_id=next_id, spec=spec)
                 machine.bind(sim)
+                machine.on_capacity_change = self._invalidate_slot_totals
                 self.machines[next_id] = machine
                 next_id += 1
         if not self.machines:
@@ -137,7 +142,9 @@ class Cluster:
         next_id = max(self.machines) + 1
         machine = Machine(machine_id=next_id, spec=spec, hostname=hostname)
         machine.commission(self.sim)
+        machine.on_capacity_change = self._invalidate_slot_totals
         self.machines[next_id] = machine
+        self._invalidate_slot_totals()
         return machine
 
     # ------------------------------------------------------------- accessors
@@ -181,19 +188,31 @@ class Cluster:
         ]
 
     # ----------------------------------------------------------- energy/meta
+    def _invalidate_slot_totals(self) -> None:
+        """Drop the memoized capacity (a machine joined or left service)."""
+        self._slot_totals = None
+
     def total_slots(self) -> Tuple[int, int]:
         """Cluster-wide (map_slots, reduce_slots) of in-service machines.
 
         Decommissioned machines stay in the topology for energy history but
-        no longer contribute capacity to fairness pools.
+        no longer contribute capacity to fairness pools.  Memoized between
+        fleet changes: every scheduler reads the totals several times per
+        heartbeat, while commissions/decommissions are rare events (each
+        machine notifies the cluster via ``on_capacity_change``).
         """
-        maps = sum(
-            m.spec.map_slots for m in self.machines.values() if not m.decommissioned
-        )
-        reduces = sum(
-            m.spec.reduce_slots for m in self.machines.values() if not m.decommissioned
-        )
-        return maps, reduces
+        totals = self._slot_totals
+        if totals is None:
+            maps = sum(
+                m.spec.map_slots for m in self.machines.values() if not m.decommissioned
+            )
+            reduces = sum(
+                m.spec.reduce_slots
+                for m in self.machines.values()
+                if not m.decommissioned
+            )
+            self._slot_totals = totals = (maps, reduces)
+        return totals
 
     def finish_energy_accounting(self) -> None:
         """Close every machine's energy window at the current sim time."""

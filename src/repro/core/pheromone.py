@@ -90,6 +90,15 @@ class PheromoneTable:
     machine_groups: Sequence[Sequence[int]] = ()
     exchange: ExchangeLevel = ExchangeLevel.BOTH
     _tau: Dict[ColonyKey, Dict[int, float]] = field(default_factory=dict)
+    #: colony -> (sum(row), max(row)) memo for the Eq. 3 normalizers.  The
+    #: E-Ant scheduler queries attractiveness/relative_quality once per
+    #: (pending job x offered slot) per heartbeat, but rows only change at
+    #: control-interval updates and fleet churn — so the normalizers are
+    #: computed lazily on first query and dropped on any row mutation
+    #: (update / add_machine / remove_machine / drop_colony).  The cached
+    #: values are the *same expressions* over the same dicts, so queries
+    #: stay bit-identical to recomputing them.
+    _row_stats: Dict[ColonyKey, Tuple[float, float]] = field(default_factory=dict)
     _group_of: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
     #: colony -> job-similarity group (set via ensure_colony)
     _colony_group: Dict[ColonyKey, Hashable] = field(default_factory=dict)
@@ -160,6 +169,7 @@ class PheromoneTable:
             row.setdefault(machine_id, self.initial)
         for profile in self._group_profiles.values():
             profile.setdefault(machine_id, self.initial)
+        self._row_stats.clear()
 
     def remove_machine(self, machine_id: int) -> None:
         """Prune a departed (decommissioned) machine's paths everywhere.
@@ -179,10 +189,12 @@ class PheromoneTable:
             remaining = tuple(m for m in members if m != machine_id)
             for member in remaining:
                 self._group_of[member] = remaining
+        self._row_stats.clear()
 
     def drop_colony(self, colony: ColonyKey) -> None:
         """Forget a finished job's colony (its group profile persists)."""
         self._tau.pop(colony, None)
+        self._row_stats.pop(colony, None)
         self._colony_group.pop(colony, None)
 
     @property
@@ -190,6 +202,16 @@ class PheromoneTable:
         return list(self._tau)
 
     # --------------------------------------------------------------- queries
+    def _stats(self, colony: ColonyKey) -> Tuple[float, float]:
+        """``(sum(row), max(row))`` for a colony, memoized between mutations."""
+        stats = self._row_stats.get(colony)
+        if stats is None:
+            row = self._tau[colony]
+            values = row.values()
+            stats = (sum(values), max(values))
+            self._row_stats[colony] = stats
+        return stats
+
     def tau(self, colony: ColonyKey, machine_id: int) -> float:
         """Current pheromone of one path."""
         self.ensure_colony(colony)
@@ -198,15 +220,13 @@ class PheromoneTable:
     def attractiveness(self, colony: ColonyKey, machine_id: int) -> float:
         """Eq. 3: tau(j, m) normalized over all machines for the colony."""
         self.ensure_colony(colony)
-        row = self._tau[colony]
-        total = sum(row.values())
-        return row[machine_id] / total
+        return self._tau[colony][machine_id] / self._stats(colony)[0]
 
     def attractiveness_row(self, colony: ColonyKey) -> Dict[int, float]:
         """Eq. 3 for every machine at once."""
         self.ensure_colony(colony)
         row = self._tau[colony]
-        total = sum(row.values())
+        total = self._stats(colony)[0]
         return {m: value / total for m, value in row.items()}
 
     def relative_quality(self, colony: ColonyKey, machine_id: int) -> float:
@@ -217,9 +237,7 @@ class PheromoneTable:
         left idle with high probability.
         """
         self.ensure_colony(colony)
-        row = self._tau[colony]
-        best = max(row.values())
-        return row[machine_id] / best
+        return self._tau[colony][machine_id] / self._stats(colony)[1]
 
     # --------------------------------------------------------------- updates
     def update(self, feedback: Iterable[TaskFeedback]) -> Dict[ColonyKey, Dict[int, float]]:
@@ -258,7 +276,9 @@ class PheromoneTable:
                     own_value - self.negative_feedback * others_mean
                 )
 
-        # Eq. 4: evaporate and deposit, clamped.
+        # Eq. 4: evaporate and deposit, clamped.  Every row is about to
+        # change, so the memoized normalizers go stale here.
+        self._row_stats.clear()
         for colony, row in self._tau.items():
             updates = effective.get(colony, {})
             for machine_id in self.machine_ids:

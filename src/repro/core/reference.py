@@ -1,0 +1,203 @@
+"""Retained naive implementations of every optimized hot path.
+
+The kernel and assignment-loop optimizations (indexed heap dispatch,
+memoized pheromone normalizers, cached slot totals, gated tracker-expiry
+sweeps, batched energy integration) are all *pure* transformations: they
+must compute exactly the same floating-point expressions in the same
+order as the straightforward code they replaced, so every simulation
+stays bit-identical.  This module keeps the straightforward code alive
+as the executable specification of that contract.
+
+:func:`reference_mode` swaps the naive implementations in (monkey-style,
+on the classes themselves) for the duration of a ``with`` block; the
+differential suite (``tests/differential/``) runs the full scenario
+corpus both ways and requires identical
+:func:`~repro.runner.record.record_digest` values.  A drift means an
+optimization changed observable behaviour — exactly the regression the
+optimized code promises never to make.
+
+The naive bodies are faithful transcriptions of the pre-optimization
+code, not simplified rewrites: ``_stats`` recomputes the row normalizers
+on every query, ``total_slots`` re-sums the fleet, the simulator run
+loop composes :meth:`EventHeap.pop` + :meth:`Event._dispatch` one frame
+per event, the expiry sweep scans every tracker on every heartbeat, and
+the energy integrator goes through the :class:`PowerModel` helper
+methods.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from ..cluster.machine import Machine
+from ..cluster.power import EnergyAccumulator
+from ..cluster.topology import Cluster
+from ..hadoop.jobtracker import JobTracker
+from ..observability.tracer import EventType
+from ..simulation.engine import PRIORITY_NORMAL, PRIORITY_URGENT, Simulator
+from ..simulation.events import Event, SimulationError
+from .pheromone import ColonyKey, PheromoneTable
+
+__all__ = ["reference_mode", "REFERENCE_PATCHES"]
+
+
+# --------------------------------------------------------------- pheromone
+def _reference_stats(self: PheromoneTable, colony: ColonyKey) -> Tuple[float, float]:
+    """Eq. 3 normalizers recomputed from the row on every query (no memo)."""
+    row = self._tau[colony]
+    values = row.values()
+    return (sum(values), max(values))
+
+
+# ----------------------------------------------------------------- cluster
+def _reference_total_slots(self: Cluster) -> Tuple[int, int]:
+    """Fleet capacity re-summed on every call (no memo)."""
+    maps = sum(m.spec.map_slots for m in self.machines.values() if not m.decommissioned)
+    reduces = sum(
+        m.spec.reduce_slots for m in self.machines.values() if not m.decommissioned
+    )
+    return (maps, reduces)
+
+
+# --------------------------------------------------------------- simulator
+def _reference_timeout(self: Simulator, delay: float, value: Any = None) -> Event:
+    """``Event(sim)`` + ``heap.push`` — no slot-by-slot construction."""
+    if delay < 0:
+        raise ValueError(f"negative timeout delay: {delay}")
+    event = Event(self)
+    event._value = value
+    event._triggered = True
+    event._heap_seq = self._heap.push(self._now + delay, PRIORITY_NORMAL, event)
+    return event
+
+
+def _reference_schedule_dispatch(self: Simulator, event: Event) -> None:
+    """Urgent-priority queueing through the public heap API."""
+    event._heap_seq = self._heap.push(self._now, PRIORITY_URGENT, event)
+
+
+def _reference_run(self: Simulator, until: Optional[float] = None) -> None:
+    """``step()``-composed run loop: one frame per event, no inlining.
+
+    ``stop()`` is tested at the top of each iteration; the optimized loop
+    tests it immediately after a dispatch.  The flag can only flip
+    *during* a dispatch, so both loops dispatch exactly the same events.
+    """
+    if self._running:
+        raise SimulationError("simulator is already running (re-entrant run)")
+    self._running = True
+    self._stopped = False
+    heap = self._heap
+    if self.tracer.enabled:
+        self.tracer.emit(EventType.SIM_START, self._now, until=until, queued=len(heap))
+    dispatched = 0
+    last_event_time = self._now
+    try:
+        if until is not None and until < self._now:
+            raise ValueError(f"run(until={until}) is in the past (now={self._now})")
+        while not self._stopped:
+            entry = heap.peek()
+            if entry is None:
+                break
+            if until is not None and entry[0] > until:
+                break
+            when, _priority, _seq, event = heap.pop()
+            self._now = when
+            dispatched += 1
+            event._dispatch()
+        last_event_time = self._now
+        if until is not None and not self._stopped:
+            self._now = until
+    finally:
+        self._dispatched += dispatched
+        self._running = False
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventType.SIM_END,
+                last_event_time,
+                clock=self._now,
+                dispatched=self._dispatched,
+                queued=len(heap),
+            )
+
+
+# -------------------------------------------------------------- jobtracker
+def _reference_expire_dead_trackers(self: JobTracker) -> None:
+    """Full tracker scan on every heartbeat (no staleness lower bound)."""
+    expiry = self.config.tracker_expiry
+    if expiry <= 0:
+        return
+    now = self.sim.now
+    for machine_id, tracker in list(self.trackers.items()):
+        last = self.last_heartbeat.get(machine_id)
+        if last is None or now - last < expiry:
+            continue
+        self.expire_tracker(machine_id)
+
+
+# ------------------------------------------------------------------ energy
+def _reference_machine_advance(self: Machine) -> None:
+    """Close the utilization/energy window unconditionally (no zero-length
+    fast path)."""
+    now = self._now()
+    util = min(self._busy_cpu / self.spec.cores, 1.0)
+    self._util_seconds += util * (now - self._util_last_time)
+    self._util_last_time = now
+    assert self.energy is not None
+    self.energy.advance(now, util)
+
+
+def _reference_energy_advance(
+    self: EnergyAccumulator, now: float, new_utilization: float
+) -> None:
+    """Integrate through the ``PowerModel`` helpers (no inlining)."""
+    if now < self._last_time:
+        raise ValueError(f"time went backwards: {now} < {self._last_time}")
+    duration = now - self._last_time
+    if duration > 0 and self.powered:
+        self.idle_joules += self.model.idle_energy(duration)
+        dynamic = self.model.dynamic_energy(self._utilization, duration)
+        if self.dynamic_scale != 1.0:
+            dynamic *= self.dynamic_scale
+        self.dynamic_joules += dynamic
+    self._last_time = now
+    self._utilization = min(max(new_utilization, 0.0), 1.0)
+    if self.keep_trace:
+        self._trace.append((now, self._utilization))
+
+
+#: (class, attribute) -> naive implementation, the full patch set applied by
+#: :func:`reference_mode`.  Exposed so tests can assert the set stays in sync
+#: with the optimizations it shadows.
+REFERENCE_PATCHES: Dict[Tuple[type, str], Any] = {
+    (PheromoneTable, "_stats"): _reference_stats,
+    (Cluster, "total_slots"): _reference_total_slots,
+    (Simulator, "timeout"): _reference_timeout,
+    (Simulator, "_schedule_dispatch"): _reference_schedule_dispatch,
+    (Simulator, "run"): _reference_run,
+    (JobTracker, "_expire_dead_trackers"): _reference_expire_dead_trackers,
+    (Machine, "_advance"): _reference_machine_advance,
+    (EnergyAccumulator, "advance"): _reference_energy_advance,
+}
+
+
+@contextmanager
+def reference_mode() -> Iterator[None]:
+    """Run everything inside the block on the naive reference paths.
+
+    Swaps every entry of :data:`REFERENCE_PATCHES` onto its class and
+    restores the optimized implementations on exit (also on exception).
+    Not reentrant and not thread-safe — it rewrites class attributes —
+    which is fine for its one purpose: differential testing.
+    """
+    saved = {
+        (cls, name): cls.__dict__[name] for (cls, name) in REFERENCE_PATCHES
+    }
+    try:
+        for (cls, name), naive in REFERENCE_PATCHES.items():
+            setattr(cls, name, naive)
+        yield
+    finally:
+        for (cls, name), original in saved.items():
+            setattr(cls, name, original)

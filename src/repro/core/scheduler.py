@@ -288,21 +288,26 @@ class EAntScheduler(Scheduler):
             pool_slots=self.total_cluster_slots(),
             active_jobs=max(1, len(self.jt.active_jobs)),
         )
+        # The candidate list is built once per slot (an accepted assignment
+        # changes pending/running counts for the next slot) and shared with
+        # the fill path, which previously rebuilt the identical list.
         for _ in range(status.free_map_slots):
             self.slot_stats["map_offered"] += 1
-            if not self.jobs_with_pending_maps():
+            pending = self.jobs_with_pending_maps()
+            if not pending:
                 self.slot_stats["map_no_work"] += 1
                 continue
-            task = self._fill_map_slot(status.machine_id, fairness)
+            task = self._fill_map_slot(status.machine_id, fairness, pending)
             if task is not None:
                 self.slot_stats["map_filled"] += 1
                 assignments.append(task)
         for _ in range(status.free_reduce_slots):
             self.slot_stats["reduce_offered"] += 1
-            if not self.jobs_with_schedulable_reduces():
+            schedulable = self.jobs_with_schedulable_reduces()
+            if not schedulable:
                 self.slot_stats["reduce_no_work"] += 1
                 continue
-            task = self._fill_reduce_slot(status.machine_id, fairness)
+            task = self._fill_reduce_slot(status.machine_id, fairness, schedulable)
             if task is not None:
                 self.slot_stats["reduce_filled"] += 1
                 assignments.append(task)
@@ -507,8 +512,10 @@ class EAntScheduler(Scheduler):
             starved = [j for j in jobs if j.running_reduces < share]
         return starved if starved else jobs
 
-    def _fill_map_slot(self, machine_id: int, fairness: FairnessView) -> Optional[Task]:
-        jobs = self._priority_tier(self.jobs_with_pending_maps(), TaskKind.MAP)
+    def _fill_map_slot(
+        self, machine_id: int, fairness: FairnessView, pending: List[Job]
+    ) -> Optional[Task]:
+        jobs = self._priority_tier(pending, TaskKind.MAP)
         if not jobs:
             return None
 
@@ -538,10 +545,10 @@ class EAntScheduler(Scheduler):
 
         return self._gated_fill(jobs, TaskKind.MAP, machine_id, fairness)
 
-    def _fill_reduce_slot(self, machine_id: int, fairness: FairnessView) -> Optional[Task]:
-        candidates = self._priority_tier(
-            self.jobs_with_schedulable_reduces(), TaskKind.REDUCE
-        )
+    def _fill_reduce_slot(
+        self, machine_id: int, fairness: FairnessView, schedulable: List[Job]
+    ) -> Optional[Task]:
+        candidates = self._priority_tier(schedulable, TaskKind.REDUCE)
         if not candidates:
             return None
         return self._gated_fill(candidates, TaskKind.REDUCE, machine_id, fairness)
@@ -555,7 +562,16 @@ class EAntScheduler(Scheduler):
             self._record(task, machine_id)
         return task
 
-    def _work_conserving(self, jobs: List[Job], kind: TaskKind) -> bool:
+    def _pending_count(self, jobs: List[Job], kind: TaskKind) -> int:
+        """Total pending tasks of ``kind`` across ``jobs``.
+
+        Computed once per rejected slot and shared by the work-conserving
+        check and the effective floor, which each summed it separately."""
+        if kind is TaskKind.MAP:
+            return sum(j.pending_map_count for j in jobs)
+        return sum(j.pending_reduce_count for j in jobs)
+
+    def _work_conserving(self, pending: int) -> bool:
         """Should a fully-rejected slot be filled anyway?
 
         Leaving a slot idle only saves energy when the pending work can
@@ -567,13 +583,7 @@ class EAntScheduler(Scheduler):
         shapes *which* colony wins a slot rather than whether it is used.
         Setting ``EAntConfig.work_conserving = False`` restores strict
         gating (the configuration the ablation benchmark exercises)."""
-        if not self.config.work_conserving:
-            return False
-        pending = sum(
-            j.pending_map_count if kind is TaskKind.MAP else j.pending_reduce_count
-            for j in jobs
-        )
-        return pending > 0
+        return self.config.work_conserving and pending > 0
 
     def _gated_fill(
         self,
@@ -608,13 +618,14 @@ class EAntScheduler(Scheduler):
             candidates.remove(job)
             if not candidates:
                 break
-        if sampled and self._work_conserving(jobs, kind):
+        pending = self._pending_count(jobs, kind) if sampled else 0
+        if sampled and self._work_conserving(pending):
             best = max(
                 sampled,
                 key=lambda j: self.pheromones.relative_quality((j.job_id, kind), machine_id),
             )
             quality = self.pheromones.relative_quality((best.job_id, kind), machine_id)
-            if quality >= self._effective_floor(jobs, kind):
+            if quality >= self._effective_floor(pending, kind):
                 task = self._take(best, kind, machine_id)
                 if task is not None:
                     if rows is not None:
@@ -624,7 +635,7 @@ class EAntScheduler(Scheduler):
             self._emit_decision(rows, kind, machine_id, "idle", None)
         return None  # slot left idle this heartbeat
 
-    def _effective_floor(self, jobs: List[Job], kind: TaskKind) -> float:
+    def _effective_floor(self, pending: int, kind: TaskKind) -> float:
         """Quality floor for the fallback, relaxed under heavy backlog.
 
         This realizes the Section II observation that the energy-optimal
@@ -634,10 +645,6 @@ class EAntScheduler(Scheduler):
         and the floor drops away."""
         map_slots, reduce_slots = self.jt.cluster.total_slots()
         pool = map_slots if kind is TaskKind.MAP else reduce_slots
-        pending = sum(
-            j.pending_map_count if kind is TaskKind.MAP else j.pending_reduce_count
-            for j in jobs
-        )
         if pending > 2 * pool:
             return 0.0
         return self.config.fallback_quality_floor

@@ -66,17 +66,25 @@ class ClusterMeter:
             self.sample(sim.now)
 
     def sample(self, now: float) -> None:
-        """Take one reading of every machine."""
+        """Take one reading of every machine.
+
+        Each sample *closes* every machine's energy window (the reading must
+        show the joules integrated up to ``now``); the close is cheap when
+        the machine already advanced at this timestamp because the
+        zero-length-window fast path in ``Machine._advance`` skips the
+        integrator entirely.
+        """
+        append = self.readings.append
         for machine in self.cluster:
             machine.finish()  # close the energy window at `now`
-            utilization = machine.utilization
-            self.readings.append(
+            energy = machine.energy
+            append(
                 MeterReading(
                     time=now,
                     machine_id=machine.machine_id,
-                    utilization=utilization,
+                    utilization=energy.utilization,
                     power_watts=machine.power_watts(),
-                    cumulative_joules=machine.energy.total_joules,
+                    cumulative_joules=energy.total_joules,
                 )
             )
 

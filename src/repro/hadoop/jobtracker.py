@@ -103,6 +103,9 @@ class JobTracker:
         self.all_done_event: Event = sim.event()
         self._interval_process = None
         self._interval_index = 0
+        #: lower bound on the earliest time any tracker could go stale; lets
+        #: the per-heartbeat expiry sweep short-circuit (see the sweep)
+        self._no_expiry_before = 0.0
 
         scheduler.bind(self)
 
@@ -293,16 +296,33 @@ class JobTracker:
 
     # ----------------------------------------------------------- failures
     def _expire_dead_trackers(self) -> None:
-        """Declare silent trackers dead and requeue their running tasks."""
+        """Declare silent trackers dead and requeue their running tasks.
+
+        Runs on every heartbeat, so the O(trackers) sweep is gated behind a
+        cached lower bound: no tracker can be stale before
+        ``min(last_heartbeat) + expiry`` as of the previous sweep.
+        Heartbeats and recoveries only *raise* timestamps (and expiry only
+        removes trackers), so the bound stays a valid lower bound without
+        invalidation; a sweep at or past it recomputes the next one.
+        """
         expiry = self.config.tracker_expiry
         if expiry <= 0:
             return
         now = self.sim.now
+        if now < self._no_expiry_before:
+            return
+        oldest = None
         for machine_id, tracker in list(self.trackers.items()):
             last = self.last_heartbeat.get(machine_id)
-            if last is None or now - last < expiry:
+            if last is None:
                 continue
-            self.expire_tracker(machine_id)
+            if now - last >= expiry:
+                self.expire_tracker(machine_id)
+            elif oldest is None or last < oldest:
+                oldest = last
+        # With no timestamped trackers left, the earliest a future first
+        # heartbeat could go stale is ``expiry`` from now.
+        self._no_expiry_before = (oldest if oldest is not None else now) + expiry
 
     def expire_tracker(self, machine_id: int) -> None:
         """Remove a tracker from service and recover its in-flight tasks.

@@ -17,7 +17,7 @@ The pieces (see ``docs/api.md`` for the full guide):
 
 from .cache import CacheStats, ResultCache, code_version_salt, default_cache_dir
 from .engine import SCHEDULER_NAMES, ScenarioResult, execute_spec, make_scheduler
-from .record import ConvergenceRecord, MeterRecord, RunRecord, build_record
+from .record import ConvergenceRecord, MeterRecord, RunRecord, build_record, record_digest
 from .spec import SPEC_VERSION, ScenarioSpec, canonical_json
 from .sweep import SweepError, SweepReport, SweepRunner, resolve_specs
 
@@ -33,6 +33,7 @@ __all__ = [
     "MeterRecord",
     "ConvergenceRecord",
     "build_record",
+    "record_digest",
     "ResultCache",
     "CacheStats",
     "code_version_salt",

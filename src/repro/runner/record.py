@@ -16,8 +16,12 @@ guarantee the sweep runner is built on.
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+from typing import Any, TYPE_CHECKING, Dict, Optional, Tuple
 
 from ..core import EAntScheduler
 from ..energy.meter import MeterReading
@@ -28,7 +32,59 @@ if TYPE_CHECKING:  # pragma: no cover
     from .engine import ScenarioResult
     from .spec import ScenarioSpec
 
-__all__ = ["RunRecord", "MeterRecord", "ConvergenceRecord", "build_record"]
+__all__ = [
+    "RunRecord",
+    "MeterRecord",
+    "ConvergenceRecord",
+    "build_record",
+    "record_digest",
+]
+
+
+def _digestable(value: Any) -> Any:
+    """Project ``value`` onto plain JSON data with *exact* float identity.
+
+    Finite floats are rendered with ``float.hex()`` — a bijection on the
+    representable doubles — so two records digest equal **iff** every
+    number in them is bit-identical.  This is the equality contract the
+    differential suite and the golden corpus enforce; ``==`` on floats
+    would already do, but a hex digest survives serialization to disk.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return value.hex()
+    if isinstance(value, enum.Enum):
+        return _digestable(value.value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _digestable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (tuple, list)):
+        return [_digestable(item) for item in value]
+    if isinstance(value, dict):
+        # Sort by the projected key so the digest does not depend on dict
+        # insertion order (tuple keys become their repr).
+        items = [(repr(_digestable(k)), _digestable(v)) for k, v in value.items()]
+        return {key: item for key, item in sorted(items, key=lambda kv: kv[0])}
+    # Numpy scalars (and anything else float-like) fold to exact doubles.
+    if hasattr(value, "item"):
+        return _digestable(value.item())
+    raise TypeError(f"cannot digest {type(value).__name__}: {value!r}")
+
+
+def record_digest(record: "RunRecord") -> str:
+    """SHA-256 over a canonical, float-exact projection of ``record``.
+
+    Two digests match iff the two records are bit-identical in every
+    number, string, and shape (modulo dict ordering).  ``wall_seconds``
+    is host timing, not simulation outcome, so it is excluded.
+    """
+    data = _digestable(record)
+    data.pop("wall_seconds", None)
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)

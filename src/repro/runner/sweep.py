@@ -165,7 +165,11 @@ class SweepRunner:
                 return _execute_record_worker(spec)
             except Exception as error:  # deterministic failures rarely heal,
                 last_error = error  # but retry covers transient ones (OOM, signals)
-        raise SweepError(spec, last_error)  # type: ignore[arg-type]
+        # Chain explicitly: by the time we raise we are outside the except
+        # block, so without ``from`` the worker's traceback would be lost
+        # and the failure would surface as a bare SweepError with no clue
+        # where inside the scenario it blew up.
+        raise SweepError(spec, last_error) from last_error  # type: ignore[arg-type]
 
     def _run_pool(
         self,

@@ -8,16 +8,19 @@ from scratch for this reproduction.  Public surface:
 * :class:`Process`, :class:`Interrupt` — generator processes with interrupt.
 * :class:`Resource`, :class:`Store` — queueing primitives.
 * :class:`RandomStreams` — named seeded RNG streams.
+* :class:`EventHeap` — the indexed binary heap under the simulator.
 """
 
 from .engine import Simulator
 from .events import AllOf, AnyOf, Event, SimulationError
+from .heap import EventHeap
 from .process import Interrupt, Process
 from .resources import Resource, Store
 from .rng import RandomStreams
 
 __all__ = [
     "Simulator",
+    "EventHeap",
     "Event",
     "AllOf",
     "AnyOf",

@@ -18,6 +18,14 @@ from typing import Any, Callable, List, Optional
 
 __all__ = ["Event", "ConditionEvent", "AllOf", "AnyOf", "SimulationError"]
 
+#: Shared sentinel for "pending, no callbacks registered yet".  ``_callbacks``
+#: holds one of: this tuple (pending, empty), a single callable (the common
+#: case — one process waiting), a list (several waiters), or ``None``
+#: (dispatched).  The compact representation spares every event a list
+#: allocation plus an iterator at dispatch; only this module, the simulator's
+#: run loop and ``Process`` know about it.
+NO_CALLBACKS: tuple = ()
+
 
 class SimulationError(RuntimeError):
     """Raised for kernel-level misuse (double trigger, running stopped sim)."""
@@ -39,15 +47,26 @@ class Event:
     ordinary Python exceptions.
     """
 
-    __slots__ = ("sim", "_callbacks", "_value", "_exception", "_triggered", "_defused")
+    __slots__ = (
+        "sim",
+        "_callbacks",
+        "_value",
+        "_exception",
+        "_triggered",
+        "_defused",
+        "_heap_seq",
+    )
 
     def __init__(self, sim: "Simulator") -> None:  # noqa: F821 - circular typing
         self.sim = sim
-        self._callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._callbacks: Any = NO_CALLBACKS
         self._value: Any = None
         self._exception: Optional[BaseException] = None
         self._triggered = False
         self._defused = False
+        #: Handle of this event's entry in the simulator's indexed heap
+        #: while queued (set by the simulator; consumed by cancel).
+        self._heap_seq: Optional[int] = None
 
     # ------------------------------------------------------------------ state
     @property
@@ -114,16 +133,24 @@ class Event:
 
         If the event was already dispatched, the callback runs immediately.
         """
-        if self._callbacks is None:
+        cbs = self._callbacks
+        if cbs is None:
             callback(self)
+        elif cbs is NO_CALLBACKS:
+            self._callbacks = callback
+        elif type(cbs) is list:
+            cbs.append(callback)
         else:
-            self._callbacks.append(callback)
+            self._callbacks = [cbs, callback]
 
     def _dispatch(self) -> None:
         callbacks, self._callbacks = self._callbacks, None
         if callbacks:
-            for callback in callbacks:
-                callback(self)
+            if type(callbacks) is list:
+                for callback in callbacks:
+                    callback(self)
+            else:
+                callbacks(self)
         if self._exception is not None and not self._defused:
             # Nobody waited on this failure: surface it so bugs do not pass
             # silently (Zen of Python) -- matches SimPy semantics.

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from .events import Event, SimulationError
+from .events import NO_CALLBACKS, Event, SimulationError
 
 __all__ = ["Process", "Interrupt"]
 
@@ -39,19 +39,24 @@ class Interrupt(Exception):
 class Process(Event):
     """A running simulation process (also an event: it triggers on exit)."""
 
-    __slots__ = ("_generator", "_waiting_on", "name")
+    __slots__ = ("_generator", "_send", "_resume_cb", "_waiting_on", "name")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: Optional[str] = None) -> None:  # noqa: F821
         super().__init__(sim)
         if not hasattr(generator, "send"):
             raise TypeError(f"process body must be a generator, got {type(generator).__name__}")
         self._generator = generator
+        # Bound-method caches: every wakeup calls ``send`` and registers
+        # ``_resume`` as a callback, so binding them once avoids a method
+        # allocation per event on the hottest path in the library.
+        self._send = generator.send
+        self._resume_cb = self._resume
         self._waiting_on: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
         # Kick off the first step at the current simulation time.
         bootstrap = Event(sim)
         bootstrap._triggered = True
-        bootstrap.add_callback(self._resume)
+        bootstrap.add_callback(self._resume_cb)
         sim._schedule_dispatch(bootstrap)
 
     @property
@@ -61,17 +66,27 @@ class Process(Event):
 
     # -------------------------------------------------------------- execution
     def _resume(self, event: Event) -> None:
-        """Advance the generator with the result of ``event``."""
-        if self.triggered:
+        """Advance the generator with the result of ``event``.
+
+        This runs once per process wakeup — the second-hottest frame in
+        the kernel after ``Simulator.run`` — so it reads slots directly
+        instead of going through the ``triggered``/``ok`` properties and
+        inlines the common branch of ``add_callback`` (waiting on a
+        not-yet-dispatched event).
+        """
+        if self._triggered:
             # A stale wakeup (e.g. an interrupt racing with normal exit at the
             # same timestamp) must not re-enter a finished generator.
             return
-        self._waiting_on = None
+        # ``_waiting_on`` is deliberately left stale here: it can only point
+        # at an already-dispatched event (the one waking us), whose
+        # ``_callbacks`` is None, so ``interrupt()`` treats it exactly like
+        # None — and the Event branch below overwrites it anyway.
         try:
-            if event.ok:
-                target = self._generator.send(event._value)
+            if event._exception is None:
+                target = self._send(event._value)
             else:
-                event.defuse()
+                event._defused = True
                 target = self._generator.throw(event._exception)
         except StopIteration as stop:
             self.succeed(stop.value)
@@ -82,6 +97,22 @@ class Process(Event):
             return
         except BaseException as exc:  # noqa: BLE001 - kernel boundary
             self.fail(exc)
+            return
+        # Inlined _wait_on, Event-first: almost every yield is an Event.
+        if isinstance(target, Event):
+            if target.sim is not self.sim:
+                self.fail(SimulationError("yielded event belongs to a different simulator"))
+                return
+            self._waiting_on = target
+            callbacks = target._callbacks
+            if callbacks is None:
+                self._resume(target)
+            elif callbacks is NO_CALLBACKS:
+                target._callbacks = self._resume_cb
+            elif type(callbacks) is list:
+                callbacks.append(self._resume_cb)
+            else:
+                target._callbacks = [callbacks, self._resume_cb]
             return
         self._wait_on(target)
 
@@ -98,7 +129,7 @@ class Process(Event):
             self.fail(SimulationError("yielded event belongs to a different simulator"))
             return
         self._waiting_on = target
-        target.add_callback(self._resume)
+        target.add_callback(self._resume_cb)
 
     # ------------------------------------------------------------- interrupts
     def interrupt(self, cause: Any = None) -> None:
@@ -115,12 +146,16 @@ class Process(Event):
         # Detach from whatever it was waiting on: the stale callback must not
         # resume a process that has moved on (or died) in the meantime.
         waiting = self._waiting_on
-        if waiting is not None and waiting._callbacks is not None:
-            try:
-                waiting._callbacks.remove(self._resume)
-            except ValueError:  # pragma: no cover - already dispatched
-                pass
-        event.add_callback(self._resume)
+        if waiting is not None:
+            cbs = waiting._callbacks
+            if cbs is self._resume_cb:
+                waiting._callbacks = NO_CALLBACKS
+            elif type(cbs) is list:
+                try:
+                    cbs.remove(self._resume_cb)
+                except ValueError:  # pragma: no cover - already dispatched
+                    pass
+        event.add_callback(self._resume_cb)
         event.defuse()
         self.sim._schedule_dispatch(event)
 

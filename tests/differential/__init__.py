@@ -1,0 +1,9 @@
+"""Differential test layer: optimized hot path vs the naive reference.
+
+Every test in this package drives the *same* scenario corpus through two
+implementations — the optimized kernel/scheduler path that production
+runs use, and the retained naive reference (:mod:`repro.core.reference`)
+— and asserts byte-identical :class:`~repro.runner.record.RunRecord`
+outcomes.  The corpus lives in :mod:`tests.differential.corpus` and is
+shared with the golden-determinism suite.
+"""

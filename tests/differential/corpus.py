@@ -1,0 +1,99 @@
+"""The shared scenario corpus of the differential and golden suites.
+
+Small, fast scenarios chosen to exercise every hot path the kernel
+optimization touched: all three paper schedulers (Fair, Tarazu, E-Ant)
+plus the remaining baselines, metered and unmetered runs, E-Ant config
+variants (deterministic selection, beta = 0), and fault plans that drive
+the churn paths (crash/recover, join, decommission, slowdown).
+
+Each scenario completes in well under a second so the corpus stays
+tier-1 friendly; determinism, not scale, is what these runs probe.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core import EAntConfig
+from repro.faults import FaultEvent, FaultPlan
+from repro.runner import ScenarioSpec
+from repro.workloads import puma_job
+
+
+def _jobs(*specs) -> Tuple:
+    return tuple(specs)
+
+
+def _churn_plan() -> FaultPlan:
+    """Crash -> recover -> join -> slowdown, all mid-workload."""
+    return FaultPlan(
+        events=(
+            FaultEvent(time=40.0, kind="crash", machine_id=3),
+            FaultEvent(time=140.0, kind="recover", machine_id=3),
+            FaultEvent(time=60.0, kind="join", model="T420"),
+            FaultEvent(time=80.0, kind="slowdown", machine_id=5, factor=0.5, duration=120.0),
+        )
+    )
+
+
+def _decommission_plan() -> FaultPlan:
+    return FaultPlan(
+        events=(
+            FaultEvent(time=50.0, kind="decommission", machine_id=7),
+            FaultEvent(time=70.0, kind="flaky_heartbeats", machine_id=2, drop_probability=0.4, duration=90.0),
+        )
+    )
+
+
+def build_corpus() -> List[Tuple[str, ScenarioSpec]]:
+    """(name, spec) pairs; names key the golden files on disk."""
+    wordcount = puma_job("wordcount", 1.0)
+    grep = puma_job("grep", 1.0, submit_time=30.0)
+    terasort = puma_job("terasort", 0.5, submit_time=15.0)
+    trio = _jobs(wordcount, terasort, grep)
+
+    corpus: List[Tuple[str, ScenarioSpec]] = [
+        ("fair-duo-seed0", ScenarioSpec(jobs=_jobs(wordcount, grep), scheduler="fair", seed=0)),
+        (
+            "fair-metered-seed1",
+            ScenarioSpec(jobs=trio, scheduler="fair", seed=1, with_meter=True, meter_interval=15.0),
+        ),
+        ("tarazu-trio-seed2", ScenarioSpec(jobs=trio, scheduler="tarazu", seed=2)),
+        ("eant-trio-seed0", ScenarioSpec(jobs=trio, scheduler="e-ant", seed=0)),
+        (
+            "eant-deterministic-seed4",
+            ScenarioSpec(
+                jobs=trio,
+                scheduler="e-ant",
+                seed=4,
+                eant_config=EAntConfig(deterministic_selection=True),
+            ),
+        ),
+        (
+            "eant-beta0-seed5",
+            ScenarioSpec(jobs=trio, scheduler="e-ant", seed=5, eant_config=EAntConfig(beta=0.0)),
+        ),
+        (
+            "eant-churn-seed6",
+            ScenarioSpec(jobs=trio, scheduler="e-ant", seed=6, faults=_churn_plan()),
+        ),
+        (
+            "fair-decommission-seed7",
+            ScenarioSpec(jobs=trio, scheduler="fair", seed=7, faults=_decommission_plan()),
+        ),
+        ("fifo-duo-seed8", ScenarioSpec(jobs=_jobs(wordcount, terasort), scheduler="fifo", seed=8)),
+        ("late-duo-seed9", ScenarioSpec(jobs=_jobs(wordcount, grep), scheduler="late", seed=9)),
+        ("capacity-duo-seed10", ScenarioSpec(jobs=_jobs(wordcount, grep), scheduler="capacity", seed=10)),
+        (
+            "eant-churn-metered-seed11",
+            ScenarioSpec(
+                jobs=trio,
+                scheduler="e-ant",
+                seed=11,
+                faults=_churn_plan(),
+                with_meter=True,
+                meter_interval=20.0,
+            ),
+        ),
+    ]
+    return corpus

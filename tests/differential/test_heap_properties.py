@@ -1,0 +1,137 @@
+"""Hypothesis model-checking of the indexed event heap.
+
+The model is a plain dict of live entries keyed by handle; the heap must
+agree with it on size, pop order (``(time, priority, seq)`` ascending)
+and peek, under any interleaving of push / cancel / reschedule / pop —
+honouring the heap's single-use-handle contract (a handle is only ever
+cancelled or rescheduled while its entry is live).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+import pytest
+
+from repro.simulation.heap import EventHeap
+
+_times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+_priorities = st.integers(min_value=0, max_value=1)
+
+
+class HeapAgainstModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.heap = EventHeap()
+        #: handle -> (when, priority, seq) for live entries only
+        self.model = {}
+
+    @rule(when=_times, priority=_priorities)
+    def push(self, when, priority):
+        seq = self.heap.push(when, priority, None)
+        assert seq not in self.model, "handles must be unique"
+        self.model[seq] = (when, priority, seq)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def cancel(self, data):
+        seq = data.draw(st.sampled_from(sorted(self.model)))
+        self.heap.cancel(seq)
+        del self.model[seq]
+        # The compaction amortization is enforced at cancel time: right
+        # after a cancel, tombstones never outnumber live entries.
+        assert len(self.heap._cancelled) * 2 <= len(self.heap._entries)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), when=_times, priority=_priorities)
+    def reschedule(self, data, when, priority):
+        seq = data.draw(st.sampled_from(sorted(self.model)))
+        new_seq = self.heap.reschedule(seq, when, priority, None)
+        del self.model[seq]
+        assert new_seq not in self.model
+        self.model[new_seq] = (when, priority, new_seq)
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def pop_is_minimum(self):
+        when, priority, seq, _payload = self.heap.pop()
+        expected = min(self.model.values())
+        assert (when, priority, seq) == expected
+        del self.model[seq]
+
+    @precondition(lambda self: not self.model)
+    @rule()
+    def pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            self.heap.pop()
+
+    @rule()
+    def peek_matches_model(self):
+        entry = self.heap.peek()
+        if self.model:
+            assert entry is not None
+            assert entry[:3] == min(self.model.values())
+        else:
+            assert entry is None
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.heap) == len(self.model)
+        assert bool(self.heap) == bool(self.model)
+
+    @invariant()
+    def tombstones_are_physically_queued(self):
+        # Every tombstone shadows an entry still in the array (pops and
+        # peeks discard a tombstone the moment it surfaces), so dead
+        # handles can never outnumber the physical heap.
+        queued = {entry[2] for entry in self.heap._entries}
+        assert self.heap._cancelled <= queued
+
+
+TestHeapAgainstModel = HeapAgainstModel.TestCase
+TestHeapAgainstModel.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)
+
+
+@given(
+    batch=st.lists(st.tuples(_times, _priorities), min_size=1, max_size=200),
+)
+@settings(max_examples=40, deadline=None)
+def test_drain_order_is_sorted(batch):
+    """Push-then-drain yields entries in (time, priority, seq) order."""
+    heap = EventHeap()
+    for when, priority in batch:
+        heap.push(when, priority, None)
+    drained = []
+    while heap:
+        drained.append(heap.pop()[:3])
+    assert drained == sorted(drained)
+    assert len(drained) == len(batch)
+
+
+@given(
+    batch=st.lists(st.tuples(_times, _priorities), min_size=2, max_size=120),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_cancelled_entries_never_surface(batch, data):
+    heap = EventHeap()
+    handles = [heap.push(when, priority, None) for when, priority in batch]
+    to_cancel = set(
+        data.draw(
+            st.lists(st.sampled_from(handles), unique=True, max_size=len(handles) - 1)
+        )
+    )
+    for seq in to_cancel:
+        heap.cancel(seq)
+    surfaced = []
+    while heap:
+        surfaced.append(heap.pop()[2])
+    assert not (set(surfaced) & to_cancel)
+    assert len(surfaced) == len(batch) - len(to_cancel)

@@ -1,0 +1,60 @@
+"""Differential proof: the optimized hot paths equal the naive reference.
+
+Every scenario in the corpus is executed twice — once on the optimized
+kernel/assignment paths and once inside
+:func:`repro.core.reference.reference_mode`, which swaps in the retained
+pre-optimization implementations — and the two
+:func:`~repro.runner.record.record_digest` values must match exactly.
+The digest covers every float in the portable record via ``float.hex()``
+projections, so "match" here means bit-identical simulations, not
+approximately-equal metrics.
+"""
+
+import pytest
+
+from repro.core.reference import REFERENCE_PATCHES, reference_mode
+from repro.runner.engine import execute_spec
+from repro.runner.record import build_record, record_digest
+
+from .corpus import build_corpus
+
+CORPUS = build_corpus()
+
+
+def _digest(spec) -> str:
+    result = execute_spec(spec)
+    return record_digest(build_record(spec, result, wall_seconds=0.0))
+
+
+@pytest.mark.parametrize("name,spec", CORPUS, ids=[name for name, _ in CORPUS])
+def test_optimized_matches_reference(name, spec):
+    optimized = _digest(spec)
+    with reference_mode():
+        reference = _digest(spec)
+    assert optimized == reference, (
+        f"{name}: optimized run diverged from the naive reference — "
+        "an optimization changed observable behaviour"
+    )
+
+
+def test_reference_mode_swaps_and_restores():
+    """The context manager installs every patch and restores on exit."""
+    originals = {
+        (cls, attr): cls.__dict__[attr] for (cls, attr) in REFERENCE_PATCHES
+    }
+    with reference_mode():
+        for (cls, attr), naive in REFERENCE_PATCHES.items():
+            assert cls.__dict__[attr] is naive
+    for (cls, attr), original in originals.items():
+        assert cls.__dict__[attr] is original
+
+
+def test_reference_mode_restores_on_exception():
+    originals = {
+        (cls, attr): cls.__dict__[attr] for (cls, attr) in REFERENCE_PATCHES
+    }
+    with pytest.raises(RuntimeError, match="boom"):
+        with reference_mode():
+            raise RuntimeError("boom")
+    for (cls, attr), original in originals.items():
+        assert cls.__dict__[attr] is original

@@ -1,0 +1,45 @@
+"""Regenerate the golden corpus from the live code.
+
+Run deliberately — only when a behaviour change is intentional::
+
+    PYTHONPATH=src python -m tests.golden.regenerate
+
+Every scenario in ``tests/differential/corpus.py`` is executed and its
+current :func:`~repro.runner.record.record_digest` written back as the
+new expected value.  The diff of ``tests/golden/*.json`` then shows
+exactly which scenarios drifted, and the commit explaining the
+regeneration is the audit trail.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).parent
+
+
+def main() -> int:
+    sys.path.insert(0, str(GOLDEN_DIR.parent / "differential"))
+    from corpus import build_corpus  # noqa: E402 - path set up above
+
+    from repro.runner.engine import execute_spec
+    from repro.runner.record import build_record, record_digest
+
+    for name, spec in build_corpus():
+        record = build_record(spec, execute_spec(spec), wall_seconds=0.0)
+        payload = {
+            "name": name,
+            "spec": spec.to_json_dict(),
+            "spec_hash": spec.spec_hash(),
+            "expected_digest": record_digest(record),
+        }
+        path = GOLDEN_DIR / f"{name}.json"
+        with path.open("w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

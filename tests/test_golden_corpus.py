@@ -1,0 +1,69 @@
+"""Golden-determinism corpus: replay serialized specs, require exact hashes.
+
+Each file in ``tests/golden/`` pins one scenario — serialized via
+``ScenarioSpec.to_json_dict()`` — to the SHA-256
+:func:`~repro.runner.record.record_digest` it produced when the corpus
+was captured (before the kernel hot-path optimization, which is
+contractually bit-identical).  Any drift in simulation behaviour,
+however small, fails here with the offending scenario named.
+
+The corpus spans all three paper schedulers plus the baselines, metered
+runs, E-Ant config variants, and fault plans (crash/recover, join,
+decommission, slowdown, flaky heartbeats) — see
+``tests/differential/corpus.py``, which builds the same scenarios
+programmatically.
+
+If a behaviour change is *intentional* (a model fix, a new noise
+source), regenerate the corpus deliberately::
+
+    PYTHONPATH=src python -m tests.golden.regenerate
+
+and explain the drift in the commit message.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.runner import ScenarioSpec
+from repro.runner.engine import execute_spec
+from repro.runner.record import build_record, record_digest
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_FILES = sorted(GOLDEN_DIR.glob("*.json"))
+
+
+def _load(path: Path) -> dict:
+    with path.open() as fh:
+        return json.load(fh)
+
+
+def test_corpus_is_present():
+    assert len(GOLDEN_FILES) >= 10, "golden corpus went missing"
+
+
+@pytest.mark.parametrize("path", GOLDEN_FILES, ids=[p.stem for p in GOLDEN_FILES])
+def test_golden_replay(path):
+    data = _load(path)
+    spec = ScenarioSpec.from_json_dict(data["spec"])
+    assert spec.spec_hash() == data["spec_hash"], (
+        f"{path.name}: serialized spec no longer round-trips to the same "
+        "identity — spec serialization changed"
+    )
+    record = build_record(spec, execute_spec(spec), wall_seconds=0.0)
+    digest = record_digest(record)
+    assert digest == data["expected_digest"], (
+        f"{path.name}: simulation output drifted from the golden digest "
+        f"({digest[:16]}… != {data['expected_digest'][:16]}…). If this "
+        "change is intentional, regenerate tests/golden/ and say why."
+    )
+
+
+def test_corpus_covers_all_schedulers_and_faults():
+    """The corpus must keep exercising every scheduler and a fault plan."""
+    specs = [ScenarioSpec.from_json_dict(_load(p)["spec"]) for p in GOLDEN_FILES]
+    schedulers = {s.scheduler for s in specs}
+    assert {"fair", "tarazu", "e-ant", "fifo", "late", "capacity"} <= schedulers
+    assert any(s.faults is not None for s in specs), "no faulted scenario"
+    assert any(s.with_meter for s in specs), "no metered scenario"

@@ -1,0 +1,136 @@
+"""Pheromone prune/seed behaviour under fleet churn (crash → rejoin).
+
+The incremental normalizer memo makes these paths cheap, but the
+semantics must stay what Section IV requires: a departed machine's
+pheromone vanishes (prune) and every colony renormalizes over the
+survivors; a (re)joining machine is seeded at the colony prior
+(``initial``) — no stale evidence survives the crash — and every
+distribution renormalizes to include it.
+"""
+
+import pytest
+
+from repro.core import ExchangeLevel, PheromoneTable, TaskFeedback
+
+
+def _table(**overrides):
+    defaults = dict(
+        machine_ids=[0, 1, 2, 3],
+        machine_groups=[(0, 1), (2, 3)],
+        exchange=ExchangeLevel.BOTH,
+        initial=1.0,
+    )
+    defaults.update(overrides)
+    return PheromoneTable(**defaults)
+
+
+def _feed(table, colony, energies_by_machine):
+    table.update(
+        [
+            TaskFeedback(colony=colony, machine_id=m, energy_joules=e, job_group="g")
+            for m, e in energies_by_machine
+        ]
+    )
+
+
+class TestPrune:
+    def test_removed_machine_vanishes_from_every_row(self):
+        table = _table()
+        table.ensure_colony("a", group="g")
+        table.ensure_colony("b", group="g")
+        _feed(table, "a", [(0, 10.0), (2, 100.0)])
+        table.remove_machine(2)
+        for colony in ("a", "b"):
+            assert 2 not in table._tau[colony]
+            with pytest.raises(KeyError):
+                table.attractiveness(colony, 2)
+
+    def test_survivors_renormalize_after_prune(self):
+        table = _table()
+        table.ensure_colony("a", group="g")
+        _feed(table, "a", [(0, 10.0), (1, 20.0), (2, 100.0)])
+        table.attractiveness("a", 0)  # populate the normalizer memo
+        table.remove_machine(2)
+        remaining = list(table.machine_ids)
+        assert 2 not in remaining
+        row = table.attractiveness_row("a")
+        assert set(row) == set(remaining)
+        assert sum(row.values()) == pytest.approx(1.0, abs=1e-12)
+        assert max(
+            table.relative_quality("a", m) for m in remaining
+        ) == pytest.approx(1.0, abs=1e-12)
+
+    def test_prune_updates_hardware_group(self):
+        table = _table()
+        table.remove_machine(0)
+        assert table._group_of[1] == (1,)
+
+    def test_group_profiles_are_pruned_too(self):
+        table = _table()
+        table.ensure_colony("a", group="g")
+        _feed(table, "a", [(0, 10.0), (2, 30.0)])
+        assert 2 in table.group_profile("g")
+        table.remove_machine(2)
+        assert 2 not in table.group_profile("g")
+
+
+class TestSeedOnRejoin:
+    def test_rejoined_machine_seeded_at_colony_prior(self):
+        """Crash → evidence accrues elsewhere → rejoin: the machine comes
+        back at ``initial``, carrying no pre-crash pheromone."""
+        table = _table(initial=1.0)
+        table.ensure_colony("a", group="g")
+        # Machine 2 earns strong pheromone, then crashes.
+        _feed(table, "a", [(2, 1.0), (2, 1.0), (0, 50.0)])
+        pre_crash = table.tau("a", 2)
+        assert pre_crash != 1.0
+        table.remove_machine(2)
+        _feed(table, "a", [(0, 10.0), (1, 10.0)])  # life goes on without it
+        table.add_machine(2, (2, 3))
+        assert table.tau("a", 2) == 1.0  # seeded at the prior, not pre_crash
+        row = table.attractiveness_row("a")
+        assert set(row) == {0, 1, 2, 3}
+        assert sum(row.values()) == pytest.approx(1.0, abs=1e-12)
+
+    def test_rejoin_seeds_group_profiles(self):
+        table = _table()
+        table.ensure_colony("a", group="g")
+        _feed(table, "a", [(0, 10.0), (2, 30.0)])
+        table.remove_machine(2)
+        table.add_machine(2, (2, 3))
+        assert table.group_profile("g")[2] == table.initial
+        # A colony born after the rejoin inherits a profile covering it.
+        table.ensure_colony("late", group="g")
+        assert table.tau("late", 2) == table.initial
+
+    def test_rejoin_restores_hardware_group_membership(self):
+        table = _table()
+        table.remove_machine(2)
+        table.add_machine(2, (2, 3))
+        assert table._group_of[2] == (2, 3)
+        assert table._group_of[3] == (2, 3)
+
+    def test_fresh_join_is_equivalent_to_day_zero(self):
+        """A brand-new machine's row entry equals what it would have held
+        had it been present at t=0 with no feedback."""
+        table = _table()
+        table.ensure_colony("a", group="g")
+        table.attractiveness("a", 0)  # memo populated before the join
+        table.add_machine(9, (9,))
+        reference = PheromoneTable(machine_ids=[0, 1, 2, 3, 9])
+        reference.ensure_colony("a")
+        assert table.tau("a", 9) == reference.tau("a", 9)
+
+    def test_queries_after_churn_match_fresh_recomputation(self):
+        """The memo is invalidated by both prune and seed (regression
+        guard for the incremental normalizers)."""
+        table = _table()
+        table.ensure_colony("a", group="g")
+        _feed(table, "a", [(0, 5.0), (1, 7.0), (2, 11.0)])
+        table.attractiveness("a", 0)
+        table.remove_machine(1)
+        row = table._tau["a"]
+        assert table._stats("a") == (sum(row.values()), max(row.values()))
+        table.add_machine(4, (4,))
+        row = table._tau["a"]
+        assert table._stats("a") == (sum(row.values()), max(row.values()))

@@ -7,9 +7,12 @@ from hypothesis import strategies as st
 from repro.cluster import PowerModel, EnergyAccumulator
 from repro.core import ExchangeLevel, PheromoneTable, TaskFeedback
 from repro.energy import TaskEnergyModel, samples_from_phases
+from repro.faults import FaultEvent, FaultPlan
 from repro.metrics import jains_index
+from repro.runner import ScenarioSpec
+from repro.runner.spec import canonical_json
 from repro.simulation import RandomStreams, Simulator
-from repro.workloads import MSDConfig, class_histogram, generate_msd_workload
+from repro.workloads import MSDConfig, class_histogram, generate_msd_workload, puma_job
 
 
 @given(
@@ -121,3 +124,109 @@ def test_simulator_clock_is_monotone(delays):
     sim.run()
     assert observed == sorted(observed)
     assert abs(observed[-1] - sum(delays)) < 1e-9
+
+
+# --------------------------------------------------- serialization identity
+_CATALOG_MODELS = ["T420", "Atom", "Desktop"]
+_machine_ids = st.integers(min_value=0, max_value=15)
+_durations = st.one_of(st.none(), st.floats(min_value=1.0, max_value=100.0))
+
+
+@st.composite
+def fault_plans(draw):
+    """Structurally valid fault plans (crash/recover pairing respected)."""
+    events = []
+    crashed = set()
+    t = 0.0
+    for _ in range(draw(st.integers(min_value=0, max_value=8))):
+        t += draw(st.floats(min_value=0.125, max_value=50.0))
+        kinds = ["join", "decommission", "slowdown", "flaky", "crash"]
+        if crashed:
+            kinds.append("recover")
+        kind = draw(st.sampled_from(kinds))
+        if kind == "join":
+            events.append(
+                FaultEvent(time=t, kind="join", model=draw(st.sampled_from(_CATALOG_MODELS)))
+            )
+        elif kind == "decommission":
+            machine = draw(_machine_ids)
+            events.append(FaultEvent(time=t, kind="decommission", machine_id=machine))
+            crashed.discard(machine)
+        elif kind == "slowdown":
+            events.append(
+                FaultEvent(
+                    time=t,
+                    kind="slowdown",
+                    machine_id=draw(_machine_ids),
+                    factor=draw(st.floats(min_value=0.1, max_value=1.0)),
+                    duration=draw(_durations),
+                )
+            )
+        elif kind == "flaky":
+            events.append(
+                FaultEvent(
+                    time=t,
+                    kind="flaky_heartbeats",
+                    machine_id=draw(_machine_ids),
+                    drop_probability=draw(st.floats(min_value=0.01, max_value=1.0)),
+                    duration=draw(_durations),
+                )
+            )
+        elif kind == "crash":
+            machine = draw(st.sampled_from([m for m in range(16) if m not in crashed]))
+            events.append(FaultEvent(time=t, kind="crash", machine_id=machine))
+            crashed.add(machine)
+        else:  # recover
+            machine = draw(st.sampled_from(sorted(crashed)))
+            events.append(FaultEvent(time=t, kind="recover", machine_id=machine))
+            crashed.discard(machine)
+    return FaultPlan(events=tuple(events))
+
+
+def _shuffle_keys(value, rnd):
+    """Recursively rebuild dicts with randomized key insertion order."""
+    if isinstance(value, dict):
+        keys = list(value)
+        rnd.shuffle(keys)
+        return {key: _shuffle_keys(value[key], rnd) for key in keys}
+    if isinstance(value, list):
+        return [_shuffle_keys(item, rnd) for item in value]
+    return value
+
+
+@given(plan=fault_plans())
+@settings(max_examples=60)
+def test_fault_plan_json_round_trip(plan):
+    """to_json -> from_json must reproduce the plan exactly, including the
+    optional per-kind fields and same-instant event ordering."""
+    restored = FaultPlan.from_json(plan.to_json(indent=2))
+    assert restored == plan
+    assert restored.to_json_dict() == plan.to_json_dict()
+
+
+@given(plan=fault_plans(), rnd=st.randoms(use_true_random=False))
+@settings(max_examples=60)
+def test_fault_plan_parse_is_key_order_invariant(plan, rnd):
+    shuffled = _shuffle_keys(plan.to_json_dict(), rnd)
+    assert FaultPlan.from_json_dict(shuffled) == plan
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    scheduler=st.sampled_from(["fifo", "fair", "e-ant"]),
+    plan=fault_plans(),
+    rnd=st.randoms(use_true_random=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_spec_hash_is_stable_under_key_reordering(seed, scheduler, plan, rnd):
+    """A spec's canonical hash is a function of content, not of the key
+    order its JSON form happens to arrive in (cache-key stability)."""
+    spec = ScenarioSpec(
+        jobs=(puma_job("wordcount", 0.5),),
+        scheduler=scheduler,
+        seed=seed,
+        faults=plan if plan.events else None,
+    )
+    shuffled = _shuffle_keys(spec.to_json_dict(), rnd)
+    assert canonical_json(shuffled) == spec.canonical_json()
+    assert ScenarioSpec.from_json_dict(shuffled).spec_hash() == spec.spec_hash()

@@ -121,6 +121,27 @@ class TestRetries:
         assert len(records) == 1
         assert runner.last_report.retried == 1
 
+    def test_sweep_error_chains_worker_exception(self, monkeypatch):
+        """Regression: the serial fallback used to swallow the worker's
+        traceback, surfacing a bare SweepError with no clue where inside
+        the scenario it blew up.  The original must ride along as
+        ``__cause__`` (``raise ... from``) and stay reachable via the
+        public ``cause`` attribute."""
+
+        def always_fails(spec):
+            raise ZeroDivisionError("deep inside the scenario")
+
+        monkeypatch.setattr(sweep_module, "_execute_record_worker", always_fails)
+        spec = micro_specs(1)[0]
+        with pytest.raises(SweepError) as excinfo:
+            SweepRunner(workers=1, retries=1).run([spec])
+        error = excinfo.value
+        assert isinstance(error.__cause__, ZeroDivisionError)
+        assert error.__cause__ is error.cause
+        assert error.__cause__.__traceback__ is not None
+        assert error.spec is spec
+        assert "deep inside the scenario" in str(error)
+
     def test_invalid_parameters_rejected(self):
         with pytest.raises(ValueError):
             SweepRunner(workers=0)
