@@ -1,22 +1,30 @@
-"""Kernel-throughput regression gate against ``BENCH_kernel.json``.
+"""Throughput regression gates against ``BENCH_kernel.json``.
 
 Wall-clock numbers do not transfer between machines, so the committed
-baseline stores a *ratio*: how much slower the retained naive reference
-(:func:`repro.core.reference.reference_mode`) runs the 20k-event kernel
-benchmark than the optimized hot path, measured in the same process.
-If an optimization is accidentally reverted or pessimized, the optimized
-time rises toward the reference time and the ratio collapses toward 1.0
-— independent of how fast the host happens to be.
+baselines store *ratios*: how much slower the retained naive reference
+(:func:`repro.core.reference.reference_mode`) runs each benchmark than
+the optimized hot path, measured in the same process.  If an
+optimization is accidentally reverted or pessimized, the optimized time
+rises toward the reference time and the ratio collapses toward 1.0 —
+independent of how fast the host happens to be.
 
-The gate fails when the measured ratio drops below
+Two gates run:
+
+* ``reference_ratio`` — the 20k-event DES kernel microbenchmark
+  (dispatch loop, heap, timeout construction).
+* ``large_fleet_ratio`` — an end-to-end E-Ant run on a procedural
+  fleet, which additionally exercises the vectorized colony scorer
+  (``reference_mode`` swaps the scalar per-candidate scoring back in).
+
+Each gate fails when its measured ratio drops below
 ``expected_ratio * fail_below_fraction`` (0.8 — i.e. a >20 % relative
-throughput regression).  Run it locally or in CI::
+throughput regression).  Run locally or in CI::
 
     PYTHONPATH=src python benchmarks/check_regression.py
 
-Exit status 0 on pass, 1 on regression.  After a *deliberate* kernel
+Exit status 0 on pass, 1 on regression.  After a *deliberate* hot-path
 change, refresh the baseline by re-measuring (the script prints the
-observed ratio) and editing ``BENCH_kernel.json`` in the same commit.
+observed ratios) and editing ``BENCH_kernel.json`` in the same commit.
 """
 
 from __future__ import annotations
@@ -53,14 +61,29 @@ def _best_of(fn, reps: int) -> float:
     return best
 
 
-def main(reps: int = 15) -> int:
+def _check_ratio(name: str, detail: str, optimized: float, reference: float,
+                 expected: float, fraction: float) -> bool:
+    ratio = reference / optimized
+    threshold = expected * fraction
+    print(
+        f"{name} {detail}: optimized {optimized * 1e3:.2f} ms, "
+        f"reference {reference * 1e3:.2f} ms, ratio {ratio:.2f}x "
+        f"(baseline {expected:.2f}x, threshold {threshold:.2f}x)"
+    )
+    if ratio < threshold:
+        print(
+            f"FAIL: {name} speedup regressed >20% against BENCH_kernel.json — "
+            "either fix the hot path or deliberately refresh the baseline."
+        )
+        return False
+    print(f"PASS: {name} throughput within baseline.")
+    return True
+
+
+def _kernel_gate(baseline: dict, reps: int) -> bool:
     from repro.core.reference import reference_mode
 
-    baseline = json.loads(BASELINE_PATH.read_text())["reference_ratio"]
     events = int(baseline["events"])
-    expected = float(baseline["expected_ratio"])
-    fraction = float(baseline["fail_below_fraction"])
-
     _run_events(events)  # warm imports and allocator before timing
     optimized = _best_of(lambda: _run_events(events), reps)
     with reference_mode():
@@ -68,22 +91,42 @@ def main(reps: int = 15) -> int:
     # Second optimized pass guards against the machine speeding up/slowing
     # down mid-measurement skewing the ratio in either direction.
     optimized = min(optimized, _best_of(lambda: _run_events(events), reps))
-
-    ratio = reference / optimized
-    threshold = expected * fraction
-    print(
-        f"kernel {events} events: optimized {optimized * 1e3:.2f} ms, "
-        f"reference {reference * 1e3:.2f} ms, ratio {ratio:.2f}x "
-        f"(baseline {expected:.2f}x, threshold {threshold:.2f}x)"
+    return _check_ratio(
+        "kernel", f"{events} events", optimized, reference,
+        float(baseline["expected_ratio"]), float(baseline["fail_below_fraction"]),
     )
-    if ratio < threshold:
-        print(
-            "FAIL: kernel speedup regressed >20% against BENCH_kernel.json — "
-            "either fix the hot path or deliberately refresh the baseline."
-        )
-        return 1
-    print("PASS: kernel throughput within baseline.")
-    return 0
+
+
+def _large_fleet_gate(baseline: dict, reps: int) -> bool:
+    from repro.core.reference import reference_mode
+    from repro.experiments.scenarios import large_fleet_spec
+    from repro.runner.engine import execute_spec
+
+    spec = large_fleet_spec(
+        n_nodes=int(baseline["n_nodes"]),
+        target_tasks=int(baseline["target_tasks"]),
+        seed=int(baseline["seed"]),
+    )
+    run = lambda: execute_spec(spec)  # noqa: E731
+    run()  # warm
+    optimized = _best_of(run, reps)
+    with reference_mode():
+        reference = _best_of(run, reps)
+    optimized = min(optimized, _best_of(run, reps))
+    detail = f"{baseline['n_nodes']} nodes / {baseline['target_tasks']} tasks"
+    return _check_ratio(
+        "large-fleet", detail, optimized, reference,
+        float(baseline["expected_ratio"]), float(baseline["fail_below_fraction"]),
+    )
+
+
+def main(reps: int = 15) -> int:
+    baselines = json.loads(BASELINE_PATH.read_text())
+    ok = _kernel_gate(baselines["reference_ratio"], reps)
+    fleet = baselines.get("large_fleet_ratio")
+    if fleet is not None:
+        ok = _large_fleet_gate(fleet, int(fleet.get("reps", 3))) and ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

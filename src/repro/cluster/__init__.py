@@ -11,11 +11,12 @@ from .catalog import (
     T620,
     XEON_E5,
     paper_fleet,
+    procedural_fleet,
     spec_by_name,
 )
 from .machine import Machine, MachineSpec
 from .power import EnergyAccumulator, PowerModel
-from .topology import Cluster, Network
+from .topology import Cluster, MachineIndex, Network
 
 __all__ = [
     "Machine",
@@ -23,6 +24,7 @@ __all__ = [
     "PowerModel",
     "EnergyAccumulator",
     "Cluster",
+    "MachineIndex",
     "Network",
     "CATALOG",
     "DESKTOP",
@@ -34,5 +36,6 @@ __all__ = [
     "XEON_E5",
     "CORE_I7",
     "paper_fleet",
+    "procedural_fleet",
     "spec_by_name",
 ]

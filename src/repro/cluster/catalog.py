@@ -20,7 +20,9 @@ CPU speeds are per-core, relative to the Core i7 @ 3.4 GHz (= 1.0).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
 
 from .machine import MachineSpec
 from .power import PowerModel
@@ -36,6 +38,7 @@ __all__ = [
     "CORE_I7",
     "CATALOG",
     "paper_fleet",
+    "procedural_fleet",
     "spec_by_name",
 ]
 
@@ -146,4 +149,72 @@ def paper_fleet() -> List[Tuple[MachineSpec, int]]:
         (T620, 1),
         (T320, 1),
         (ATOM, 1),
+    ]
+
+
+def procedural_fleet(
+    n_nodes: int,
+    seed: int = 0,
+    mix: Optional[Mapping[str, float]] = None,
+) -> List[Tuple[MachineSpec, int]]:
+    """Grow the 16-node paper testbed to an ``n_nodes`` heterogeneous fleet.
+
+    Machine classes are the paper's Table I types; by default each class
+    keeps its share of the Section V-B testbed (8/16 desktops, 3/16 T110,
+    ...), so a 1,000-node procedural fleet is "the paper's cluster, scaled
+    up" rather than an arbitrary datacenter.  Counts are apportioned by
+    largest remainder — every class with positive weight gets its floored
+    share first — and the leftover nodes are drawn from the fractional
+    remainders with a seeded RNG, so generation is fully deterministic in
+    ``(n_nodes, seed, mix)``: the same parameters always produce the same
+    ``(spec, count)`` pairs and therefore the same
+    :meth:`~repro.runner.spec.ScenarioSpec.spec_hash`.
+
+    Parameters
+    ----------
+    n_nodes:
+        Total fleet size (>= 1); the paper's testbed is ``n_nodes = 16``.
+    seed:
+        Resolves the fractional-remainder draws.
+    mix:
+        Optional ``{model name: weight}`` overriding the testbed shares.
+        Weights need not sum to 1; negative weights are rejected and
+        zero-weight classes are excluded entirely.
+    """
+    if n_nodes < 1:
+        raise ValueError("fleet needs at least one node")
+    if mix is None:
+        weights = {spec.model: float(count) for spec, count in paper_fleet()}
+    else:
+        weights = {}
+        for name, weight in mix.items():
+            if weight < 0:
+                raise ValueError(f"negative mix weight for {name!r}")
+            if weight > 0:
+                weights[spec_by_name(name).model] = float(weight)
+    if not weights:
+        raise ValueError("mix must give positive weight to at least one class")
+
+    # Deterministic class order: descending weight, name as tie-break, so
+    # the emitted (spec, count) pairs — and machine-id ranges — are stable.
+    models = sorted(weights, key=lambda m: (-weights[m], m))
+    total_weight = sum(weights[m] for m in models)
+    shares = np.array([weights[m] / total_weight * n_nodes for m in models])
+    counts = np.floor(shares).astype(int)
+    remainders = shares - counts
+    leftover = n_nodes - int(counts.sum())
+    if leftover:
+        rng = np.random.default_rng(seed)
+        probabilities = (
+            remainders / remainders.sum()
+            if remainders.sum() > 0
+            else np.full(len(models), 1.0 / len(models))
+        )
+        extra = rng.choice(len(models), size=leftover, p=probabilities)
+        for index in extra:
+            counts[index] += 1
+    return [
+        (CATALOG[model], int(count))
+        for model, count in zip(models, counts)
+        if count > 0
     ]

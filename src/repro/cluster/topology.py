@@ -14,12 +14,14 @@ per-packet simulation would add cost without changing scheduler behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..simulation import Simulator
 from .machine import Machine, MachineSpec
 
-__all__ = ["Cluster", "Network"]
+__all__ = ["Cluster", "MachineIndex", "Network"]
 
 #: Gigabit Ethernet payload bandwidth, MB/s.
 GIGABIT_MB_PER_S = 117.0
@@ -90,6 +92,22 @@ class Network:
         return megabytes / self.effective_bandwidth(src_id, dst_id)
 
 
+class MachineIndex(NamedTuple):
+    """Dense per-machine arrays for slot accounting and fleet enumeration.
+
+    One row per machine in ascending-id order — the same column order the
+    pheromone matrix uses — rebuilt lazily after fleet changes (join,
+    decommission).  ``ids`` includes decommissioned machines (they keep
+    their energy history and block replicas); mask with ``in_service``
+    for capacity questions.
+    """
+
+    ids: np.ndarray  #: int64 machine ids, ascending
+    map_slots: np.ndarray  #: int64 map slots per machine
+    reduce_slots: np.ndarray  #: int64 reduce slots per machine
+    in_service: np.ndarray  #: bool, False once decommissioned
+
+
 class Cluster:
     """A heterogeneous collection of live machines plus the network.
 
@@ -117,6 +135,12 @@ class Cluster:
         #: scheduler reads the totals on each heartbeat while the fleet
         #: only changes at commissions/decommissions, which invalidate it
         self._slot_totals: Optional[Tuple[int, int]] = None
+        #: memoized ascending id list (the machines dict only ever grows)
+        self._machine_id_cache: Optional[List[int]] = None
+        #: memoized dense per-machine arrays (see :class:`MachineIndex`)
+        self._index: Optional[MachineIndex] = None
+        #: memoized hardware-signature grouping (changes only on joins)
+        self._groups_cache: Optional[Dict[str, List[int]]] = None
         next_id = 0
         for spec, count in fleet:
             if count < 0:
@@ -145,6 +169,8 @@ class Cluster:
         machine.on_capacity_change = self._invalidate_slot_totals
         self.machines[next_id] = machine
         self._invalidate_slot_totals()
+        self._machine_id_cache = None
+        self._groups_cache = None
         return machine
 
     # ------------------------------------------------------------- accessors
@@ -160,8 +186,27 @@ class Cluster:
 
     @property
     def machine_ids(self) -> List[int]:
-        """All machine ids, ascending."""
-        return sorted(self.machines)
+        """All machine ids, ascending (cached; ids are never reused)."""
+        ids = self._machine_id_cache
+        if ids is None:
+            self._machine_id_cache = ids = sorted(self.machines)
+        return ids
+
+    def machine_index(self) -> MachineIndex:
+        """Dense per-machine arrays, rebuilt lazily after fleet changes."""
+        index = self._index
+        if index is None:
+            ordered = [self.machines[m] for m in self.machine_ids]
+            index = MachineIndex(
+                ids=np.array([m.machine_id for m in ordered], dtype=np.int64),
+                map_slots=np.array([m.spec.map_slots for m in ordered], dtype=np.int64),
+                reduce_slots=np.array(
+                    [m.spec.reduce_slots for m in ordered], dtype=np.int64
+                ),
+                in_service=np.array([not m.decommissioned for m in ordered], dtype=bool),
+            )
+            self._index = index
+        return index
 
     def machines_of_type(self, model: str) -> List[Machine]:
         """All machines whose spec model matches ``model``."""
@@ -172,25 +217,32 @@ class Cluster:
 
         This is the machine grouping E-Ant's machine-level exchange
         strategy averages pheromone updates over (Section IV-D).
+        Membership only changes when a machine joins (decommissioned
+        machines keep their group for trailing feedback), so the grouping
+        is memoized; callers get a fresh copy.
         """
-        groups: Dict[str, List[int]] = {}
-        for machine in self.machines.values():
-            groups.setdefault(machine.spec.hardware_signature(), []).append(machine.machine_id)
-        return {key: sorted(ids) for key, ids in groups.items()}
+        groups = self._groups_cache
+        if groups is None:
+            groups = {}
+            for machine in self.machines.values():
+                groups.setdefault(machine.spec.hardware_signature(), []).append(
+                    machine.machine_id
+                )
+            groups = {key: sorted(ids) for key, ids in groups.items()}
+            self._groups_cache = groups
+        return {key: list(ids) for key, ids in groups.items()}
 
     def group_of(self, machine_id: int) -> List[int]:
         """Ids of in-service machines hardware-identical to ``machine_id``."""
         signature = self.machines[machine_id].spec.hardware_signature()
-        return [
-            m.machine_id
-            for m in self.machines.values()
-            if m.spec.hardware_signature() == signature and not m.decommissioned
-        ]
+        members = self.homogeneous_groups()[signature]
+        return [m for m in members if not self.machines[m].decommissioned]
 
     # ----------------------------------------------------------- energy/meta
     def _invalidate_slot_totals(self) -> None:
         """Drop the memoized capacity (a machine joined or left service)."""
         self._slot_totals = None
+        self._index = None
 
     def total_slots(self) -> Tuple[int, int]:
         """Cluster-wide (map_slots, reduce_slots) of in-service machines.
@@ -203,15 +255,12 @@ class Cluster:
         """
         totals = self._slot_totals
         if totals is None:
-            maps = sum(
-                m.spec.map_slots for m in self.machines.values() if not m.decommissioned
+            index = self.machine_index()
+            live = index.in_service
+            self._slot_totals = totals = (
+                int(index.map_slots[live].sum()),
+                int(index.reduce_slots[live].sum()),
             )
-            reduces = sum(
-                m.spec.reduce_slots
-                for m in self.machines.values()
-                if not m.decommissioned
-            )
-            self._slot_totals = totals = (maps, reduces)
         return totals
 
     def finish_energy_accounting(self) -> None:

@@ -128,21 +128,27 @@ class AcoSolver:
         best_cost = float("inf")
         trace: List[float] = []
 
+        task_range = np.arange(problem.num_tasks)
         for _iteration in range(self.n_iterations):
+            # tau only changes between iterations, so the tau^a * eta^b
+            # desirability matrix is shared by the whole cohort of ants
+            # instead of re-exponentiated column by column per ant.
+            desirability = (tau**self.alpha) * heuristic
             iter_best: Optional[np.ndarray] = None
             iter_cost = float("inf")
             for _ant in range(self.n_ants):
-                assignment, cost = self._construct(problem, tau, heuristic)
+                assignment, cost = self._construct(problem, energy, desirability)
                 if cost < iter_cost:
                     iter_best, iter_cost = assignment, cost
             if iter_cost < best_cost:
                 best_assignment, best_cost = iter_best, iter_cost
-            # Evaporate, then let the iteration-best ant deposit.
+            # Evaporate, then let the iteration-best ant deposit.  The
+            # (machine, task) pairs are unique — one machine per task — so
+            # the fancy-indexed add touches each cell at most once.
             tau *= 1.0 - self.rho
             assert iter_best is not None
             deposit = self.rho * (np.mean(energy) * problem.num_tasks / iter_cost)
-            for task, machine in enumerate(iter_best):
-                tau[machine, task] += deposit
+            tau[iter_best, task_range] += deposit
             np.clip(tau, self.tau_min, self.tau_max, out=tau)
             trace.append(best_cost)
 
@@ -157,10 +163,14 @@ class AcoSolver:
     def _construct(
         self,
         problem: AssignmentProblem,
-        tau: np.ndarray,
-        heuristic: np.ndarray,
+        energy: np.ndarray,
+        desirability: np.ndarray,
     ) -> Tuple[np.ndarray, float]:
-        """One ant's tour: visit each column once, respect row capacities."""
+        """One ant's tour: visit each column once, respect row capacities.
+
+        ``desirability`` is the iteration's precomputed ``tau^a * eta^b``
+        matrix; each task's sampling weights are one masked column read.
+        """
         remaining = np.array(problem.slots, dtype=int)
         assignment = np.empty(problem.num_tasks, dtype=int)
         cost = 0.0
@@ -169,9 +179,7 @@ class AcoSolver:
         order = self._rng.permutation(problem.num_tasks)
         for task in order:
             available = remaining > 0
-            weights = np.where(
-                available, (tau[:, task] ** self.alpha) * heuristic[:, task], 0.0
-            )
+            weights = np.where(available, desirability[:, task], 0.0)
             total = weights.sum()
             if total <= 0:  # all-available fallback: uniform over open rows
                 weights = available.astype(float)
@@ -180,8 +188,8 @@ class AcoSolver:
             machine = int(self._rng.choice(problem.num_machines, p=probabilities))
             assignment[task] = machine
             remaining[machine] -= 1
-            cost += problem.energy[machine][task]
-        return assignment, cost
+            cost += energy[machine, task]
+        return assignment, float(cost)
 
 
 def brute_force_best(problem: AssignmentProblem) -> Tuple[Tuple[int, ...], float]:

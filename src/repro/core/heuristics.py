@@ -13,7 +13,7 @@ The heuristic multiplies into the assignment probability (Eq. 8) as
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 __all__ = ["fairness_eta", "FairnessView"]
 
@@ -49,12 +49,12 @@ def fairness_eta(min_share: float, occupied: float, pool_slots: float) -> float:
     return 1.0 / denominator
 
 
-@dataclass(frozen=True)
-class FairnessView:
+class FairnessView(NamedTuple):
     """Per-interval snapshot used to evaluate Eq. 7 for every job.
 
     Single-user system (Section IV-C.4): every active job's min-share is an
-    equal split of the pool.
+    equal split of the pool.  A NamedTuple because one is built per
+    heartbeat — cheap construction matters at large fleets.
     """
 
     pool_slots: int

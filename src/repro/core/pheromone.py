@@ -16,6 +16,16 @@ energy-efficient hosts.
 The exchange strategies replace per-machine (and per-job) evidence with
 group averages over hardware-identical machines and demand-similar jobs,
 damping the estimate noise studied in Figs. 7 and 10.
+
+Storage layout
+--------------
+Each colony's row is a dense ``float64`` ndarray whose column order is the
+``machine_ids`` list order; ``_col`` maps machine id -> column.  Group
+profiles use the same layout.  Joins append a column, decommissions delete
+one, so the (colony x machine) matrix follows the fleet.  Every vectorized
+expression here is elementwise (or an explicitly sequential ``cumsum`` for
+the row sum), which keeps results bit-identical to the scalar dict-based
+code this replaced — the differential suite holds that proof.
 """
 
 from __future__ import annotations
@@ -23,6 +33,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
 
 __all__ = ["ExchangeLevel", "TaskFeedback", "PheromoneTable"]
 
@@ -89,21 +101,25 @@ class PheromoneTable:
     negative_feedback: float = 1.0
     machine_groups: Sequence[Sequence[int]] = ()
     exchange: ExchangeLevel = ExchangeLevel.BOTH
-    _tau: Dict[ColonyKey, Dict[int, float]] = field(default_factory=dict)
+    #: colony -> dense pheromone row; columns follow ``machine_ids`` order.
+    _tau: Dict[ColonyKey, np.ndarray] = field(default_factory=dict)
+    #: machine id -> column index into every row and profile.
+    _col: Dict[int, int] = field(default_factory=dict)
     #: colony -> (sum(row), max(row)) memo for the Eq. 3 normalizers.  The
     #: E-Ant scheduler queries attractiveness/relative_quality once per
     #: (pending job x offered slot) per heartbeat, but rows only change at
     #: control-interval updates and fleet churn — so the normalizers are
     #: computed lazily on first query and dropped on any row mutation
-    #: (update / add_machine / remove_machine / drop_colony).  The cached
-    #: values are the *same expressions* over the same dicts, so queries
-    #: stay bit-identical to recomputing them.
+    #: (update / add_machine / remove_machine / drop_colony).  The row sum
+    #: uses ``cumsum`` — sequential left-to-right like the scalar ``sum``
+    #: it replaced — so queries stay bit-identical to recomputing them.
     _row_stats: Dict[ColonyKey, Tuple[float, float]] = field(default_factory=dict)
     _group_of: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
     #: colony -> job-similarity group (set via ensure_colony)
     _colony_group: Dict[ColonyKey, Hashable] = field(default_factory=dict)
     #: persistent per-group pheromone profiles new colonies inherit
-    _group_profiles: Dict[Hashable, Dict[int, float]] = field(default_factory=dict)
+    #: (dense rows in the same column layout as ``_tau``)
+    _group_profiles: Dict[Hashable, np.ndarray] = field(default_factory=dict)
     #: EMA weight folding a depositing colony's row into its group profile
     profile_ema: float = 0.3
 
@@ -119,6 +135,9 @@ class PheromoneTable:
         self.machine_ids = list(self.machine_ids)
         if not self.machine_ids:
             raise ValueError("need at least one machine")
+        self._col = {m: i for i, m in enumerate(self.machine_ids)}
+        if len(self._col) != len(self.machine_ids):
+            raise ValueError("duplicate machine ids")
         for group in self.machine_groups:
             members = tuple(sorted(group))
             for machine_id in members:
@@ -145,9 +164,9 @@ class PheromoneTable:
         if group is not None and self.exchange & ExchangeLevel.JOB:
             profile = self._group_profiles.get(group)
         if profile is not None:
-            self._tau[colony] = dict(profile)
+            self._tau[colony] = profile.copy()
         else:
-            self._tau[colony] = {m: self.initial for m in self.machine_ids}
+            self._tau[colony] = np.full(len(self.machine_ids), self.initial)
 
     # ------------------------------------------------------- fleet dynamics
     def add_machine(self, machine_id: int, group: Sequence[int]) -> None:
@@ -155,20 +174,21 @@ class PheromoneTable:
 
         ``group`` is the full membership of its hardware-identical group
         (including ``machine_id`` itself).  Every live colony row and every
-        stored group profile is seeded at the prior ``initial`` — the new
-        machine starts with no evidence, exactly like every path did at
-        t=0, and earns (or loses) pheromone from its first control
-        interval of feedback.
+        stored group profile gains a column seeded at the prior
+        ``initial`` — the new machine starts with no evidence, exactly like
+        every path did at t=0, and earns (or loses) pheromone from its
+        first control interval of feedback.
         """
-        if machine_id not in self.machine_ids:
+        if machine_id not in self._col:
+            self._col[machine_id] = len(self.machine_ids)
             self.machine_ids.append(machine_id)
+            for colony, row in self._tau.items():
+                self._tau[colony] = np.append(row, self.initial)
+            for key, profile in self._group_profiles.items():
+                self._group_profiles[key] = np.append(profile, self.initial)
         members = tuple(sorted(set(group) | {machine_id}))
         for member in members:
             self._group_of[member] = members
-        for row in self._tau.values():
-            row.setdefault(machine_id, self.initial)
-        for profile in self._group_profiles.values():
-            profile.setdefault(machine_id, self.initial)
         self._row_stats.clear()
 
     def remove_machine(self, machine_id: int) -> None:
@@ -178,12 +198,16 @@ class PheromoneTable:
         never host another task would otherwise keep soaking up assignment
         probability and distort each colony's normalization (Eq. 3).
         """
-        if machine_id in self.machine_ids:
+        column = self._col.pop(machine_id, None)
+        if column is not None:
             self.machine_ids.remove(machine_id)
-        for row in self._tau.values():
-            row.pop(machine_id, None)
-        for profile in self._group_profiles.values():
-            profile.pop(machine_id, None)
+            for colony, row in self._tau.items():
+                self._tau[colony] = np.delete(row, column)
+            for key, profile in self._group_profiles.items():
+                self._group_profiles[key] = np.delete(profile, column)
+            for m, index in self._col.items():
+                if index > column:
+                    self._col[m] = index - 1
         members = self._group_of.pop(machine_id, None)
         if members is not None:
             remaining = tuple(m for m in members if m != machine_id)
@@ -207,27 +231,53 @@ class PheromoneTable:
         stats = self._row_stats.get(colony)
         if stats is None:
             row = self._tau[colony]
-            values = row.values()
-            stats = (sum(values), max(values))
+            # cumsum[-1], not sum(): sequential left-to-right accumulation
+            # matches the scalar reference bit-for-bit (ndarray.sum is
+            # pairwise).  The method form skips np.cumsum's dispatch wrapper.
+            stats = (float(row.cumsum()[-1]), float(row.max()))
             self._row_stats[colony] = stats
         return stats
+
+    def row_mapping(self, colony: ColonyKey) -> Dict[int, float]:
+        """The colony's row as a ``{machine_id: tau}`` dict (copy)."""
+        return dict(zip(self.machine_ids, self._tau[colony].tolist()))
 
     def tau(self, colony: ColonyKey, machine_id: int) -> float:
         """Current pheromone of one path."""
         self.ensure_colony(colony)
-        return self._tau[colony][machine_id]
+        return float(self._tau[colony][self._col[machine_id]])
 
     def attractiveness(self, colony: ColonyKey, machine_id: int) -> float:
         """Eq. 3: tau(j, m) normalized over all machines for the colony."""
         self.ensure_colony(colony)
-        return self._tau[colony][machine_id] / self._stats(colony)[0]
+        return float(self._tau[colony][self._col[machine_id]] / self._stats(colony)[0])
+
+    def attractiveness_many(
+        self, colonies: Sequence[ColonyKey], machine_id: int
+    ) -> np.ndarray:
+        """Eq. 3 for one machine across many colonies in one pass.
+
+        The heartbeat scorer calls this once per slot offer with every
+        candidate colony; each element is the same ``tau / sum(row)``
+        division :meth:`attractiveness` performs, batched.
+        """
+        for colony in colonies:
+            self.ensure_colony(colony)
+        column = self._col[machine_id]
+        count = len(colonies)
+        taus = np.empty(count)
+        totals = np.empty(count)
+        rows = self._tau
+        for i, colony in enumerate(colonies):
+            taus[i] = rows[colony][column]
+            totals[i] = self._stats(colony)[0]
+        return taus / totals
 
     def attractiveness_row(self, colony: ColonyKey) -> Dict[int, float]:
         """Eq. 3 for every machine at once."""
         self.ensure_colony(colony)
-        row = self._tau[colony]
-        total = self._stats(colony)[0]
-        return {m: value / total for m, value in row.items()}
+        normalized = self._tau[colony] / self._stats(colony)[0]
+        return dict(zip(self.machine_ids, normalized.tolist()))
 
     def relative_quality(self, colony: ColonyKey, machine_id: int) -> float:
         """Attractiveness of ``machine_id`` relative to the colony's best.
@@ -237,7 +287,7 @@ class PheromoneTable:
         left idle with high probability.
         """
         self.ensure_colony(colony)
-        return self._tau[colony][machine_id] / self._stats(colony)[1]
+        return float(self._tau[colony][self._col[machine_id]] / self._stats(colony)[1])
 
     # --------------------------------------------------------------- updates
     def update(self, feedback: Iterable[TaskFeedback]) -> Dict[ColonyKey, Dict[int, float]]:
@@ -254,46 +304,60 @@ class PheromoneTable:
             if item.job_group is not None:
                 self._colony_group.setdefault(item.colony, item.job_group)
 
-        # Eq. 6: colonies competing for a machine push each other down.
-        # The cross-colony term is the *mean* of the other colonies'
-        # deposits, so its magnitude stays comparable to one colony's own
-        # deposit regardless of how many jobs share the cluster.
-        effective: Dict[ColonyKey, Dict[int, float]] = {}
-        machine_totals: Dict[int, float] = {}
+        self._apply_update(deposits)
+        self._fold_into_group_profiles(deposits)
+        return deposits
+
+    def _apply_update(self, deposits: Dict[ColonyKey, Dict[int, float]]) -> None:
+        """Eqs. 4 and 6 over every live row, one vectorized pass per colony.
+
+        Eq. 6: colonies competing for a machine push each other down.  The
+        cross-colony term is the *mean* of the other colonies' deposits, so
+        its magnitude stays comparable to one colony's own deposit
+        regardless of how many jobs share the cluster.  ``machine_totals``
+        accumulates colony-by-colony in deposit insertion order — the same
+        addition order as the scalar reference, which float addition's
+        non-associativity makes load-bearing.
+        """
+        width = len(self.machine_ids)
+        col = self._col
         depositors = max(len(deposits), 1)
+        machine_totals = np.zeros(width)
+        own_rows: Dict[ColonyKey, np.ndarray] = {}
         for colony, per_machine in deposits.items():
+            own = np.zeros(width)
             for machine_id, value in per_machine.items():
-                machine_totals[machine_id] = machine_totals.get(machine_id, 0.0) + value
-        for colony in self._tau:
-            effective[colony] = {}
-            own = deposits.get(colony, {})
-            others_count = depositors - (1 if colony in deposits else 0)
-            for machine_id in self.machine_ids:
-                own_value = own.get(machine_id, 0.0)
-                others_sum = machine_totals.get(machine_id, 0.0) - own_value
-                others_mean = others_sum / others_count if others_count else 0.0
-                effective[colony][machine_id] = (
-                    own_value - self.negative_feedback * others_mean
-                )
+                # Feedback can trail a machine's removal by one control
+                # interval; deposits to departed machines never reach a
+                # live column (the scalar code accumulated and then never
+                # read them).
+                column = col.get(machine_id)
+                if column is not None:
+                    own[column] = value
+            own_rows[colony] = own
+            machine_totals += own
 
         # Eq. 4: evaporate and deposit, clamped.  Every row is about to
         # change, so the memoized normalizers go stale here.
         self._row_stats.clear()
+        no_deposit = np.zeros(width)
+        keep = 1.0 - self.rho
         for colony, row in self._tau.items():
-            updates = effective.get(colony, {})
-            for machine_id in self.machine_ids:
-                new = (1.0 - self.rho) * row[machine_id] + self.rho * updates.get(
-                    machine_id, 0.0
-                )
-                row[machine_id] = min(self.tau_max, max(self.tau_min, new))
+            own = own_rows.get(colony)
+            others_count = depositors - (1 if colony in deposits else 0)
+            if own is None:
+                own = no_deposit
+            if others_count:
+                others_mean = (machine_totals - own) / others_count
+            else:
+                others_mean = no_deposit
+            effective = own - self.negative_feedback * others_mean
+            new_row = keep * row + self.rho * effective
+            np.clip(new_row, self.tau_min, self.tau_max, out=new_row)
             if self.relative_floor > 0:
-                floor = self.relative_floor * max(row.values())
-                for machine_id in self.machine_ids:
-                    if row[machine_id] < floor:
-                        row[machine_id] = floor
-
-        self._fold_into_group_profiles(deposits)
-        return deposits
+                floor = self.relative_floor * new_row.max()
+                np.maximum(new_row, floor, out=new_row)
+            self._tau[colony] = new_row
 
     def _fold_into_group_profiles(
         self, deposits: Dict[ColonyKey, Dict[int, float]]
@@ -313,15 +377,17 @@ class PheromoneTable:
             row = self._tau[colony]
             profile = self._group_profiles.get(group)
             if profile is None:
-                self._group_profiles[group] = dict(row)
+                self._group_profiles[group] = row.copy()
             else:
                 w = self.profile_ema
-                for m in self.machine_ids:
-                    profile[m] = (1.0 - w) * profile[m] + w * row[m]
+                self._group_profiles[group] = (1.0 - w) * profile + w * row
 
     def group_profile(self, group: Hashable) -> Dict[int, float]:
         """Inheritable pheromone profile of a job group (copy)."""
-        return dict(self._group_profiles.get(group, {}))
+        profile = self._group_profiles.get(group)
+        if profile is None:
+            return {}
+        return dict(zip(self.machine_ids, profile.tolist()))
 
     # ------------------------------------------------------------- internals
     def _compute_deposits(

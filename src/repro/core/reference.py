@@ -30,6 +30,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, Optional, Tuple
 
+import numpy as np
+
 from ..cluster.machine import Machine
 from ..cluster.power import EnergyAccumulator
 from ..cluster.topology import Cluster
@@ -38,16 +40,115 @@ from ..observability.tracer import EventType
 from ..simulation.engine import PRIORITY_NORMAL, PRIORITY_URGENT, Simulator
 from ..simulation.events import Event, SimulationError
 from .pheromone import ColonyKey, PheromoneTable
+from .scheduler import EAntScheduler
 
 __all__ = ["reference_mode", "REFERENCE_PATCHES"]
 
 
 # --------------------------------------------------------------- pheromone
 def _reference_stats(self: PheromoneTable, colony: ColonyKey) -> Tuple[float, float]:
-    """Eq. 3 normalizers recomputed from the row on every query (no memo)."""
-    row = self._tau[colony]
-    values = row.values()
+    """Eq. 3 normalizers recomputed from the row on every query (no memo).
+
+    The scalar ``sum`` accumulates left-to-right exactly like the
+    ``cumsum`` the optimized memo uses, so the two agree bit-for-bit.
+    """
+    values = self._tau[colony].tolist()
     return (sum(values), max(values))
+
+
+def _reference_apply_update(
+    self: PheromoneTable, deposits: Dict[ColonyKey, Dict[int, float]]
+) -> None:
+    """Eqs. 4 and 6 as per-machine scalar loops (the pre-vectorization code).
+
+    Works over the dense rows through the column index, but every float
+    expression — the Eq. 6 machine totals, the per-colony negative
+    feedback, the evaporate/deposit/clamp chain and the relative floor —
+    is evaluated one machine at a time in the original order.
+    """
+    effective: Dict[ColonyKey, Dict[int, float]] = {}
+    machine_totals: Dict[int, float] = {}
+    depositors = max(len(deposits), 1)
+    for colony, per_machine in deposits.items():
+        for machine_id, value in per_machine.items():
+            machine_totals[machine_id] = machine_totals.get(machine_id, 0.0) + value
+    for colony in self._tau:
+        effective[colony] = {}
+        own = deposits.get(colony, {})
+        others_count = depositors - (1 if colony in deposits else 0)
+        for machine_id in self.machine_ids:
+            own_value = own.get(machine_id, 0.0)
+            others_sum = machine_totals.get(machine_id, 0.0) - own_value
+            others_mean = others_sum / others_count if others_count else 0.0
+            effective[colony][machine_id] = (
+                own_value - self.negative_feedback * others_mean
+            )
+
+    self._row_stats.clear()
+    col = self._col
+    for colony, row in self._tau.items():
+        updates = effective.get(colony, {})
+        new_row = row.copy()
+        for machine_id in self.machine_ids:
+            column = col[machine_id]
+            new = (1.0 - self.rho) * float(row[column]) + self.rho * updates.get(
+                machine_id, 0.0
+            )
+            new_row[column] = min(self.tau_max, max(self.tau_min, new))
+        if self.relative_floor > 0:
+            floor = self.relative_floor * max(new_row.tolist())
+            for machine_id in self.machine_ids:
+                column = col[machine_id]
+                if new_row[column] < floor:
+                    new_row[column] = floor
+        self._tau[colony] = new_row
+
+
+def _reference_fold_into_group_profiles(
+    self: PheromoneTable, deposits: Dict[ColonyKey, Dict[int, float]]
+) -> None:
+    """Profile EMA folded one machine at a time (the pre-vectorization code)."""
+    from .pheromone import ExchangeLevel
+
+    if not self.exchange & ExchangeLevel.JOB:
+        return
+    for colony in deposits:
+        group = self._colony_group.get(colony)
+        if group is None or colony not in self._tau:
+            continue
+        row = self._tau[colony]
+        profile = self._group_profiles.get(group)
+        if profile is None:
+            self._group_profiles[group] = row.copy()
+        else:
+            w = self.profile_ema
+            merged = profile.copy()
+            for column in range(len(self.machine_ids)):
+                merged[column] = (1.0 - w) * float(profile[column]) + w * float(
+                    row[column]
+                )
+            self._group_profiles[group] = merged
+
+
+# --------------------------------------------------------------- scheduler
+def _reference_selection_arrays(self, jobs, kind, machine_id, fairness):
+    """Per-candidate Eq. 8 scoring as the original per-job scalar loop.
+
+    ``attractiveness`` / ``_eta`` / ``_deficit`` evaluate one candidate at
+    a time; the vectorized scorer must reproduce these weights (and hence
+    the sampler's RNG draws) bit-for-bit.
+    """
+    from ..hadoop.job import TaskKind
+
+    assert self.pheromones is not None
+    sharpness = self.config.selection_sharpness if kind is TaskKind.MAP else 1.0
+    taus = []
+    weights = []
+    for job in jobs:
+        tau = self.pheromones.attractiveness((job.job_id, kind), machine_id)
+        taus.append(tau)
+        weights.append(tau**sharpness * self._eta(job, kind, fairness))
+    return np.array(taus), np.array(weights)
 
 
 # ----------------------------------------------------------------- cluster
@@ -172,6 +273,9 @@ def _reference_energy_advance(
 #: with the optimizations it shadows.
 REFERENCE_PATCHES: Dict[Tuple[type, str], Any] = {
     (PheromoneTable, "_stats"): _reference_stats,
+    (PheromoneTable, "_apply_update"): _reference_apply_update,
+    (PheromoneTable, "_fold_into_group_profiles"): _reference_fold_into_group_profiles,
+    (EAntScheduler, "_selection_arrays"): _reference_selection_arrays,
     (Cluster, "total_slots"): _reference_total_slots,
     (Simulator, "timeout"): _reference_timeout,
     (Simulator, "_schedule_dispatch"): _reference_schedule_dispatch,

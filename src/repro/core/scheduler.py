@@ -284,34 +284,57 @@ class EAntScheduler(Scheduler):
     # ------------------------------------------------------------ assignment
     def select_tasks(self, status: TrackerStatus) -> List[Task]:
         assignments: List[Task] = []
-        fairness = FairnessView(
+        stats = self.slot_stats
+        fairness: Optional[FairnessView] = None
+        # The candidate list is rebuilt only after a *successful*
+        # assignment (an accepted task changes pending/running counts for
+        # the next slot); a rejected or idled offer leaves every job's
+        # state and the list contents untouched, so the same list is
+        # offered to the tracker's remaining slots.  At thousand-node
+        # fleets most heartbeats find no pending work, and that common
+        # case now costs one list comprehension instead of one per slot.
+        machine_id = status.machine_id
+        if status.free_map_slots:
+            pending = self.jobs_with_pending_maps()
+            for _ in range(status.free_map_slots):
+                stats["map_offered"] += 1
+                if not pending:
+                    stats["map_no_work"] += 1
+                    continue
+                if fairness is None:
+                    fairness = self._fairness_view()
+                task = self._fill_map_slot(machine_id, fairness, pending)
+                if task is not None:
+                    stats["map_filled"] += 1
+                    assignments.append(task)
+                    pending = self.jobs_with_pending_maps()
+        if status.free_reduce_slots:
+            schedulable = self.jobs_with_schedulable_reduces()
+            for _ in range(status.free_reduce_slots):
+                stats["reduce_offered"] += 1
+                if not schedulable:
+                    stats["reduce_no_work"] += 1
+                    continue
+                if fairness is None:
+                    fairness = self._fairness_view()
+                task = self._fill_reduce_slot(machine_id, fairness, schedulable)
+                if task is not None:
+                    stats["reduce_filled"] += 1
+                    assignments.append(task)
+                    schedulable = self.jobs_with_schedulable_reduces()
+        return assignments
+
+    def _fairness_view(self) -> FairnessView:
+        """The Eq. 7 snapshot, built lazily on the first slot with work.
+
+        Job completions happen on task-finish events, never inside a
+        heartbeat's assignment loop, so one snapshot per heartbeat sees
+        the same pool and active-job count every slot reads.
+        """
+        return FairnessView(
             pool_slots=self.total_cluster_slots(),
             active_jobs=max(1, len(self.jt.active_jobs)),
         )
-        # The candidate list is built once per slot (an accepted assignment
-        # changes pending/running counts for the next slot) and shared with
-        # the fill path, which previously rebuilt the identical list.
-        for _ in range(status.free_map_slots):
-            self.slot_stats["map_offered"] += 1
-            pending = self.jobs_with_pending_maps()
-            if not pending:
-                self.slot_stats["map_no_work"] += 1
-                continue
-            task = self._fill_map_slot(status.machine_id, fairness, pending)
-            if task is not None:
-                self.slot_stats["map_filled"] += 1
-                assignments.append(task)
-        for _ in range(status.free_reduce_slots):
-            self.slot_stats["reduce_offered"] += 1
-            schedulable = self.jobs_with_schedulable_reduces()
-            if not schedulable:
-                self.slot_stats["reduce_no_work"] += 1
-                continue
-            task = self._fill_reduce_slot(status.machine_id, fairness, schedulable)
-            if task is not None:
-                self.slot_stats["reduce_filled"] += 1
-                assignments.append(task)
-        return assignments
 
     # --------------------------------------------------------------- helpers
     def _eta(self, job: Job, kind: TaskKind, fairness: FairnessView) -> float:
@@ -348,21 +371,53 @@ class EAntScheduler(Scheduler):
         kind: TaskKind,
         machine_id: int,
         fairness: FairnessView,
-    ) -> Tuple[List[float], np.ndarray]:
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Per-candidate pheromone attractiveness and Eq. 8 sampling weight.
 
-        The tau list rides along so the decision audit can decompose the
+        One vectorized pass over all candidates of the slot offer: the
+        pheromone table hands back every colony's Eq. 3 attractiveness at
+        once, and eta/deficit/weight (Eqs. 7-8) are evaluated as
+        elementwise array expressions.  Each element goes through the same
+        float operations in the same order as the scalar loop this
+        replaced (kept as the differential reference), so the sampling
+        probabilities — and therefore the RNG draws — are bit-identical.
+
+        The tau array rides along so the decision audit can decompose the
         weights without re-normalizing the pheromone rows.
         """
         assert self.pheromones is not None
         sharpness = self.config.selection_sharpness if kind is TaskKind.MAP else 1.0
-        taus: List[float] = []
-        weights: List[float] = []
-        for job in jobs:
-            tau = self.pheromones.attractiveness((job.job_id, kind), machine_id)
-            taus.append(tau)
-            weights.append(tau**sharpness * self._eta(job, kind, fairness))
-        return taus, np.array(weights)
+        is_map = kind is TaskKind.MAP
+        taus = self.pheromones.attractiveness_many(
+            [(job.job_id, kind) for job in jobs], machine_id
+        )
+        if self.config.beta == 0:
+            return taus, taus**sharpness * 1.0
+        if fairness.pool_slots <= 0:
+            raise ValueError("pool must have slots")
+        map_slots, reduce_slots = self.jt.cluster.total_slots()
+        pool = map_slots if is_map else reduce_slots
+        share = pool / max(1, len(self.jt.active_jobs))
+        count = len(jobs)
+        occupied = np.empty(count)
+        running = np.empty(count)
+        if is_map:
+            for i, job in enumerate(jobs):
+                occupied[i] = job.occupied_slots
+                running[i] = job.running_maps
+        else:
+            for i, job in enumerate(jobs):
+                occupied[i] = job.occupied_slots
+                running[i] = job.running_reduces
+        # Eq. 7 (fairness_eta) and the slot deficit, elementwise.
+        denominator = np.maximum(
+            1.0 - (fairness.min_share - occupied) / fairness.pool_slots, 1e-3
+        )
+        deficit = np.maximum(share - running, 0.5)
+        heuristic = ((1.0 / denominator) * deficit**self.config.deficit_power) ** (
+            self.config.beta / self.config.beta_reference
+        )
+        return taus, taus**sharpness * heuristic
 
     def _selection_weights(
         self,
@@ -395,7 +450,12 @@ class EAntScheduler(Scheduler):
             return jobs[int(self.rng.integers(len(jobs)))]
         if self.config.deterministic_selection:
             return jobs[int(np.argmax(weights))]
-        index = int(self.rng.choice(len(jobs), p=weights / total))
+        # Inlined Generator.choice(len(jobs), p=weights/total): identical
+        # stream consumption (one random()) and identical index for the
+        # same draw, minus choice()'s per-call p-validation overhead.
+        cdf = (weights / total).cumsum()
+        cdf /= cdf[-1]
+        index = min(int(cdf.searchsorted(self.rng.random(), side="right")), len(jobs) - 1)
         return jobs[index]
 
     def _accepts(
@@ -433,7 +493,7 @@ class EAntScheduler(Scheduler):
         kind: TaskKind,
         machine_id: int,
         fairness: FairnessView,
-        taus: List[float],
+        taus: np.ndarray,
         weights: np.ndarray,
     ) -> List[Dict[str, Any]]:
         """One audit row per candidate colony, from the Eq. 8 ``taus`` and

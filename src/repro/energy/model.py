@@ -17,7 +17,7 @@ per-machine-type constants obtained by least-squares system identification
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import Callable, List, NamedTuple, Optional, Sequence, Tuple
 
 from ..cluster import MachineSpec
 
@@ -32,9 +32,13 @@ __all__ = [
 DEFAULT_DELTA_T = 3.0
 
 
-@dataclass(frozen=True)
-class UtilizationSample:
+class UtilizationSample(NamedTuple):
     """One heartbeat-window CPU sample of a task process.
+
+    A NamedTuple rather than a frozen dataclass: every task attempt
+    produces one sample per heartbeat window, so at datacenter scale
+    hundreds of thousands are constructed per run and the frozen
+    dataclass's per-field ``object.__setattr__`` cost is measurable.
 
     Parameters
     ----------
@@ -44,15 +48,11 @@ class UtilizationSample:
         machine reports 1/24).
     duration:
         Window length in seconds (normally Δt; the final window of a task
-        is usually shorter).
+        is usually shorter; must be non-negative).
     """
 
     utilization: float
     duration: float
-
-    def __post_init__(self) -> None:
-        if self.duration < 0:
-            raise ValueError("sample duration must be non-negative")
 
 
 @dataclass
@@ -118,6 +118,7 @@ def samples_from_phases(
     phases: Sequence[Tuple[float, float]],
     delta_t: float = DEFAULT_DELTA_T,
     noise_factor=None,
+    noise_factors: Optional[Callable[[int], Sequence[float]]] = None,
 ) -> List[UtilizationSample]:
     """Chop a multi-phase execution into heartbeat-window samples.
 
@@ -133,6 +134,12 @@ def samples_from_phases(
         Optional zero-argument callable returning a multiplicative factor
         applied independently to each sample — the measurement noise of
         Section IV-D.  ``None`` reports exact samples.
+    noise_factors:
+        Batched alternative to ``noise_factor``: a callable mapping a
+        sample count ``n`` to ``n`` factors in one call (e.g. one
+        vectorized lognormal draw, which numpy generates bit-identically
+        to ``n`` sequential scalar draws from the same stream).  Takes
+        precedence over ``noise_factor`` when both are given.
 
     Notes
     -----
@@ -153,7 +160,7 @@ def samples_from_phases(
         clock += duration
         boundaries.append((clock, utilization))
     total = clock
-    samples: List[UtilizationSample] = []
+    raw: List[Tuple[float, float]] = []  # (mean_util, duration) per window
     window_start = 0.0
     phase_index = 0
     while window_start < total - 1e-12:
@@ -170,15 +177,23 @@ def samples_from_phases(
             if cursor >= phase_end - 1e-12 and index < len(boundaries) - 1:
                 index += 1
         duration = window_end - window_start
-        mean_util = weighted / duration if duration > 0 else 0.0
-        if noise_factor is not None:
-            mean_util = max(0.0, mean_util * float(noise_factor()))
-        samples.append(UtilizationSample(mean_util, duration))
+        raw.append((weighted / duration if duration > 0 else 0.0, duration))
         window_start = window_end
         # Advance the persistent phase pointer for the next window.
         while phase_index < len(boundaries) - 1 and boundaries[phase_index][0] <= window_start + 1e-12:
             phase_index += 1
-    return samples
+    if noise_factors is not None:
+        factors = noise_factors(len(raw))
+        return [
+            UtilizationSample(max(0.0, mean_util * float(factor)), duration)
+            for (mean_util, duration), factor in zip(raw, factors)
+        ]
+    if noise_factor is not None:
+        return [
+            UtilizationSample(max(0.0, mean_util * float(noise_factor())), duration)
+            for mean_util, duration in raw
+        ]
+    return [UtilizationSample(mean_util, duration) for mean_util, duration in raw]
 
 
 @dataclass

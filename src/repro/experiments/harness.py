@@ -12,16 +12,12 @@ Scheduler identity is passed by *name* (``"fifo" | "fair" | "tarazu" |
 same seed see identical workloads, block placements, and noise draws
 (common random numbers via named RNG streams).
 
-.. deprecated::
-    Positional use of the optional parameters (everything after ``jobs``)
-    is deprecated; pass them as keywords, or build a
-    :class:`~repro.runner.ScenarioSpec` directly and call
-    :meth:`~repro.runner.ScenarioSpec.run`.
+All optional parameters are keyword-only.  (Positional use was deprecated
+with a compatibility shim for one release cycle and has been removed.)
 """
 
 from __future__ import annotations
 
-import warnings
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -43,29 +39,27 @@ from ..workloads import JobSpec
 
 __all__ = ["ScenarioResult", "run_scenario", "make_scheduler", "SCHEDULER_NAMES"]
 
-#: Pre-keyword-only positional order of ``run_scenario``'s optional
-#: parameters, kept solely for the deprecation shim.
-_COMPAT_ORDER = (
-    "scheduler",
-    "fleet",
-    "hadoop",
-    "noise",
-    "seed",
-    "eant_config",
-    "with_meter",
-    "meter_interval",
-    "placements",
-    "network",
-    "max_sim_time",
-    "trace",
-)
 
-
-def run_scenario(jobs: Sequence[JobSpec], *compat, **kwargs) -> ScenarioResult:
+def run_scenario(
+    jobs: Sequence[JobSpec],
+    *,
+    scheduler: Union[str, SchedulerFactory] = "fair",
+    fleet: Optional[Sequence[Tuple[MachineSpec, int]]] = None,
+    hadoop: Optional[HadoopConfig] = None,
+    noise: Optional[NoiseModel] = DEFAULT_NOISE,
+    seed: int = 0,
+    eant_config: Optional[EAntConfig] = None,
+    with_meter: bool = False,
+    meter_interval: float = 30.0,
+    placements: Optional[Dict[int, List[Tuple[int, ...]]]] = None,
+    network: Optional[Network] = None,
+    max_sim_time: float = 10_000_000.0,
+    trace: Union[None, str, Path, Tracer] = None,
+    faults: Optional["FaultPlan"] = None,
+) -> ScenarioResult:
     """Run one complete scenario and return its results.
 
-    All optional parameters are keyword-only; positional use still works
-    through a compatibility shim that emits :class:`DeprecationWarning`.
+    All optional parameters are keyword-only.
 
     Parameters
     ----------
@@ -97,47 +91,9 @@ def run_scenario(jobs: Sequence[JobSpec], *compat, **kwargs) -> ScenarioResult:
         :class:`~repro.observability.Tracer` collects events in memory.
     faults:
         Optional :class:`~repro.faults.FaultPlan` executed against the run
-        (keyword-only; part of the spec identity, so faulted and fault-free
-        runs never share a cache entry).
+        (part of the spec identity, so faulted and fault-free runs never
+        share a cache entry).
     """
-    if compat:
-        warnings.warn(
-            "positional optional arguments to run_scenario() are deprecated; "
-            "pass them as keywords (e.g. run_scenario(jobs, scheduler='fair')) "
-            "or build a repro.runner.ScenarioSpec",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if len(compat) > len(_COMPAT_ORDER):
-            raise TypeError(
-                f"run_scenario() takes at most {len(_COMPAT_ORDER)} optional "
-                f"positional arguments ({len(compat)} given)"
-            )
-        for name, value in zip(_COMPAT_ORDER, compat):
-            if name in kwargs:
-                raise TypeError(f"run_scenario() got multiple values for argument {name!r}")
-            kwargs[name] = value
-    return _run_scenario(jobs, **kwargs)
-
-
-def _run_scenario(
-    jobs: Sequence[JobSpec],
-    *,
-    scheduler: Union[str, SchedulerFactory] = "fair",
-    fleet: Optional[Sequence[Tuple[MachineSpec, int]]] = None,
-    hadoop: Optional[HadoopConfig] = None,
-    noise: Optional[NoiseModel] = DEFAULT_NOISE,
-    seed: int = 0,
-    eant_config: Optional[EAntConfig] = None,
-    with_meter: bool = False,
-    meter_interval: float = 30.0,
-    placements: Optional[Dict[int, List[Tuple[int, ...]]]] = None,
-    network: Optional[Network] = None,
-    max_sim_time: float = 10_000_000.0,
-    trace: Union[None, str, Path, Tracer] = None,
-    faults: Optional["FaultPlan"] = None,
-) -> ScenarioResult:
-    """Keyword-only core: build the spec, delegate to the engine."""
     factory: Optional[SchedulerFactory] = None
     scheduler_name = scheduler
     if callable(scheduler):

@@ -16,9 +16,10 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from ..cluster import MachineSpec, T420, paper_fleet
+from ..cluster import MachineSpec, T420, paper_fleet, procedural_fleet
 from ..hadoop import HadoopConfig
 from ..noise import DEFAULT_NOISE, NoiseModel
+from ..runner import ScenarioSpec
 from ..simulation import RandomStreams
 from ..workloads import (
     JobSpec,
@@ -34,6 +35,7 @@ __all__ = [
     "motivation_rig",
     "open_loop_jobs",
     "exchange_workload",
+    "large_fleet_spec",
     "MOTIVATION_TASK_SCALE",
 ]
 
@@ -114,6 +116,55 @@ def exchange_workload(
         input_gb=input_gb,
         mean_interarrival_s=mean_interarrival_s,
         rng=streams.stream("exchange-jobs"),
+    )
+
+
+def large_fleet_spec(
+    n_nodes: int = 1000,
+    target_tasks: int = 100_000,
+    seed: int = 0,
+    scheduler: str = "e-ant",
+    fleet_seed: int = 0,
+    mean_interarrival_s: float = 5.0,
+) -> ScenarioSpec:
+    """A datacenter-scale scenario on a procedurally generated fleet.
+
+    Scales the paper's operating point up to ``n_nodes`` machines (same
+    heterogeneity mix, via :func:`~repro.cluster.catalog.procedural_fleet`)
+    running a PUMA job stream sized so the total task count — maps plus
+    reduces, at the usual 8:1 ratio — lands on ``target_tasks``.  Job count
+    grows with the fleet (one job per ~10 nodes, at least one per
+    application) so per-job parallelism stays datacenter-shaped rather
+    than one colossal job.
+
+    Everything is deterministic in the arguments, so the returned spec's
+    :meth:`~repro.runner.spec.ScenarioSpec.spec_hash` is stable: sweeps,
+    the result cache, and the large-fleet benchmark all key off it.
+    """
+    if n_nodes < 1:
+        raise ValueError("fleet needs at least one node")
+    if target_tasks < 1:
+        raise ValueError("target_tasks must be positive")
+    applications = ("wordcount", "grep", "terasort")
+    jobs_per_app = max(1, n_nodes // (10 * len(applications)))
+    n_jobs = jobs_per_app * len(applications)
+    # tasks/job = maps * 9/8 (uniform_job_stream gives reduces = maps/8),
+    # and maps = input_gb * 16 at the 64 MB block size.
+    maps_per_job = max(1, round(target_tasks / n_jobs * 8.0 / 9.0))
+    input_gb = maps_per_job * 64.0 / 1024.0
+    jobs = uniform_job_stream(
+        applications=applications,
+        jobs_per_app=jobs_per_app,
+        input_gb=input_gb,
+        mean_interarrival_s=mean_interarrival_s,
+        rng=RandomStreams(seed).stream("large-fleet-jobs"),
+    )
+    return ScenarioSpec(
+        jobs=tuple(jobs),
+        scheduler=scheduler,
+        fleet=tuple(procedural_fleet(n_nodes, seed=fleet_seed)),
+        seed=seed,
+        label=f"large-fleet-{n_nodes}x{target_tasks}",
     )
 
 

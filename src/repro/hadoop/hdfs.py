@@ -98,8 +98,9 @@ class BlockPlacer:
         """
         candidates = [h for h in replica_hosts if h != reader_id]
         if not candidates:
-            others = [m for m in self.cluster.machine_ids if m != reader_id]
-            if not others:  # single-machine cluster: read is effectively local
+            ids = self.cluster.machine_index().ids
+            others = ids[ids != reader_id]
+            if len(others) == 0:  # single-machine cluster: read is effectively local
                 return reader_id
             return int(self.rng.choice(others))
         return int(self.rng.choice(candidates))

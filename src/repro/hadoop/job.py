@@ -11,8 +11,9 @@ TaskTracker ships to the JobTracker in the paper's implementation
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..energy.model import UtilizationSample
 from ..simulation import Event, Simulator
@@ -36,9 +37,16 @@ class TaskState(enum.Enum):
     COMPLETED = "completed"
 
 
-@dataclass
+@dataclass(eq=False)
 class Task:
-    """One logical map or reduce task of a job."""
+    """One logical map or reduce task of a job.
+
+    Identity equality (``eq=False``): every task is a unique live object,
+    and the pending-queue ``list.remove`` calls in :class:`Job` must
+    short-circuit on identity rather than field-compare O(queue) tasks —
+    at datacenter scale the generated ``__eq__`` dominated the whole
+    simulation.
+    """
 
     job: "Job"
     index: int
@@ -48,12 +56,19 @@ class Task:
     preferred_hosts: Tuple[int, ...] = ()
     state: TaskState = TaskState.PENDING
     attempts: List["TaskAttempt"] = field(default_factory=list)
+    #: Incremented each time the task re-enters a pending queue, so stale
+    #: queue entries from before a requeue can be recognized and skipped.
+    _pending_seq: int = field(default=0, repr=False)
+    _task_id: Optional[str] = field(default=None, repr=False)
 
     @property
     def task_id(self) -> str:
-        """Stable id, e.g. ``j3-m-0017``."""
-        letter = "m" if self.kind is TaskKind.MAP else "r"
-        return f"j{self.job.job_id}-{letter}-{self.index:04d}"
+        """Stable id, e.g. ``j3-m-0017`` (computed once, then cached)."""
+        tid = self._task_id
+        if tid is None:
+            letter = "m" if self.kind is TaskKind.MAP else "r"
+            self._task_id = tid = f"j{self.job.job_id}-{letter}-{self.index:04d}"
+        return tid
 
     @property
     def is_map(self) -> bool:
@@ -219,9 +234,21 @@ class Job:
             for i in range(spec.num_reduces)
         ]
 
-        # Pending queues (schedulers pop from these via take_*).
-        self._pending_maps: List[Task] = list(self.maps)
-        self._pending_reduces: List[Task] = list(self.reduces)
+        # Pending queues (schedulers pop from these via take_*).  Entries
+        # are ``(seq, task)``; an entry is live only while ``seq`` matches
+        # the task's current ``_pending_seq`` and the task is still
+        # PENDING.  Dispatch never removes from the middle (an O(queue)
+        # scan that dominated datacenter-scale runs) — stale entries are
+        # skipped lazily at the head, and explicit counters keep the
+        # pending counts exact.
+        self._pending_maps: Deque[Tuple[int, Task]] = deque(
+            (0, task) for task in self.maps
+        )
+        self._pending_reduces: Deque[Tuple[int, Task]] = deque(
+            (0, task) for task in self.reduces
+        )
+        self._num_pending_maps = len(self.maps)
+        self._num_pending_reduces = len(self.reduces)
         self._maps_by_host: Dict[int, List[Task]] = {}
         for task in self.maps:
             for host in task.preferred_hosts:
@@ -273,19 +300,19 @@ class Job:
 
     @property
     def pending_map_count(self) -> int:
-        return len(self._pending_maps)
+        return self._num_pending_maps
 
     @property
     def pending_reduce_count(self) -> int:
-        return len(self._pending_reduces)
+        return self._num_pending_reduces
 
     @property
     def has_pending_work(self) -> bool:
-        return bool(self._pending_maps or self._pending_reduces)
+        return bool(self._num_pending_maps or self._num_pending_reduces)
 
     def reduces_schedulable(self, slowstart: float) -> bool:
         """Whether reduce tasks may be launched yet (slowstart gate)."""
-        if not self._pending_reduces:
+        if not self._num_pending_reduces:
             return False
         needed = slowstart * len(self.maps)
         return self.completed_maps >= needed
@@ -321,12 +348,16 @@ class Job:
         if prefer_local:
             task = self.local_pending_map(machine_id)
         if task is None:
-            while self._pending_maps:
-                candidate = self._pending_maps[0]
-                if candidate.state is TaskState.PENDING:
+            queue = self._pending_maps
+            while queue:
+                seq, candidate = queue[0]
+                if (
+                    candidate.state is TaskState.PENDING
+                    and candidate._pending_seq == seq
+                ):
                     task = candidate
                     break
-                self._pending_maps.pop(0)
+                queue.popleft()
         if task is None:
             return None
         self._mark_running(task)
@@ -334,12 +365,16 @@ class Job:
 
     def take_reduce(self) -> Optional[Task]:
         """Pop a pending reduce for assignment."""
-        while self._pending_reduces:
-            candidate = self._pending_reduces[0]
-            if candidate.state is TaskState.PENDING:
+        queue = self._pending_reduces
+        while queue:
+            seq, candidate = queue[0]
+            if (
+                candidate.state is TaskState.PENDING
+                and candidate._pending_seq == seq
+            ):
                 self._mark_running(candidate)
                 return candidate
-            self._pending_reduces.pop(0)
+            queue.popleft()
         return None
 
     def _mark_running(self, task: Task) -> None:
@@ -348,16 +383,10 @@ class Job:
         task.state = TaskState.RUNNING
         if task.is_map:
             self.running_maps += 1
-            try:
-                self._pending_maps.remove(task)
-            except ValueError:  # pragma: no cover - defensive
-                pass
+            self._num_pending_maps -= 1
         else:
             self.running_reduces += 1
-            try:
-                self._pending_reduces.remove(task)
-            except ValueError:  # pragma: no cover - defensive
-                pass
+            self._num_pending_reduces -= 1
         if self.start_time is None:
             self.start_time = self.sim.now
 
@@ -366,12 +395,15 @@ class Job:
         if task.state is not TaskState.RUNNING:
             raise ValueError(f"{task.task_id} is not running")
         task.state = TaskState.PENDING
+        task._pending_seq += 1
         if task.is_map:
             self.running_maps -= 1
-            self._pending_maps.append(task)
+            self._num_pending_maps += 1
+            self._pending_maps.append((task._pending_seq, task))
         else:
             self.running_reduces -= 1
-            self._pending_reduces.append(task)
+            self._num_pending_reduces += 1
+            self._pending_reduces.append((task._pending_seq, task))
 
     def complete_task(self, task: Task) -> None:
         """Mark a running task completed; fires barriers when crossed."""

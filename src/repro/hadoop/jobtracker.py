@@ -257,14 +257,16 @@ class JobTracker:
             return []  # this tracker was itself expired
         status = tracker.status()
         assignments = self.scheduler.select_tasks(status)
-        maps = sum(1 for t in assignments if t.is_map)
-        reduces = len(assignments) - maps
-        if maps > status.free_map_slots or reduces > status.free_reduce_slots:
-            raise RuntimeError(
-                f"scheduler over-assigned {tracker.machine.hostname}: "
-                f"{maps} maps into {status.free_map_slots} slots, "
-                f"{reduces} reduces into {status.free_reduce_slots}"
-            )
+        maps = reduces = 0
+        if assignments:  # empty heartbeats (the common case at scale) skip the audit
+            maps = sum(1 for t in assignments if t.is_map)
+            reduces = len(assignments) - maps
+            if maps > status.free_map_slots or reduces > status.free_reduce_slots:
+                raise RuntimeError(
+                    f"scheduler over-assigned {tracker.machine.hostname}: "
+                    f"{maps} maps into {status.free_map_slots} slots, "
+                    f"{reduces} reduces into {status.free_reduce_slots}"
+                )
         if self.registry is not None and assignments:
             model = tracker.machine.spec.model
             for task in assignments:

@@ -12,8 +12,7 @@ drives the ground-truth energy integration), and on completion ship a
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Generator, List, Optional
+from typing import TYPE_CHECKING, Dict, Generator, List, NamedTuple, Optional
 
 import numpy as np
 
@@ -31,9 +30,14 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["TrackerStatus", "TaskTracker"]
 
 
-@dataclass(frozen=True)
-class TrackerStatus:
-    """Snapshot of a TaskTracker included in its heartbeat."""
+class TrackerStatus(NamedTuple):
+    """Snapshot of a TaskTracker included in its heartbeat.
+
+    A NamedTuple rather than a frozen dataclass: one is built on every
+    heartbeat of every tracker, and at thousand-node fleets the
+    ``object.__setattr__`` dance frozen dataclasses pay per field showed
+    up in the heartbeat profile.
+    """
 
     machine_id: int
     free_map_slots: int
@@ -330,7 +334,7 @@ class TaskTracker:
         attempt.samples = samples_from_phases(
             [(io_time, io_util), (cpu_time, cpu_util)],
             delta_t=self.config.heartbeat_interval,
-            noise_factor=lambda: self.noise.utilization_factor(self.rng),
+            noise_factors=lambda n: self.noise.utilization_factors(self.rng, n),
         )
         self._finish_attempt(attempt, succeeded=True)
 
@@ -428,6 +432,6 @@ class TaskTracker:
         attempt.samples = samples_from_phases(
             [(shuffle_time, io_util), (sort_time, io_util), (reduce_time, cpu_util)],
             delta_t=self.config.heartbeat_interval,
-            noise_factor=lambda: self.noise.utilization_factor(self.rng),
+            noise_factors=lambda n: self.noise.utilization_factors(self.rng, n),
         )
         self._finish_attempt(attempt, succeeded=True)

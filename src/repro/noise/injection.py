@@ -63,6 +63,17 @@ class NoiseModel:
             return 1.0
         return float(rng.lognormal(0.0, self.utilization_sigma))
 
+    def utilization_factors(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """``n`` sample multipliers in one draw.
+
+        Bit-identical to ``n`` sequential :meth:`utilization_factor` calls:
+        numpy generates ``lognormal(size=n)`` element-by-element from the
+        same stream, and the zero-sigma path consumes no stream either way.
+        """
+        if self.utilization_sigma <= 0:
+            return np.ones(n)
+        return rng.lognormal(0.0, self.utilization_sigma, size=n)
+
     def skew_factor(self, rng: np.random.Generator) -> float:
         """Multiplier on a task's input volume (data skew)."""
         if self.skew_sigma <= 0:

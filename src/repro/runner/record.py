@@ -41,7 +41,7 @@ __all__ = [
 ]
 
 
-def _digestable(value: Any) -> Any:
+def _digestable(value: Any, precision: Optional[int] = None) -> Any:
     """Project ``value`` onto plain JSON data with *exact* float identity.
 
     Finite floats are rendered with ``float.hex()`` — a bijection on the
@@ -49,39 +49,60 @@ def _digestable(value: Any) -> Any:
     number in them is bit-identical.  This is the equality contract the
     differential suite and the golden corpus enforce; ``==`` on floats
     would already do, but a hex digest survives serialization to disk.
+
+    With ``precision`` set, floats are instead rendered in scientific
+    notation with that many digits after the point — a *float-tolerance*
+    projection where two records digest equal iff every number agrees to
+    ``precision + 1`` significant digits.  This is the tier the
+    large-fleet differential scenarios use: vectorized reductions over
+    thousands of machines are only contractually bit-exact for the
+    operations the 16-node corpus pins down, so scale parity is checked
+    at tolerance rather than by bit identity.
     """
     if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
         return value
     if isinstance(value, float):
-        return value.hex()
+        if precision is None:
+            return value.hex()
+        # %.*e canonicalizes -0.0/0.0 apart but folds last-ulp noise;
+        # nan/inf format to their names, which is fine for a digest.
+        return f"{value:.{precision}e}"
     if isinstance(value, enum.Enum):
-        return _digestable(value.value)
+        return _digestable(value.value, precision)
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {
-            f.name: _digestable(getattr(value, f.name))
+            f.name: _digestable(getattr(value, f.name), precision)
             for f in dataclasses.fields(value)
         }
     if isinstance(value, (tuple, list)):
-        return [_digestable(item) for item in value]
+        return [_digestable(item, precision) for item in value]
     if isinstance(value, dict):
         # Sort by the projected key so the digest does not depend on dict
         # insertion order (tuple keys become their repr).
-        items = [(repr(_digestable(k)), _digestable(v)) for k, v in value.items()]
+        items = [
+            (repr(_digestable(k, precision)), _digestable(v, precision))
+            for k, v in value.items()
+        ]
         return {key: item for key, item in sorted(items, key=lambda kv: kv[0])}
     # Numpy scalars (and anything else float-like) fold to exact doubles.
     if hasattr(value, "item"):
-        return _digestable(value.item())
+        return _digestable(value.item(), precision)
     raise TypeError(f"cannot digest {type(value).__name__}: {value!r}")
 
 
-def record_digest(record: "RunRecord") -> str:
-    """SHA-256 over a canonical, float-exact projection of ``record``.
+def record_digest(record: "RunRecord", precision: Optional[int] = None) -> str:
+    """SHA-256 over a canonical projection of ``record``.
 
-    Two digests match iff the two records are bit-identical in every
-    number, string, and shape (modulo dict ordering).  ``wall_seconds``
-    is host timing, not simulation outcome, so it is excluded.
+    With ``precision=None`` (the exact tier) two digests match iff the two
+    records are bit-identical in every number, string, and shape (modulo
+    dict ordering).  With an integer ``precision`` (the float-tolerance
+    tier) floats are rounded to that many scientific-notation digits
+    first, so the digest tolerates sub-ulp accumulation differences while
+    still pinning structure and every non-float value exactly.
+    ``wall_seconds`` is host timing, not simulation outcome, so it is
+    excluded either way.
     """
-    data = _digestable(record)
+    data = _digestable(record, precision)
     data.pop("wall_seconds", None)
     payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()

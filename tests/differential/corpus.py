@@ -15,9 +15,17 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.core import EAntConfig
+from repro.experiments.scenarios import large_fleet_spec
 from repro.faults import FaultEvent, FaultPlan
 from repro.runner import ScenarioSpec
 from repro.workloads import puma_job
+
+#: Scientific-notation digits for the large-fleet tolerance tier: floats
+#: must agree to 10 significant digits — loose enough for sub-ulp
+#: accumulation-order noise at thousand-machine reductions, tight enough
+#: that any real behavioural divergence (a misrouted task, a dropped
+#: heartbeat) changes the digest.
+LARGE_FLEET_PRECISION = 9
 
 
 def _jobs(*specs) -> Tuple:
@@ -97,3 +105,25 @@ def build_corpus() -> List[Tuple[str, ScenarioSpec]]:
         ),
     ]
     return corpus
+
+
+def build_large_fleet_corpus() -> List[Tuple[str, ScenarioSpec]]:
+    """Procedural-fleet scenarios for the float-tolerance parity tier.
+
+    Big enough that the vectorized kernel's dense paths (hundreds of
+    pheromone columns, index-array slot totals) actually matter, small
+    enough to stay tier-1 friendly.  These are checked against
+    ``reference_mode()`` at :data:`LARGE_FLEET_PRECISION` rather than by
+    bit identity — the exact-parity contract is pinned by the 16-node
+    corpus above.
+    """
+    return [
+        (
+            "eant-largefleet-120",
+            large_fleet_spec(n_nodes=120, target_tasks=600, seed=12),
+        ),
+        (
+            "fair-largefleet-96",
+            large_fleet_spec(n_nodes=96, target_tasks=480, seed=13, scheduler="fair"),
+        ),
+    ]

@@ -14,6 +14,7 @@ from repro.cluster import (
     T620,
     XEON_E5,
     paper_fleet,
+    procedural_fleet,
     spec_by_name,
 )
 from repro.energy import TaskEnergyModel
@@ -57,6 +58,67 @@ class TestPaperFleet:
         for spec, _count in paper_fleet():
             assert spec.map_slots == 4
             assert spec.reduce_slots == 2
+
+
+class TestProceduralFleet:
+    """The scaled-up fleet generator behind the large-fleet scenarios."""
+
+    def test_totals_exact_across_scales(self):
+        for n in (1, 2, 16, 100, 997, 1000, 10_000):
+            fleet = procedural_fleet(n)
+            assert sum(count for _spec, count in fleet) == n
+
+    def test_deterministic_in_seed(self):
+        assert procedural_fleet(997, seed=7) == procedural_fleet(997, seed=7)
+        # Remainder draws (3 leftover nodes for 997) can land differently
+        # under a different seed, but totals never change.
+        assert sum(c for _s, c in procedural_fleet(997, seed=8)) == 997
+
+    def test_heterogeneity_mix_tracks_paper_shares(self):
+        # At 1,000 nodes each class's share must sit within one node of
+        # its exact paper proportion (largest-remainder apportionment).
+        fleet = dict((spec.model, count) for spec, count in procedural_fleet(1000))
+        paper = dict((spec.model, count) for spec, count in paper_fleet())
+        assert set(fleet) == set(paper)
+        for model, count in paper.items():
+            exact = count / 16 * 1000
+            assert abs(fleet[model] - exact) <= 1.0
+
+    def test_sixteen_nodes_recovers_paper_counts(self):
+        fleet = dict((spec.model, count) for spec, count in procedural_fleet(16))
+        assert fleet == dict((spec.model, count) for spec, count in paper_fleet())
+
+    def test_custom_mix_and_validation(self):
+        fleet = procedural_fleet(10, mix={"Atom": 1, "t420": 3})
+        assert dict((s.model, c) for s, c in fleet) == {"T420": 7, "Atom": 3}
+        with pytest.raises(ValueError):
+            procedural_fleet(0)
+        with pytest.raises(ValueError):
+            procedural_fleet(10, mix={"Atom": -1.0})
+        with pytest.raises(ValueError):
+            procedural_fleet(10, mix={"Atom": 0.0})
+        with pytest.raises(KeyError):
+            procedural_fleet(10, mix={"cray": 1.0})
+
+    def test_specs_are_catalog_instances(self):
+        # Identity matters: ScenarioSpec fleets built from the generator
+        # must share MachineSpec objects with the catalog so serialized
+        # specs stay small and hardware signatures group correctly.
+        for spec, _count in procedural_fleet(1000):
+            assert spec is CATALOG[spec.model]
+
+    def test_scenario_spec_hash_stable_when_regenerated(self):
+        from repro.experiments.scenarios import large_fleet_spec
+
+        first = large_fleet_spec(n_nodes=200, target_tasks=2000, seed=3)
+        second = large_fleet_spec(n_nodes=200, target_tasks=2000, seed=3)
+        assert first.spec_hash() == second.spec_hash()
+        assert first.spec_hash() != large_fleet_spec(
+            n_nodes=200, target_tasks=2000, seed=4
+        ).spec_hash()
+        assert first.spec_hash() != large_fleet_spec(
+            n_nodes=201, target_tasks=2000, seed=3
+        ).spec_hash()
 
 
 class TestCalibrationInvariants:

@@ -237,6 +237,67 @@ class TestFlakyHeartbeats:
         assert job.is_done
 
 
+class TestVectorizedCacheFreshness:
+    """Churn must invalidate every memo the vectorized scorer reads.
+
+    Regression guard for the array-backed kernel: the cluster caches its
+    slot totals, machine-id list, dense machine index, and hardware
+    grouping, and the pheromone table memoizes per-colony row stats.  A
+    decommission or join that left any of them stale would silently skew
+    Eq. 3-8 scoring for the rest of the run.
+    """
+
+    def _run_with_churn(self):
+        from repro.experiments import run_scenario
+        from repro.workloads import puma_job
+
+        plan = FaultPlan(
+            events=(
+                FaultEvent(time=30.0, kind="decommission", machine_id=5),
+                FaultEvent(time=45.0, kind="join", model="T420"),
+                FaultEvent(time=60.0, kind="crash", machine_id=2),
+                FaultEvent(time=120.0, kind="recover", machine_id=2),
+            )
+        )
+        jobs = [
+            puma_job("wordcount", 1.0),
+            puma_job("grep", 1.0, submit_time=20.0),
+            puma_job("terasort", 0.5, submit_time=40.0),
+        ]
+        return run_scenario(jobs, scheduler="e-ant", seed=3, faults=plan)
+
+    def test_cluster_memos_match_fresh_recomputation(self):
+        result = self._run_with_churn()
+        cluster = result.cluster
+        live = [m for m in cluster.machines.values() if not m.decommissioned]
+        assert cluster.total_slots() == (
+            sum(m.spec.map_slots for m in live),
+            sum(m.spec.reduce_slots for m in live),
+        )
+        assert cluster.machine_ids == sorted(cluster.machines)
+        index = cluster.machine_index()
+        assert list(index.ids) == sorted(cluster.machines)
+        for machine_id, in_service in zip(index.ids, index.in_service):
+            assert in_service == (not cluster.machines[machine_id].decommissioned)
+        fresh_groups = {}
+        for machine in cluster.machines.values():
+            fresh_groups.setdefault(machine.spec.hardware_signature(), []).append(
+                machine.machine_id
+            )
+        assert cluster.homogeneous_groups() == {
+            key: sorted(ids) for key, ids in fresh_groups.items()
+        }
+
+    def test_pheromone_row_stats_match_fresh_recomputation(self):
+        result = self._run_with_churn()
+        table = result.scheduler.pheromones
+        assert len(result.jobtracker.completed_jobs) == 3
+        for colony in table.colonies:
+            row = table.row_mapping(colony)
+            assert set(row) == set(table.machine_ids)
+            assert table._stats(colony) == (sum(row.values()), max(row.values()))
+
+
 class TestInjectorErrors:
     def test_unknown_machine_id(self):
         plan = FaultPlan(events=(FaultEvent(time=1.0, kind="crash", machine_id=99),))

@@ -21,7 +21,9 @@ source), regenerate the corpus deliberately::
 and explain the drift in the commit message.
 """
 
+import dataclasses
 import json
+import math
 from pathlib import Path
 
 import pytest
@@ -58,6 +60,35 @@ def test_golden_replay(path):
         f"({digest[:16]}… != {data['expected_digest'][:16]}…). If this "
         "change is intentional, regenerate tests/golden/ and say why."
     )
+
+
+@dataclasses.dataclass(frozen=True)
+class _FakeRecord:
+    """Minimal record stand-in for digest-tier unit tests."""
+
+    value: float
+    wall_seconds: float = 0.0
+
+
+class TestDigestTiers:
+    """Exact vs float-tolerance projection semantics of record_digest."""
+
+    def test_exact_tier_is_ulp_sensitive_tolerance_tier_is_not(self):
+        base = _FakeRecord(value=0.1)
+        nudged = _FakeRecord(value=math.nextafter(0.1, 1.0))
+        assert record_digest(base) != record_digest(nudged)
+        assert record_digest(base, precision=9) == record_digest(nudged, precision=9)
+
+    def test_tolerance_tier_catches_real_divergence(self):
+        base = _FakeRecord(value=0.1)
+        off = _FakeRecord(value=0.1 * (1.0 + 1e-6))
+        assert record_digest(base, precision=9) != record_digest(off, precision=9)
+
+    def test_wall_seconds_excluded_in_both_tiers(self):
+        fast = _FakeRecord(value=1.0, wall_seconds=1.0)
+        slow = _FakeRecord(value=1.0, wall_seconds=2.0)
+        assert record_digest(fast) == record_digest(slow)
+        assert record_digest(fast, precision=6) == record_digest(slow, precision=6)
 
 
 def test_corpus_covers_all_schedulers_and_faults():

@@ -41,7 +41,7 @@ class TestPrune:
         _feed(table, "a", [(0, 10.0), (2, 100.0)])
         table.remove_machine(2)
         for colony in ("a", "b"):
-            assert 2 not in table._tau[colony]
+            assert 2 not in table.row_mapping(colony)
             with pytest.raises(KeyError):
                 table.attractiveness(colony, 2)
 
@@ -129,8 +129,8 @@ class TestSeedOnRejoin:
         _feed(table, "a", [(0, 5.0), (1, 7.0), (2, 11.0)])
         table.attractiveness("a", 0)
         table.remove_machine(1)
-        row = table._tau["a"]
+        row = table.row_mapping("a")
         assert table._stats("a") == (sum(row.values()), max(row.values()))
         table.add_machine(4, (4,))
-        row = table._tau["a"]
+        row = table.row_mapping("a")
         assert table._stats("a") == (sum(row.values()), max(row.values()))

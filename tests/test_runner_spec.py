@@ -136,24 +136,16 @@ class TestRunEquivalence:
         assert via_spec.metrics.makespan == pytest.approx(via_harness.metrics.makespan)
 
 
-class TestPositionalCompatShim:
-    def test_positional_scheduler_warns_and_works(self):
+class TestKeywordOnlySignature:
+    """The positional compat shim is gone: options are keyword-only."""
+
+    def test_positional_options_rejected(self):
         jobs = [puma_job("grep", 1.0)]
-        with pytest.warns(DeprecationWarning, match="pass them as keywords"):
-            legacy = run_scenario(jobs, "fair")
-        modern = run_scenario(jobs, scheduler="fair")
-        assert legacy.metrics.total_energy_joules == pytest.approx(
-            modern.metrics.total_energy_joules
-        )
+        with pytest.raises(TypeError):
+            run_scenario(jobs, "fair")
 
     def test_keyword_call_does_not_warn(self):
         jobs = [puma_job("grep", 1.0)]
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             run_scenario(jobs, scheduler="fifo", seed=1)
-
-    def test_duplicate_argument_rejected(self):
-        jobs = [puma_job("grep", 1.0)]
-        with pytest.raises(TypeError), warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            run_scenario(jobs, "fair", scheduler="fifo")
