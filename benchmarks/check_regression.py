@@ -8,23 +8,30 @@ optimization is accidentally reverted or pessimized, the optimized time
 rises toward the reference time and the ratio collapses toward 1.0 —
 independent of how fast the host happens to be.
 
-Two gates run:
+Three gates run:
 
 * ``reference_ratio`` — the 20k-event DES kernel microbenchmark
   (dispatch loop, heap, timeout construction).
 * ``large_fleet_ratio`` — an end-to-end E-Ant run on a procedural
   fleet, which additionally exercises the vectorized colony scorer
   (``reference_mode`` swaps the scalar per-candidate scoring back in).
+* ``telemetry_overhead`` (from ``BENCH_telemetry.json``) — a paired
+  telemetry-on vs telemetry-off run of the large-fleet scenario; the
+  on/off wall-clock ratio must stay **below** the committed budget
+  (1.05x), bounding what the columnar sampler + phase profiler may cost
+  the hot paths.
 
-Each gate fails when its measured ratio drops below
+The speedup gates fail when their measured ratio drops below
 ``expected_ratio * fail_below_fraction`` (0.8 — i.e. a >20 % relative
-throughput regression).  Run locally or in CI::
+throughput regression); the telemetry gate fails when its ratio rises
+above ``budget_ratio``.  Run locally or in CI::
 
     PYTHONPATH=src python benchmarks/check_regression.py
 
 Exit status 0 on pass, 1 on regression.  After a *deliberate* hot-path
 change, refresh the baseline by re-measuring (the script prints the
-observed ratios) and editing ``BENCH_kernel.json`` in the same commit.
+observed ratios) and editing ``BENCH_kernel.json`` /
+``BENCH_telemetry.json`` in the same commit.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "BENCH_kernel.json"
+TELEMETRY_BASELINE_PATH = REPO_ROOT / "BENCH_telemetry.json"
 
 
 def _run_events(n: int) -> float:
@@ -120,12 +128,86 @@ def _large_fleet_gate(baseline: dict, reps: int) -> bool:
     )
 
 
+def _telemetry_gate(baseline: dict, reps: int) -> bool:
+    """Telemetry-on must stay within ``budget_ratio`` of telemetry-off.
+
+    An *upper*-bound gate, unlike the speedup ratios above.  The paired
+    method exists because wall-clock on a shared host drifts by several
+    percent over the minutes this gate runs — more than the overhead
+    being measured — so three defenses are layered:
+
+    * a discarded warm run first (a process's first fleet-scale run is
+      measurably slower than its steady state: allocator arenas, import
+      side tables, and branch caches are still filling);
+    * on/off pairs with *alternating order* (off-first, then on-first),
+      so monotone within-process drift penalizes neither side, and the
+      best of each side compared;
+    * cyclic GC paused while timing, for the same reason
+      ``benchmarks/test_overhead.py`` pauses it: collector pauses land
+      arbitrarily across 30+ second runs and would measure GC scheduling
+      luck, not the instrumentation hooks this gate watches.
+    """
+    import gc
+
+    from repro.experiments.scenarios import large_fleet_spec
+    from repro.runner.engine import execute_spec
+
+    spec = large_fleet_spec(
+        n_nodes=int(baseline["n_nodes"]),
+        target_tasks=int(baseline["target_tasks"]),
+        seed=int(baseline["seed"]),
+    )
+
+    def timed(telemetry: bool) -> float:
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            execute_spec(spec, telemetry=telemetry)
+            return time.perf_counter() - start
+        finally:
+            gc.enable()
+
+    timed(False)  # discarded warm run
+    offs = []
+    ons = []
+    for index in range(reps):
+        if index % 2 == 0:
+            offs.append(timed(False))
+            ons.append(timed(True))
+        else:
+            ons.append(timed(True))
+            offs.append(timed(False))
+    off = min(offs)
+    on = min(ons)
+    ratio = on / off
+    budget = float(baseline["budget_ratio"])
+    detail = f"{baseline['n_nodes']} nodes / {baseline['target_tasks']} tasks"
+    print(
+        f"telemetry {detail}: off {off:.2f} s, on {on:.2f} s, "
+        f"ratio {ratio:.3f}x (budget {budget:.2f}x)"
+    )
+    if ratio > budget:
+        print(
+            f"FAIL: telemetry overhead {ratio:.3f}x exceeds the {budget:.2f}x "
+            "budget in BENCH_telemetry.json — the sampler/profiler hot paths "
+            "got more expensive."
+        )
+        return False
+    print("PASS: telemetry overhead within budget.")
+    return True
+
+
 def main(reps: int = 15) -> int:
     baselines = json.loads(BASELINE_PATH.read_text())
     ok = _kernel_gate(baselines["reference_ratio"], reps)
     fleet = baselines.get("large_fleet_ratio")
     if fleet is not None:
         ok = _large_fleet_gate(fleet, int(fleet.get("reps", 3))) and ok
+    if TELEMETRY_BASELINE_PATH.exists():
+        telemetry = json.loads(TELEMETRY_BASELINE_PATH.read_text())
+        gate = telemetry["telemetry_overhead"]
+        ok = _telemetry_gate(gate, int(gate.get("reps", 2))) and ok
     return 0 if ok else 1
 
 

@@ -31,6 +31,42 @@ def test_pheromone_update_overhead(benchmark):
     assert result.mean_seconds < 0.3
 
 
+def test_telemetry_overhead_guard():
+    """A fully-telemetered run must stay within 1.25x the bare wall-clock.
+
+    Same paired method as :func:`test_tracing_overhead_guard`, but for the
+    columnar :class:`~repro.observability.TelemetrySink` + phase profiler
+    stack (``telemetry=True`` turns on both plus the per-heartbeat latency
+    buffering).  The committed fleet-scale budget is 1.05x on the
+    1,000-node scenario (``BENCH_telemetry.json``, enforced by
+    ``benchmarks/check_regression.py``); this pytest-tier guard runs a
+    small scenario where fixed per-run costs weigh proportionally more,
+    so it gets the looser 1.25x bound.
+    """
+    jobs, hadoop = msd_scenario(seed=3, n_jobs=12)
+
+    def run_once(telemetry):
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            run_scenario(
+                jobs, scheduler="e-ant", hadoop=hadoop, seed=3, telemetry=telemetry
+            )
+            return time.perf_counter() - start
+        finally:
+            gc.enable()
+
+    run_once(None)  # warm caches before timing
+    pairs = [(run_once(None), run_once(True)) for _ in range(4)]
+    bare = min(b for b, _ in pairs)
+    telemetered = min(t for _, t in pairs)
+    ratio = telemetered / bare
+    heading("telemetry overhead on the Fig. 8 scenario (12 MSD jobs, e-ant)")
+    print(f"bare {bare*1000:.0f} ms  telemetered {telemetered*1000:.0f} ms  ratio {ratio:.3f}")
+    assert ratio <= 1.25, f"telemetry overhead {ratio:.3f}x exceeds the 1.25x budget"
+
+
 def test_tracing_overhead_guard():
     """A fully-traced run must stay within 1.25x the untraced wall-clock.
 
@@ -56,7 +92,10 @@ def test_tracing_overhead_guard():
             gc.enable()
 
     run_once(None)  # warm caches/JIT-ish paths before timing
-    pairs = [(run_once(None), run_once(Tracer())) for _ in range(4)]
+    # 8 pairs: the ratio sits near the budget on shared hosts (it was
+    # ~1.23 at the guard's introduction), so the best-of needs enough
+    # samples that one slow traced run cannot tip it over.
+    pairs = [(run_once(None), run_once(Tracer())) for _ in range(8)]
     untraced = min(u for u, _ in pairs)
     traced = min(t for _, t in pairs)
     ratio = traced / untraced

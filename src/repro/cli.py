@@ -21,10 +21,17 @@ Subcommands
     without simulating anything.
 ``trace``
     Summarize a JSONL trace file written by ``run --trace`` (event counts,
-    decision-audit roll-up, flamegraph-style phase breakdown).
+    decision-audit roll-up, flamegraph-style phase breakdown).  Streams
+    the file line by line — constant memory at any trace size.
 ``report``
     Replay a JSONL trace into the per-machine utilization/power sparkline
-    report, offline — no re-simulation.
+    report, offline — no re-simulation.  Also accepts telemetry exports
+    (``.npz`` or JSON written by ``profile --out``) and renders the
+    fleet-sparkline/phase-table view instead.
+``profile``
+    Run a job mix with the columnar telemetry layer + kernel phase
+    profiler attached and print the fleet time-series and phase table;
+    ``--out FILE.npz|.json`` exports the records for offline ``report``.
 """
 
 from __future__ import annotations
@@ -105,7 +112,38 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("file", help="trace written by `run --trace`")
 
     report = sub.add_parser("report", help="replay a trace into sparklines")
-    report.add_argument("file", help="trace written by `run --trace`")
+    report.add_argument(
+        "file",
+        help="trace written by `run --trace`, or a telemetry export "
+        "written by `profile --out`",
+    )
+
+    profile = sub.add_parser(
+        "profile", help="run with telemetry + kernel phase profiling"
+    )
+    profile.add_argument("--scheduler", choices=SCHEDULER_NAMES, default="e-ant")
+    profile.add_argument(
+        "--jobs",
+        nargs="+",
+        default=["wordcount:4", "grep:4", "terasort:4"],
+        metavar="APP:GB",
+        help="jobs as application:input_gb (submitted a minute apart)",
+    )
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="telemetry sampling period in simulated seconds "
+        "(default: the Hadoop control interval, 300)",
+    )
+    profile.add_argument(
+        "--out",
+        metavar="FILE",
+        help="export the telemetry/profile records (.npz or .json by "
+        "extension; inspect later with `report`)",
+    )
 
     figure = sub.add_parser("figure", help="regenerate one paper figure's data")
     figure.add_argument("name", choices=list(FIGURE_NAMES))
@@ -470,18 +508,69 @@ def _load_trace(path: str):
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from .observability import flame_summary, trace_summary
+    from .observability import TraceStats, iter_jsonl
 
-    events = _load_trace(args.file)
-    if events is None:
+    # Stream the file through the single-pass accumulator instead of
+    # materializing every event: summarizing a multi-gigabyte trace costs
+    # constant memory.  A corrupt line aborts with the same exit 2 the
+    # materialized reader used.
+    stats = TraceStats()
+    try:
+        for event in iter_jsonl(args.file):
+            stats.add(event)
+    except (OSError, ValueError) as error:
+        print(f"cannot read trace {args.file!r}: {error}", file=sys.stderr)
         return 2
-    print(trace_summary(events))
+    print(stats.summary())
     print()
-    print(flame_summary(events))
+    print(stats.flame())
     return 0
 
 
+def _telemetry_export_format(path: str) -> Optional[str]:
+    """``"npz"`` / ``"json"`` when ``path`` looks like a telemetry export.
+
+    NPZ is decided by extension; JSON by the export-kind marker in the
+    head of the file (a JSONL trace line never contains it).
+    """
+    from .observability.telemetry import EXPORT_KIND
+
+    if path.endswith(".npz"):
+        return "npz"
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            head = handle.read(256)
+    except OSError:
+        return None
+    return "json" if EXPORT_KIND in head else None
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
+    export_format = _telemetry_export_format(args.file)
+    if export_format is not None:
+        from .observability import (
+            profile_table,
+            read_telemetry_json,
+            read_telemetry_npz,
+            telemetry_report,
+        )
+
+        reader = read_telemetry_npz if export_format == "npz" else read_telemetry_json
+        try:
+            telemetry, profile = reader(args.file)
+        except (OSError, ValueError, KeyError) as error:
+            print(
+                f"cannot read telemetry export {args.file!r}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        if telemetry is not None:
+            print(telemetry_report(telemetry, profile))
+        elif profile is not None:
+            print("kernel phase profile (host wall-clock):")
+            print(profile_table(profile))
+        return 0
+
     from .observability import report_from_trace
     from .observability.report import machine_series_from_trace
 
@@ -496,6 +585,57 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"cannot build report: {error}", file=sys.stderr)
         return 2
     print(report_from_trace(events))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .observability import (
+        telemetry_report,
+        write_telemetry_json,
+        write_telemetry_npz,
+    )
+
+    try:
+        jobs = parse_job_tokens(args.jobs)
+        if args.interval is not None and not (args.interval > 0):
+            raise JobTokenError(
+                f"--interval must be a positive number of simulated seconds "
+                f"(got {args.interval!r})"
+            )
+        if args.out is not None and not args.out.endswith((".npz", ".json")):
+            raise JobTokenError(
+                f"--out {args.out!r}: expected a .npz or .json destination"
+            )
+    except JobTokenError as error:
+        print(error, file=sys.stderr)
+        return 2
+    _print_run_config(
+        scheduler=args.scheduler,
+        seed=args.seed,
+        jobs=",".join(args.jobs),
+        interval=args.interval,
+        out=args.out,
+    )
+    result = run_scenario(
+        jobs,
+        scheduler=args.scheduler,
+        seed=args.seed,
+        telemetry=args.interval if args.interval is not None else True,
+    )
+    assert result.telemetry is not None and result.profiler is not None
+    telemetry = result.telemetry.record()
+    profile = result.profiler.record()
+    print(telemetry_report(telemetry, profile))
+    if args.out:
+        try:
+            if args.out.endswith(".npz"):
+                write_telemetry_npz(args.out, telemetry, profile)
+            else:
+                write_telemetry_json(args.out, telemetry, profile)
+        except OSError as error:
+            print(f"cannot write export {args.out!r}: {error}", file=sys.stderr)
+            return 2
+        print(f"\ntelemetry export written to {args.out}")
     return 0
 
 
@@ -516,6 +656,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
     except BrokenPipeError:
         # `repro trace out.jsonl | head` closes stdout mid-print; exit
         # quietly like a well-behaved filter.  Point stdout at /dev/null

@@ -25,7 +25,7 @@ from ..cluster import MachineSpec, Network
 from ..core import EAntConfig
 from ..faults import FaultPlan
 from ..noise import DEFAULT_NOISE, NoiseModel
-from ..observability import Tracer
+from ..observability import TelemetryConfig, Tracer
 from ..runner import (
     SCHEDULER_NAMES,
     ScenarioResult,
@@ -55,6 +55,7 @@ def run_scenario(
     network: Optional[Network] = None,
     max_sim_time: float = 10_000_000.0,
     trace: Union[None, str, Path, Tracer] = None,
+    telemetry: Union[None, bool, int, float, TelemetryConfig] = None,
     faults: Optional["FaultPlan"] = None,
 ) -> ScenarioResult:
     """Run one complete scenario and return its results.
@@ -89,6 +90,13 @@ def run_scenario(
         ``None`` (default) runs fully uninstrumented.  A path writes a
         JSONL trace there on completion; a
         :class:`~repro.observability.Tracer` collects events in memory.
+    telemetry:
+        ``True`` attaches the columnar
+        :class:`~repro.observability.TelemetrySink` + kernel
+        :class:`~repro.observability.PhaseProfiler`; a number overrides
+        the sampling interval (simulated seconds); a
+        :class:`~repro.observability.TelemetryConfig` sets everything.
+        Pure observation — does not change the simulated outcome.
     faults:
         Optional :class:`~repro.faults.FaultPlan` executed against the run
         (part of the spec identity, so faulted and fault-free runs never
@@ -116,6 +124,7 @@ def run_scenario(
     return execute_spec(
         spec,
         trace=trace,
+        telemetry=telemetry,
         placements=placements,
         network=network,
         scheduler_factory=factory,

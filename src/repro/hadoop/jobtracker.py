@@ -10,6 +10,7 @@ any registered listeners (metrics collectors, task analyzers).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Dict, Generator, List, Optional
 
 import numpy as np
@@ -17,6 +18,7 @@ import numpy as np
 from ..cluster import Cluster
 from ..noise import NoiseModel
 from ..observability.metrics import Counter, MetricsRegistry
+from ..observability.profiler import NULL_PROFILER, SAMPLE_STRIDE
 from ..observability.tracer import NULL_TRACER, EventType
 from ..simulation import Event, Simulator
 from ..workloads import JobSpec
@@ -79,6 +81,13 @@ class JobTracker:
         self._heartbeat_gap_hist = (
             None if registry is None else registry.histogram("heartbeat_gap_seconds")
         )
+        #: Telemetry/profiling hooks (see :meth:`attach_telemetry`); the
+        #: defaults keep the heartbeat hot path at one attribute check each.
+        self.telemetry = None
+        self.profiler = NULL_PROFILER
+        #: countdown to the next stride-sampled ``select_tasks`` timing
+        #: (see ``repro.observability.profiler.SAMPLE_STRIDE``)
+        self._select_tick = 0
         self._assignment_counters: Dict[tuple, Counter] = {}
         self._completion_counters: Dict[tuple, Counter] = {}
         self.cluster = cluster
@@ -113,6 +122,24 @@ class JobTracker:
     def register_tracker(self, tracker: TaskTracker) -> None:
         """Called by each TaskTracker when it starts."""
         self.trackers[tracker.machine.machine_id] = tracker
+
+    def attach_telemetry(self, sink=None, profiler=None) -> None:
+        """Attach a :class:`~repro.observability.TelemetrySink` and/or a
+        :class:`~repro.observability.PhaseProfiler` to the heartbeat path.
+
+        With a sink attached every heartbeat's assignment batch size is
+        buffered for the sink's log-bucketed histograms, and one
+        heartbeat in every ``SAMPLE_STRIDE`` additionally has its
+        ``select_tasks`` wall-clock latency timed (the clock reads are
+        the dominant hook cost at fleet scale); with a profiler, the
+        sampled measurement is charged to the ``"select"`` phase at
+        stride weight.  Pure observation either way — no RNG is consumed
+        and no simulation event is scheduled.
+        """
+        if sink is not None:
+            self.telemetry = sink
+        if profiler is not None:
+            self.profiler = profiler
 
     def expect_jobs(self, count: int) -> None:
         """Declare the total number of jobs this run will submit.
@@ -256,7 +283,31 @@ class JobTracker:
         if machine_id not in self.trackers:
             return []  # this tracker was itself expired
         status = tracker.status()
-        assignments = self.scheduler.select_tasks(status)
+        profiler = self.profiler
+        sink = self.telemetry
+        if profiler.enabled or sink is not None:
+            # Stride-sampled timing: the two clock reads are the dominant
+            # instrumentation cost at ~400k heartbeats per fleet-scale run,
+            # so only every SAMPLE_STRIDE-th select is timed, charged at
+            # stride weight (an unbiased estimate of the phase total).
+            # Batch sizes need no clock and are observed every heartbeat.
+            tick = self._select_tick - 1
+            if tick < 0:
+                self._select_tick = SAMPLE_STRIDE - 1
+                started = perf_counter()
+                assignments = self.scheduler.select_tasks(status)
+                elapsed = perf_counter() - started
+                if profiler.enabled:
+                    profiler.add("select", elapsed * SAMPLE_STRIDE)
+                if sink is not None:
+                    sink.observe_heartbeat(elapsed, len(assignments))
+            else:
+                self._select_tick = tick
+                assignments = self.scheduler.select_tasks(status)
+                if sink is not None:
+                    sink.observe_batch(len(assignments))
+        else:
+            assignments = self.scheduler.select_tasks(status)
         maps = reduces = 0
         if assignments:  # empty heartbeats (the common case at scale) skip the audit
             maps = sum(1 for t in assignments if t.is_map)

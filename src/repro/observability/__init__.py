@@ -1,23 +1,57 @@
 """Structured tracing & telemetry for the E-Ant simulator.
 
-Four pieces (see ``docs/observability.md`` for schemas and examples):
+Six pieces (see ``docs/observability.md`` for schemas, the
+choosing-your-instrument matrix, and examples):
 
 * :mod:`.tracer` — typed trace events with a zero-cost off switch
   (:data:`NULL_TRACER`); threaded through the simulation engine, both
-  trackers, and every scheduler.
+  trackers, and every scheduler.  Optional ``max_events`` ring mode keeps
+  memory bounded on large fleets.
 * :mod:`.audit` — the scheduler decision audit log: one record per E-Ant
   slot decision decomposing Eqs. 3-8 (pheromone, heuristic, fairness,
   final probability) over the full candidate set.
 * :mod:`.metrics` — a labelled counter/gauge/histogram registry with
   periodic snapshots on the simulation clock.
-* :mod:`.exporters` / :mod:`.report` — JSONL trace files, flamegraph-style
-  text summaries, and offline replay of a trace into the per-machine
-  sparkline reports (``repro trace`` / ``repro report``).
+* :mod:`.telemetry` — fleet-scale columnar time-series: per-interval
+  aggregates in NumPy ring buffers with per-machine-class rollups,
+  ``O(classes x samples)`` memory at any fleet size.
+* :mod:`.profiler` — wall-clock phase profiling of the kernel hot
+  sections (dispatch, selection, energy integration, fault injection)
+  into plain float slots.
+* :mod:`.exporters` / :mod:`.report` — JSONL trace files (materialized or
+  streamed), flamegraph-style text summaries, NPZ/JSON telemetry exports,
+  and offline replay into sparkline reports (``repro trace`` /
+  ``repro report`` / ``repro profile``).
 """
 
 from .audit import CandidateRow, DecisionRecord
-from .exporters import flame_summary, read_jsonl, trace_summary, write_jsonl
+from .exporters import (
+    TraceStats,
+    flame_summary,
+    iter_jsonl,
+    read_jsonl,
+    trace_summary,
+    write_jsonl,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, SnapshotSampler
+from .profiler import (
+    NULL_PROFILER,
+    NullProfiler,
+    PhaseProfiler,
+    PhaseStat,
+    ProfileRecord,
+    profile_table,
+)
+from .telemetry import (
+    TelemetryConfig,
+    TelemetryRecord,
+    TelemetrySink,
+    read_telemetry_json,
+    read_telemetry_npz,
+    telemetry_records_equal,
+    write_telemetry_json,
+    write_telemetry_npz,
+)
 from .tracer import NULL_TRACER, EventType, NullTracer, TraceEvent, Tracer
 
 
@@ -25,7 +59,7 @@ def __getattr__(name):
     # `.report` renders through repro.metrics.timeline, which sits above the
     # simulation/hadoop layers that import this package for NULL_TRACER —
     # loading it lazily keeps the low-level import graph acyclic.
-    if name in ("machine_series_from_trace", "report_from_trace"):
+    if name in ("machine_series_from_trace", "report_from_trace", "telemetry_report"):
         from . import report
 
         return getattr(report, name)
@@ -44,10 +78,27 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "SnapshotSampler",
+    "PhaseProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "PhaseStat",
+    "ProfileRecord",
+    "profile_table",
+    "TelemetryConfig",
+    "TelemetrySink",
+    "TelemetryRecord",
+    "telemetry_records_equal",
+    "write_telemetry_npz",
+    "read_telemetry_npz",
+    "write_telemetry_json",
+    "read_telemetry_json",
     "write_jsonl",
     "read_jsonl",
+    "iter_jsonl",
+    "TraceStats",
     "trace_summary",
     "flame_summary",
     "machine_series_from_trace",
     "report_from_trace",
+    "telemetry_report",
 ]

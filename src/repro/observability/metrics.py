@@ -15,11 +15,13 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from .tracer import NULL_TRACER, EventType
 
 if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
     from ..cluster import Cluster
     from ..hadoop.jobtracker import JobTracker
     from ..simulation import Simulator
@@ -73,6 +75,7 @@ class Histogram:
         self.min = float("inf")
         self.max = float("-inf")
         self._raw = [0] * len(buckets)
+        self._bucket_array: Optional["np.ndarray"] = None
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -84,6 +87,38 @@ class Histogram:
         index = bisect.bisect_left(self.buckets, value)
         if index < len(self._raw):
             self._raw[index] += 1
+
+    def observe_many(self, values: "Sequence[float]") -> None:
+        """Vectorized batch observation: one ``searchsorted`` per call.
+
+        Equivalent to calling :meth:`observe` on every element (the
+        property suite pins the bucket counts, count, min, and max
+        exactly; the sum only to float tolerance, since the accumulation
+        order differs) — but O(n log buckets) in NumPy instead of n
+        Python-level bisections.  This is how the telemetry sink drains
+        its per-heartbeat buffers once per sampling interval.
+        """
+        import numpy as np
+
+        array = np.asarray(values, dtype=np.float64)
+        if array.size == 0:
+            return
+        self.count += int(array.size)
+        self.sum += float(array.sum())
+        low = float(array.min())
+        high = float(array.max())
+        if low < self.min:
+            self.min = low
+        if high > self.max:
+            self.max = high
+        if self._bucket_array is None:
+            self._bucket_array = np.asarray(self.buckets, dtype=np.float64)
+        indices = np.searchsorted(self._bucket_array, array, side="left")
+        raw = self._raw
+        counts = np.bincount(indices[indices < len(raw)], minlength=len(raw))
+        for index, extra in enumerate(counts.tolist()):
+            if extra:
+                raw[index] += extra
 
     @property
     def counts(self) -> List[int]:

@@ -9,13 +9,23 @@ renderer the online ``--timeline`` view uses.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..metrics.timeline import MachineSeries, render_series_report
+import numpy as np
+
+from ..metrics.timeline import MachineSeries, render_series_report, sparkline
 from .exporters import flame_summary, trace_summary
+from .profiler import ProfileRecord, profile_table
+from .telemetry import TelemetryRecord
 from .tracer import EventType, TraceEvent
 
-__all__ = ["fault_marks_from_trace", "machine_series_from_trace", "report_from_trace"]
+__all__ = [
+    "fault_marks_from_trace",
+    "machine_series_from_trace",
+    "report_from_trace",
+    "telemetry_report",
+]
 
 #: Single-character timeline markers per fault/recovery event kind.
 _FAULT_MARKS = {
@@ -122,6 +132,91 @@ def _render_fault_timeline(
     for time, char, detail in marks:
         lines.append(f"  {char} t={time:8.1f}s  {detail}")
     return "\n".join(lines)
+
+
+#: Fleet-level telemetry series rendered as sparklines, with a label and a
+#: value formatter for the final sample.
+_TELEMETRY_SERIES = (
+    ("power_watts", "power kW", lambda v: f"{v / 1000:.1f}"),
+    ("busy_map_slots", "busy maps", lambda v: f"{v:.0f}"),
+    ("busy_reduce_slots", "busy reduces", lambda v: f"{v:.0f}"),
+    ("pending_maps", "pending maps", lambda v: f"{v:.0f}"),
+    ("pending_reduces", "pending reds", lambda v: f"{v:.0f}"),
+    ("active_machines", "active nodes", lambda v: f"{v:.0f}"),
+    ("energy_joules", "energy MJ", lambda v: f"{v / 1e6:.2f}"),
+    ("tau_mean", "tau mean", lambda v: f"{v:.3f}"),
+)
+
+
+def _histogram_lines(name: str, payload: Dict[str, object], width: int = 30) -> List[str]:
+    buckets: Dict[str, int] = payload.get("buckets", {})  # type: ignore[assignment]
+    count = int(payload.get("count", 0) or 0)
+    def _fmt(value: object) -> str:
+        return f"{value:.4g}" if isinstance(value, float) else str(value)
+
+    lines = [
+        f"{name}: n={count} mean={float(payload.get('sum', 0.0) or 0.0) / max(count, 1):.3g} "
+        f"min={_fmt(payload.get('min'))} max={_fmt(payload.get('max'))}"
+    ]
+    previous = 0
+    for bound, cumulative in buckets.items():
+        in_bucket = int(cumulative) - previous
+        previous = int(cumulative)
+        if not in_bucket:
+            continue
+        bar = "#" * max(1, min(width, round(in_bucket / max(count, 1) * width)))
+        lines.append(f"  <= {bound:>8s} {in_bucket:>8d} {bar}")
+    return lines
+
+
+def telemetry_report(
+    telemetry: TelemetryRecord,
+    profile: Optional[ProfileRecord] = None,
+    width: int = 60,
+) -> str:
+    """Render a telemetry export: fleet sparklines, class rollups, phases.
+
+    The offline counterpart of ``repro profile``'s live output: feed it a
+    record loaded from an NPZ/JSON export and it reconstructs the
+    time-series view without re-simulating anything.
+    """
+    times = telemetry.columns["time"]
+    sections: List[str] = []
+    span = f"{times[0]:.0f}s..{times[-1]:.0f}s" if telemetry.samples else "empty"
+    sections.append(
+        f"telemetry: {telemetry.samples} samples every {telemetry.interval:g}s "
+        f"({span}), {len(telemetry.class_names)} machine classes"
+        + (f", {telemetry.dropped_samples} oldest samples dropped"
+           if telemetry.dropped_samples else "")
+    )
+    if telemetry.samples:
+        label_width = max(len(label) for _, label, _ in _TELEMETRY_SERIES)
+        for column, label, fmt in _TELEMETRY_SERIES:
+            values = telemetry.columns[column]
+            finite = values[~np.isnan(values)]
+            if finite.size == 0:
+                continue
+            line = sparkline([0.0 if math.isnan(v) else v for v in values.tolist()], width=width)
+            sections.append(f"{label:<{label_width}s} {line} {fmt(float(values[-1]))}")
+        if telemetry.class_names:
+            sections.append("")
+            sections.append("per-class power (W):")
+            name_width = max(len(n) for n in telemetry.class_names)
+            power = telemetry.class_columns["power_watts"]
+            for index, name in enumerate(telemetry.class_names):
+                series = power[index]
+                sections.append(
+                    f"  {name:<{name_width}s} {sparkline(series.tolist(), width=width)} "
+                    f"{float(series[-1]):.0f}"
+                )
+    for name, payload in telemetry.histograms.items():
+        sections.append("")
+        sections.extend(_histogram_lines(name, payload))
+    if profile is not None:
+        sections.append("")
+        sections.append("kernel phase profile (host wall-clock):")
+        sections.append(profile_table(profile))
+    return "\n".join(sections)
 
 
 def report_from_trace(events: Sequence[TraceEvent], width: int = 60) -> str:

@@ -29,10 +29,14 @@ from ..faults import FaultInjector
 from ..hadoop import BlockPlacer, JobTracker, TaskTracker
 from ..metrics import MetricsCollector, RunMetrics, build_job_results
 from ..observability import (
+    NULL_PROFILER,
     NULL_TRACER,
     EventType,
     MetricsRegistry,
+    PhaseProfiler,
     SnapshotSampler,
+    TelemetryConfig,
+    TelemetrySink,
     Tracer,
     write_jsonl,
 )
@@ -96,6 +100,8 @@ class ScenarioResult:
     tracer: Optional[Tracer] = None
     registry: Optional[MetricsRegistry] = None
     injector: Optional[FaultInjector] = None
+    telemetry: Optional[TelemetrySink] = None
+    profiler: Optional[PhaseProfiler] = None
 
     @property
     def eant(self) -> EAntScheduler:
@@ -109,6 +115,7 @@ def execute_spec(
     spec: "ScenarioSpec",
     *,
     trace: Union[None, str, Path, Tracer] = None,
+    telemetry: Union[None, bool, int, float, TelemetryConfig] = None,
     placements: Optional[Dict[int, List[Tuple[int, ...]]]] = None,
     network: Optional[Network] = None,
     scheduler_factory: Optional[SchedulerFactory] = None,
@@ -128,6 +135,17 @@ def execute_spec(
         Either way a :class:`~repro.observability.MetricsRegistry` is
         attached and periodic ``metrics.snapshot`` events are emitted
         every ``spec.meter_interval`` simulated seconds.
+    telemetry:
+        ``None``/``False`` (default) runs without the columnar telemetry
+        layer.  ``True`` attaches a
+        :class:`~repro.observability.TelemetrySink` sampling fleet-wide
+        aggregates once per control interval plus a
+        :class:`~repro.observability.PhaseProfiler` timing the kernel hot
+        sections; a number overrides the sampling interval (simulated
+        seconds); a :class:`~repro.observability.TelemetryConfig` sets
+        everything explicitly.  Like tracing, telemetry is pure
+        observation — it consumes no RNG and the run's digest is
+        bit-identical with it on, off, or at any interval.
     placements:
         Optional per-job replica overrides: index in the submitted job
         list -> replica host tuples (locality experiments).
@@ -170,6 +188,17 @@ def execute_spec(
         registry = MetricsRegistry()
         sim.tracer = tracer
 
+    # Telemetry follows the same contract: sampling consumes no RNG, reads
+    # energy through non-mutating projections, and schedules only its own
+    # digest-neutral timeout events.
+    telemetry_config = TelemetryConfig.coerce(telemetry)
+    profiler: Optional[PhaseProfiler] = None
+    if telemetry_config is not None and telemetry_config.profile:
+        profiler = PhaseProfiler()
+        sim.profiler = profiler
+        for machine in cluster:
+            machine.profiler = profiler
+
     jobtracker = JobTracker(
         sim,
         cluster,
@@ -198,6 +227,23 @@ def execute_spec(
         tracker.start(jobtracker)
         trackers.append(tracker)
 
+    sink: Optional[TelemetrySink] = None
+    if telemetry_config is not None:
+        sink = TelemetrySink(
+            cluster,
+            jobtracker=jobtracker,
+            scheduler=policy,
+            interval=(
+                telemetry_config.interval
+                if telemetry_config.interval is not None
+                else config.control_interval
+            ),
+            max_samples=telemetry_config.max_samples,
+            profiler=profiler if profiler is not None else NULL_PROFILER,
+        )
+        jobtracker.attach_telemetry(sink, profiler)
+        sink.attach(sim)
+
     injector: Optional[FaultInjector] = None
     if spec.faults is not None:
         injector = FaultInjector(
@@ -210,6 +256,7 @@ def execute_spec(
             trackers=trackers,
             noise=spec.noise,
             tracer=tracer if tracer is not None else NULL_TRACER,
+            profiler=profiler if profiler is not None else NULL_PROFILER,
         )
         injector.attach()
 
@@ -271,6 +318,10 @@ def execute_spec(
         # a snapshot of the completed workload (in event order — trailing
         # heartbeats may still tick afterwards).
         jobtracker.all_done_event.add_callback(lambda _e: sampler.sample(sim.now))
+    if sink is not None:
+        # Same closing rule for the columnar series: its last sample is the
+        # completed-workload instant, not a later periodic tick.
+        jobtracker.all_done_event.add_callback(lambda _e: sink.sample(sim.now))
 
     sim.run(until=spec.max_sim_time)
     if "makespan" not in snapshot:
@@ -309,4 +360,6 @@ def execute_spec(
         tracer=tracer,
         registry=registry,
         injector=injector,
+        telemetry=sink,
+        profiler=profiler,
     )

@@ -27,6 +27,8 @@ from ..core import EAntScheduler
 from ..energy.meter import MeterReading
 from ..faults import FaultRecovery
 from ..metrics import RunMetrics
+from ..observability.profiler import ProfileRecord
+from ..observability.telemetry import TelemetryRecord
 
 if TYPE_CHECKING:  # pragma: no cover
     from .engine import ScenarioResult
@@ -100,10 +102,21 @@ def record_digest(record: "RunRecord", precision: Optional[int] = None) -> str:
     first, so the digest tolerates sub-ulp accumulation differences while
     still pinning structure and every non-float value exactly.
     ``wall_seconds`` is host timing, not simulation outcome, so it is
-    excluded either way.
+    excluded either way — as are the ``telemetry`` and ``profile``
+    sections, which hold host wall-clock measurements and observational
+    time-series whose sample count depends on the sampling interval.
+    Dropping them keeps the digest payload byte-identical to records
+    produced before telemetry existed, so frozen golden digests survive.
     """
-    data = _digestable(record, precision)
+    stripped = record
+    if getattr(record, "telemetry", None) is not None or getattr(record, "profile", None) is not None:
+        # Null the sections *before* projecting: ndarray columns are not
+        # digestable, and they must not be.
+        stripped = dataclasses.replace(record, telemetry=None, profile=None)
+    data = _digestable(stripped, precision)
     data.pop("wall_seconds", None)
+    data.pop("telemetry", None)
+    data.pop("profile", None)
     payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -156,6 +169,11 @@ class RunRecord:
     phase_breakdown_by_job: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: Per-disruptive-fault recovery summaries (empty on fault-free runs)
     faults: Tuple[FaultRecovery, ...] = ()
+    #: Columnar fleet time-series (runs executed with ``telemetry=``);
+    #: excluded from digests — observational, interval-dependent shape
+    telemetry: Optional[TelemetryRecord] = None
+    #: Kernel phase-profile (host wall-clock); excluded from digests
+    profile: Optional[ProfileRecord] = None
     #: seconds of wall-clock time the producing run took (0.0 on restore
     #: from cache the field keeps the *original* run's cost)
     wall_seconds: float = 0.0
@@ -197,6 +215,13 @@ def build_record(spec: "ScenarioSpec", result: "ScenarioResult", wall_seconds: f
     if result.injector is not None:
         recoveries = tuple(result.injector.recovery_summary())
 
+    telemetry: Optional[TelemetryRecord] = None
+    if result.telemetry is not None:
+        telemetry = result.telemetry.record()
+    profile: Optional[ProfileRecord] = None
+    if result.profiler is not None:
+        profile = result.profiler.record()
+
     return RunRecord(
         spec_hash=spec.spec_hash(),
         metrics=result.metrics.portable(),
@@ -205,5 +230,7 @@ def build_record(spec: "ScenarioSpec", result: "ScenarioResult", wall_seconds: f
         convergence=convergence,
         phase_breakdown_by_job=breakdowns,
         faults=recoveries,
+        telemetry=telemetry,
+        profile=profile,
         wall_seconds=wall_seconds,
     )

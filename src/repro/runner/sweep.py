@@ -135,22 +135,39 @@ class SweepRunner:
         spec: ScenarioSpec,
         source: str,
         seconds: float,
+        report: SweepReport,
     ) -> None:
+        """One progress line / trace event per *resolved* spec.
+
+        Lines carry live sweep state — completed/total, cache-hit rate so
+        far, this spec's wall time, and a throughput-extrapolated ETA
+        (elapsed ÷ completed × remaining; the parallel path's completion
+        order already folds pool concurrency into the throughput).
+        """
+        completed = len(report.sources)
+        elapsed = time.perf_counter() - started
+        remaining = total - completed
+        eta = elapsed / completed * remaining if completed else 0.0
+        hit_rate = report.cache_hits / completed if completed else 0.0
         if self.tracer is not None:
             self.tracer.emit(
                 EventType.SWEEP_TASK,
-                time.perf_counter() - started,
+                elapsed,
                 index=index,
                 total=total,
+                completed=completed,
                 label=spec.display_label,
                 spec_hash=spec.short_hash,
                 source=source,
                 seconds=round(seconds, 6),
+                cache_hits=report.cache_hits,
+                eta_seconds=round(eta, 3),
             )
         if self.progress is not None:
             self.progress(
-                f"[{index + 1}/{total}] {spec.display_label:32s} "
-                f"{source:8s} {seconds:7.2f}s"
+                f"[{completed}/{total}] {spec.display_label:32s} "
+                f"{source:8s} {seconds:7.2f}s  "
+                f"cache {hit_rate * 100:3.0f}%  eta {eta:6.0f}s"
             )
 
     def _run_serial_one(
@@ -199,7 +216,10 @@ class SweepRunner:
                     results[index] = record
                     report.executed += 1
                     report.sources[index] = "parallel"
-                    self._emit(started, index, total, spec, "parallel", record.wall_seconds)
+                    self._emit(
+                        started, index, total, spec, "parallel",
+                        record.wall_seconds, report,
+                    )
         except Exception:
             # The pool itself failed (fork refused, semaphores unavailable,
             # broken pipe on teardown): degrade gracefully to serial for
@@ -227,7 +247,7 @@ class SweepRunner:
                 results[index] = cached
                 report.cache_hits += 1
                 report.sources[index] = "cache"
-                self._emit(started, index, total, spec, "cache", 0.0)
+                self._emit(started, index, total, spec, "cache", 0.0, report)
             else:
                 pending.append((index, spec))
 
@@ -243,7 +263,7 @@ class SweepRunner:
             report.sources[index] = "serial"
             self._emit(
                 started, index, total, spec, "serial",
-                time.perf_counter() - attempt_started,
+                time.perf_counter() - attempt_started, report,
             )
 
         if self.cache is not None:

@@ -169,3 +169,72 @@ class TestFaultFlags:
 
     def test_churn_figure_in_choices(self):
         assert build_parser().parse_args(["figure", "churn"]).name == "churn"
+
+
+class TestProfileCommand:
+    """`repro profile` runs one telemetered scenario and renders/export it."""
+
+    def test_prints_telemetry_and_phase_table(self, capsys):
+        assert main(["profile", "--scheduler", "fair", "--jobs", "grep:1",
+                     "--seed", "1", "--interval", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+        assert "kernel phase profile" in out
+        assert "dispatch" in out
+
+    def test_exports_feed_report(self, capsys, tmp_path):
+        npz = tmp_path / "run.npz"
+        as_json = tmp_path / "run.json"
+        assert main(["profile", "--jobs", "grep:1", "--seed", "1",
+                     "--out", str(npz)]) == 0
+        assert main(["profile", "--jobs", "grep:1", "--seed", "1",
+                     "--out", str(as_json)]) == 0
+        capsys.readouterr()
+        # `report` auto-detects both export formats without re-simulating.
+        for path in (npz, as_json):
+            assert main(["report", str(path)]) == 0
+            out = capsys.readouterr().out
+            assert "telemetry:" in out and "kernel phase profile" in out
+
+    def test_rejects_unknown_export_extension(self, capsys, tmp_path):
+        out_path = tmp_path / "run.txt"
+        assert main(["profile", "--jobs", "grep:1", "--out", str(out_path)]) == 2
+        assert "--out" in capsys.readouterr().err
+        assert not out_path.exists()
+
+    def test_rejects_nonpositive_interval(self, capsys):
+        assert main(["profile", "--jobs", "grep:1", "--interval", "0"]) == 2
+        assert "interval" in capsys.readouterr().err
+
+    def test_rejects_bad_job_token(self, capsys):
+        assert main(["profile", "--jobs", "grep:nan"]) == 2
+        assert "expected form app:gb" in capsys.readouterr().err
+
+
+class TestTraceStreaming:
+    """`repro trace` streams JSONL; corrupt input is exit 2, not a traceback."""
+
+    def _write_trace(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        assert main(["run", "--scheduler", "fifo", "--jobs", "grep:1",
+                     "--seed", "1", "--trace", str(path)]) == 0
+        return path
+
+    def test_summarizes_real_trace(self, capsys, tmp_path):
+        path = self._write_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", str(path)]) == 0
+        assert "events" in capsys.readouterr().out
+
+    def test_corrupt_line_exits_2(self, capsys, tmp_path):
+        path = self._write_trace(tmp_path)
+        with path.open("a") as stream:
+            stream.write("{not json\n")
+        capsys.readouterr()
+        assert main(["trace", str(path)]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, capsys, tmp_path):
+        missing = str(tmp_path / "absent.jsonl")
+        assert main(["trace", missing]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
