@@ -20,6 +20,11 @@ Three gates run:
   on/off wall-clock ratio must stay **below** the committed budget
   (1.05x), bounding what the columnar sampler + phase profiler may cost
   the hot paths.
+* ``serve_throughput`` (from ``BENCH_serve.json``) — the ``repro serve``
+  daemon in a subprocess under the open-loop load generator; the
+  achieved heartbeat rate must stay above ``min_achieved_fraction`` of
+  the offered rate with zero errors on either side, and the server's
+  decision-latency p99 must stay under a loose millisecond budget.
 
 The speedup gates fail when their measured ratio drops below
 ``expected_ratio * fail_below_fraction`` (0.8 — i.e. a >20 % relative
@@ -44,6 +49,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "BENCH_kernel.json"
 TELEMETRY_BASELINE_PATH = REPO_ROOT / "BENCH_telemetry.json"
+SERVE_BASELINE_PATH = REPO_ROOT / "BENCH_serve.json"
 
 
 def _run_events(n: int) -> float:
@@ -198,6 +204,63 @@ def _telemetry_gate(baseline: dict, reps: int) -> bool:
     return True
 
 
+def _serve_gate(baseline: dict) -> bool:
+    """The serve daemon must still take the committed heartbeat load.
+
+    Unlike the in-process ratio gates, this one crosses a real socket to
+    a real subprocess, so its thresholds are deliberately loose: the
+    open-loop generator falling far below the offered rate, any error on
+    either side, or a decision-latency p99 orders of magnitude above the
+    measured ~0.1 ms all indicate a code regression; anything subtler is
+    host noise this gate refuses to flake on.
+    """
+    from repro.serve.bench import run_serve_benchmark
+
+    result = run_serve_benchmark(
+        rate=float(baseline["rate"]),
+        duration=float(baseline["duration"]),
+        scheduler=str(baseline["scheduler"]),
+        seed=int(baseline["seed"]),
+        connections=int(baseline["connections"]),
+        service_time=float(baseline["service_time"]),
+        time_scale=float(baseline["time_scale"]),
+    )
+    offered = float(baseline["rate"])
+    achieved = result["achieved_heartbeats_per_sec"]
+    fraction = achieved / offered
+    min_fraction = float(baseline["min_achieved_fraction"])
+    decision_p99 = (result["server"].get("decision_latency_ms") or {}).get("p99")
+    budget_ms = float(baseline["decision_p99_budget_ms"])
+    answered = result["responses_received"] == result["heartbeats_sent"]
+    errors = result["client_errors"] + (result["server"].get("errors") or 0)
+    print(
+        f"serve {offered:.0f} hb/s offered for {baseline['duration']} s: "
+        f"achieved {achieved:.0f} hb/s ({fraction:.2f}x, floor {min_fraction:.2f}x), "
+        f"errors {errors}, decision p99 "
+        f"{'n/a' if decision_p99 is None else f'{decision_p99:.3f} ms'} "
+        f"(budget {budget_ms:.1f} ms), rtt p99 {result['rtt_ms']['p99']:.0f} ms"
+    )
+    ok = True
+    if fraction < min_fraction:
+        print(
+            f"FAIL: serve throughput fell below {min_fraction:.0%} of the "
+            "offered rate in BENCH_serve.json."
+        )
+        ok = False
+    if errors or not answered:
+        print("FAIL: serve run had protocol errors or unanswered heartbeats.")
+        ok = False
+    if decision_p99 is None or decision_p99 > budget_ms:
+        print(
+            f"FAIL: decision-latency p99 over the {budget_ms:.1f} ms budget "
+            "in BENCH_serve.json — the heartbeat hot path got slower."
+        )
+        ok = False
+    if ok:
+        print("PASS: serve throughput and decision latency within baseline.")
+    return ok
+
+
 def main(reps: int = 15) -> int:
     baselines = json.loads(BASELINE_PATH.read_text())
     ok = _kernel_gate(baselines["reference_ratio"], reps)
@@ -208,6 +271,9 @@ def main(reps: int = 15) -> int:
         telemetry = json.loads(TELEMETRY_BASELINE_PATH.read_text())
         gate = telemetry["telemetry_overhead"]
         ok = _telemetry_gate(gate, int(gate.get("reps", 2))) and ok
+    if SERVE_BASELINE_PATH.exists():
+        serve = json.loads(SERVE_BASELINE_PATH.read_text())
+        ok = _serve_gate(serve["serve_throughput"]) and ok
     return 0 if ok else 1
 
 

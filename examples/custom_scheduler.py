@@ -74,8 +74,8 @@ class GreedyEnergyScheduler(FairScheduler):
 
 def main() -> None:
     jobs = generate_msd_workload(
-        MSDConfig(n_jobs=25, mean_interarrival_s=40.0, max_maps=200, seed_label="custom"),
-        RandomStreams(5),
+        config=MSDConfig(n_jobs=25, mean_interarrival_s=40.0, max_maps=200, seed_label="custom"),
+        streams=RandomStreams(5),
     )
     print(f"workload: {len(jobs)} jobs, {sum(j.num_maps() for j in jobs)} map tasks\n")
     for scheduler in ("fair", "e-ant", lambda streams: GreedyEnergyScheduler()):

@@ -27,12 +27,30 @@ Quickstart::
 __version__ = "1.0.0"
 
 from .cluster import Cluster, MachineSpec, PowerModel, paper_fleet
-from .core import EAntConfig, EAntScheduler, ExchangeLevel
-from .experiments import run_msd_comparison, run_scenario
+from .core import (
+    AssignmentResponse,
+    EAntConfig,
+    EAntScheduler,
+    ExchangeLevel,
+    HeartbeatRequest,
+    LocalSchedulerCore,
+    SchedulerCore,
+    TaskDirective,
+    TrackerInfo,
+    WireError,
+)
+from .experiments import figure_result, run_msd_comparison, run_scenario
 from .faults import FaultEvent, FaultPlan
 from .hadoop import HadoopConfig
 from .noise import DEFAULT_NOISE, NO_NOISE, NoiseModel
-from .observability import MetricsRegistry, Tracer
+from .observability import (
+    MetricsRegistry,
+    TelemetryConfig,
+    TelemetryRecord,
+    TelemetrySink,
+    Tracer,
+)
+from .runner import ScenarioResult, ScenarioSpec, SweepRunner, execute_spec
 from .schedulers import FairScheduler, FifoScheduler, LateScheduler, Scheduler, TarazuScheduler
 from .simulation import RandomStreams, Simulator
 from .workloads import (
@@ -47,8 +65,13 @@ from .workloads import (
     puma_job,
 )
 
+#: The supported public surface.  Anything importable but not listed here
+#: is an internal detail that may change without a deprecation cycle;
+#: everything listed is covered by the one-release ``DeprecationWarning``
+#: policy described in ``docs/api.md``.
 __all__ = [
     "__version__",
+    # substrates
     "Simulator",
     "RandomStreams",
     "Cluster",
@@ -56,6 +79,7 @@ __all__ = [
     "PowerModel",
     "paper_fleet",
     "HadoopConfig",
+    # workloads
     "JobSpec",
     "WorkloadProfile",
     "WORDCOUNT",
@@ -65,9 +89,11 @@ __all__ = [
     "puma_job",
     "MSDConfig",
     "generate_msd_workload",
+    # noise
     "NoiseModel",
     "NO_NOISE",
     "DEFAULT_NOISE",
+    # schedulers
     "Scheduler",
     "FifoScheduler",
     "FairScheduler",
@@ -76,10 +102,29 @@ __all__ = [
     "EAntScheduler",
     "EAntConfig",
     "ExchangeLevel",
+    # the scheduler service core (transport-agnostic seam)
+    "SchedulerCore",
+    "LocalSchedulerCore",
+    "TrackerInfo",
+    "HeartbeatRequest",
+    "TaskDirective",
+    "AssignmentResponse",
+    "WireError",
+    # declarative runner
+    "ScenarioSpec",
+    "ScenarioResult",
+    "execute_spec",
+    "SweepRunner",
+    # faults / observability
     "FaultEvent",
     "FaultPlan",
     "Tracer",
     "MetricsRegistry",
+    "TelemetryConfig",
+    "TelemetrySink",
+    "TelemetryRecord",
+    # experiment entrypoints
     "run_scenario",
     "run_msd_comparison",
+    "figure_result",
 ]

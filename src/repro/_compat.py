@@ -1,0 +1,80 @@
+"""Deprecation shims for the public API's keyword-only migration.
+
+The supported call shape for every multi-parameter public entrypoint is
+keyword-only (positional calls stop being refactor-safe the moment a
+parameter is added or reordered).  :func:`deprecated_positionals` is the
+one-release bridge: legacy positional calls keep working, emit a
+:class:`DeprecationWarning` naming the keyword form, and will become
+:class:`TypeError` in the next release — the same treatment
+``run_scenario`` received in an earlier cycle.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["deprecated_positionals"]
+
+F = TypeVar("F", bound=Callable)
+
+
+def deprecated_positionals(*param_names: str, allowed: int = 0) -> Callable[[F], F]:
+    """Allow legacy positional calls to a now-keyword-only function.
+
+    ``param_names`` lists, in the historical order, every parameter that
+    used to be positional; the first ``allowed`` of them remain genuinely
+    positional (a single natural argument like a figure name stays
+    ergonomic).  The wrapped function must accept all of them as
+    keywords.  A legacy call maps each extra positional argument to its
+    historical name and warns; passing a parameter both ways raises
+    ``TypeError`` immediately (that was an error before the migration
+    too).
+    """
+
+    def decorate(func: F) -> F:
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            if len(args) > allowed:
+                if len(args) > len(param_names):
+                    raise TypeError(
+                        f"{func.__name__}() takes at most {len(param_names)} "
+                        f"legacy positional arguments ({len(args)} given)"
+                    )
+                mapped = dict(zip(param_names, args))
+                duplicates = sorted(set(mapped) & set(kwargs))
+                if duplicates:
+                    raise TypeError(
+                        f"{func.__name__}() got multiple values for "
+                        f"{', '.join(repr(d) for d in duplicates)}"
+                    )
+                legacy = dict(list(mapped.items())[allowed:])
+                keyword_form = ", ".join(f"{k}=..." for k in legacy)
+                scope = (
+                    f"positional arguments to {func.__name__}() beyond the first {allowed}"
+                    if allowed
+                    else f"positional arguments to {func.__name__}()"
+                )
+                warnings.warn(
+                    f"{scope} are deprecated and will be removed in the next "
+                    f"release; pass {keyword_form} by keyword",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                kwargs.update(mapped)
+                args = ()
+            return func(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def describe_positional_shim(param_names: Sequence[str]) -> str:
+    """One-line docstring addendum for a shimmed function."""
+    return (
+        "Positional use of ("
+        + ", ".join(param_names)
+        + ") is deprecated; pass keywords."
+    )

@@ -228,6 +228,87 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PLAN.json",
         help="fault plan (JSON file) injected into every grid point",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the scheduler core as an NDJSON heartbeat daemon",
+        description="Run the SchedulerCore behind an asyncio NDJSON server "
+        "(see docs/serving.md).  With --loadgen, additionally drive it "
+        "with open-loop synthetic heartbeats and print the measured "
+        "throughput/latency summary; with --bench, run the daemon in a "
+        "subprocess and measure the BENCH_serve.json throughput gate.",
+    )
+    serve.add_argument("--scheduler", choices=SCHEDULER_NAMES, default="e-ant")
+    serve.add_argument("--seed", type=int, default=3)
+    serve.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve an N-node procedural fleet (default: the 16-node paper fleet)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port (default 7077, or an ephemeral port under --loadgen)",
+    )
+    serve.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="serve on a UNIX-domain socket instead of TCP",
+    )
+    serve.add_argument(
+        "--time-scale",
+        type=float,
+        default=None,
+        metavar="X",
+        help="simulated seconds per wall second (control intervals fire "
+        "every 300/X wall seconds; default 1.0 = real time, or 600 under "
+        "--loadgen/--bench so intervals fire within a short run)",
+    )
+    serve.add_argument(
+        "--loadgen",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="also run the open-loop load generator at RATE heartbeats/sec "
+        "against the daemon, in-process",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="load-generation length in wall seconds (with --loadgen/--bench)",
+    )
+    serve.add_argument(
+        "--connections",
+        type=int,
+        default=4,
+        metavar="N",
+        help="loadgen socket count (trackers shard across them)",
+    )
+    serve.add_argument(
+        "--service-time",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="wall seconds a synthetic task holds its slot before reporting",
+    )
+    serve.add_argument(
+        "--bench",
+        action="store_true",
+        help="run the throughput benchmark (daemon in a subprocess over a "
+        "UNIX socket; loadgen in this process)",
+    )
+    serve.add_argument(
+        "--bench-out",
+        metavar="FILE.json",
+        help="also write the --loadgen/--bench summary JSON to FILE",
+    )
     return parser
 
 
@@ -252,25 +333,46 @@ def _print_run_config(**fields) -> None:
     print(f"# {rendered}")
 
 
-class JobTokenError(ValueError):
+class CliError(ValueError):
     """A CLI option failed validation (message is user-facing, exit 2).
 
-    Historically raised only for ``--jobs`` tokens; ``--tracker-expiry``
-    and ``--faults`` share the same contract and exception."""
+    Build instances with :func:`cli_error` so every message carries the
+    ``file:line`` of the validation that rejected the input.  ``main``
+    catches this at the top level: one stderr line, exit status 2, never
+    a traceback.
+    """
+
+
+#: Historical name (originally raised only for ``--jobs`` tokens);
+#: ``--tracker-expiry``, ``--faults``, and the ``serve`` flags share the
+#: same contract and exception.
+JobTokenError = CliError
+
+
+def cli_error(message: str) -> CliError:
+    """The standard input-validation failure: ``file:line: error: message``.
+
+    Captures the caller's source location, compiler-style, so a rejected
+    flag points at the exact validation that rejected it.  Call sites
+    ``raise cli_error(...)``; :func:`main` renders it and exits 2.
+    """
+    frame = sys._getframe(1)
+    location = "/".join(Path(frame.f_code.co_filename).parts[-2:])
+    return CliError(f"{location}:{frame.f_lineno}: error: {message}")
 
 
 def parse_tracker_expiry(value: Optional[float]) -> Optional[HadoopConfig]:
     """Validate ``--tracker-expiry`` into a :class:`HadoopConfig` override.
 
     ``None`` (flag absent) keeps the default config.  Like the job tokens,
-    bad values raise :class:`JobTokenError` so the CLI exits 2 with a
+    bad values raise :class:`CliError` so the CLI exits 2 with a
     one-line message instead of a traceback — ``float`` accepts ``"nan"``
     and ``"inf"``, which must not reach the simulator.
     """
     if value is None:
         return None
     if not (value >= 0) or value == float("inf"):  # also rejects NaN
-        raise JobTokenError(
+        raise cli_error(
             f"--tracker-expiry must be a non-negative finite number of "
             f"seconds (got {value!r})"
         )
@@ -279,19 +381,19 @@ def parse_tracker_expiry(value: Optional[float]) -> Optional[HadoopConfig]:
 
 def load_fault_plan(path: Optional[str]) -> Optional[FaultPlan]:
     """Load ``--faults PLAN.json``, mapping every failure mode (missing
-    file, bad JSON, invalid plan) to a one-line :class:`JobTokenError`."""
+    file, bad JSON, invalid plan) to a one-line :class:`CliError`."""
     if path is None:
         return None
     try:
         return FaultPlan.from_file(path)
     except FaultPlanError as error:
-        raise JobTokenError(f"--faults {path}: {error}") from None
+        raise cli_error(f"--faults {path}: {error}") from None
 
 
 def parse_job_tokens(tokens: List[str]) -> List[JobSpec]:
     """Parse ``APP:GB`` tokens into jobs submitted a minute apart.
 
-    Raises :class:`JobTokenError` on an unknown application or a gigabyte
+    Raises :class:`CliError` on an unknown application or a gigabyte
     field that is not a positive finite number — ``float`` accepts
     ``"nan"``, ``"inf"`` and negatives, which used to slip through here
     and explode later inside :class:`~repro.workloads.JobSpec` validation.
@@ -300,27 +402,23 @@ def parse_job_tokens(tokens: List[str]) -> List[JobSpec]:
     for index, token in enumerate(tokens):
         app, _, gb = token.partition(":")
         if app not in PUMA:
-            raise JobTokenError(
+            raise cli_error(
                 f"unknown application {app!r}; known: {sorted(PUMA)}"
             )
         try:
             size = float(gb) if gb else 4.0
         except ValueError:
-            raise JobTokenError(f"{token}: expected form app:gb") from None
+            raise cli_error(f"{token}: expected form app:gb") from None
         if not (size > 0) or size == float("inf"):  # also rejects NaN
-            raise JobTokenError(f"{token}: expected form app:gb")
+            raise cli_error(f"{token}: expected form app:gb")
         jobs.append(puma_job(app, input_gb=size, submit_time=index * 60.0))
     return jobs
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    try:
-        jobs = parse_job_tokens(args.jobs)
-        hadoop = parse_tracker_expiry(args.tracker_expiry)
-        faults = load_fault_plan(args.faults)
-    except JobTokenError as error:
-        print(error, file=sys.stderr)
-        return 2
+    jobs = parse_job_tokens(args.jobs)
+    hadoop = parse_tracker_expiry(args.tracker_expiry)
+    faults = load_fault_plan(args.faults)
     _print_run_config(
         scheduler=args.scheduler,
         seed=args.seed,
@@ -341,8 +439,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             faults=faults,
         )
     except OSError as error:
-        print(f"cannot write trace {args.trace!r}: {error}", file=sys.stderr)
-        return 2
+        raise cli_error(f"cannot write trace {args.trace!r}: {error}") from None
     print(result.metrics.summary())
     print("\nenergy by machine type (kJ):")
     for model, joules in sorted(result.metrics.energy_by_type.items()):
@@ -445,11 +542,7 @@ def _sweep_grid(args: argparse.Namespace) -> List[ScenarioSpec]:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    try:
-        specs = _sweep_grid(args)
-    except JobTokenError as error:
-        print(error, file=sys.stderr)
-        return 2
+    specs = _sweep_grid(args)
 
     cache: Optional[ResultCache] = None
     if not args.no_cache:
@@ -479,6 +572,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except SweepError as error:
         print(error, file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        # SIGINT/SIGTERM: the runner already terminated its pool workers
+        # and flushed resolved records to the cache; report and exit with
+        # the conventional interrupted status.
+        report = runner.last_report
+        resolved = len(report.sources) if report is not None else 0
+        print(
+            f"\n# interrupted; {resolved}/{len(specs)} specs resolved "
+            f"({'cached for resume' if cache is not None else 'cache disabled'})",
+            file=sys.stderr,
+        )
+        return 130
 
     print(f"\n{'label':32s} {'energy kJ':>10s} {'makespan min':>13s} {'mean JCT min':>13s}")
     for spec, record in zip(specs, records):
@@ -503,8 +608,7 @@ def _load_trace(path: str):
     try:
         return read_jsonl(path)
     except (OSError, ValueError) as error:
-        print(f"cannot read trace {path!r}: {error}", file=sys.stderr)
-        return None
+        raise cli_error(f"cannot read trace {path!r}: {error}") from None
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -519,8 +623,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         for event in iter_jsonl(args.file):
             stats.add(event)
     except (OSError, ValueError) as error:
-        print(f"cannot read trace {args.file!r}: {error}", file=sys.stderr)
-        return 2
+        raise cli_error(f"cannot read trace {args.file!r}: {error}") from None
     print(stats.summary())
     print()
     print(stats.flame())
@@ -559,11 +662,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
         try:
             telemetry, profile = reader(args.file)
         except (OSError, ValueError, KeyError) as error:
-            print(
-                f"cannot read telemetry export {args.file!r}: {error}",
-                file=sys.stderr,
-            )
-            return 2
+            raise cli_error(
+                f"cannot read telemetry export {args.file!r}: {error}"
+            ) from None
         if telemetry is not None:
             print(telemetry_report(telemetry, profile))
         elif profile is not None:
@@ -575,15 +676,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from .observability.report import machine_series_from_trace
 
     events = _load_trace(args.file)
-    if events is None:
-        return 2
     # Validate up front: the sparkline timeline is the point of `report`,
     # so a snapshot-less trace is an error, not a degraded success.
     try:
         machine_series_from_trace(events)
     except ValueError as error:
-        print(f"cannot build report: {error}", file=sys.stderr)
-        return 2
+        raise cli_error(f"cannot build report: {error}") from None
     print(report_from_trace(events))
     return 0
 
@@ -595,20 +693,16 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         write_telemetry_npz,
     )
 
-    try:
-        jobs = parse_job_tokens(args.jobs)
-        if args.interval is not None and not (args.interval > 0):
-            raise JobTokenError(
-                f"--interval must be a positive number of simulated seconds "
-                f"(got {args.interval!r})"
-            )
-        if args.out is not None and not args.out.endswith((".npz", ".json")):
-            raise JobTokenError(
-                f"--out {args.out!r}: expected a .npz or .json destination"
-            )
-    except JobTokenError as error:
-        print(error, file=sys.stderr)
-        return 2
+    jobs = parse_job_tokens(args.jobs)
+    if args.interval is not None and not (args.interval > 0):
+        raise cli_error(
+            f"--interval must be a positive number of simulated seconds "
+            f"(got {args.interval!r})"
+        )
+    if args.out is not None and not args.out.endswith((".npz", ".json")):
+        raise cli_error(
+            f"--out {args.out!r}: expected a .npz or .json destination"
+        )
     _print_run_config(
         scheduler=args.scheduler,
         seed=args.seed,
@@ -633,9 +727,155 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             else:
                 write_telemetry_json(args.out, telemetry, profile)
         except OSError as error:
-            print(f"cannot write export {args.out!r}: {error}", file=sys.stderr)
-            return 2
+            raise cli_error(f"cannot write export {args.out!r}: {error}") from None
         print(f"\ntelemetry export written to {args.out}")
+    return 0
+
+
+def _positive_finite(value: float, flag: str) -> None:
+    """Shared ``serve`` flag validation (rejects 0, negatives, nan, inf)."""
+    if not (value > 0) or value == float("inf"):
+        raise cli_error(f"{flag} must be a positive finite number (got {value!r})")
+
+
+def _validate_serve(args: argparse.Namespace) -> None:
+    if args.nodes is not None and args.nodes < 1:
+        raise cli_error(f"--nodes must be at least 1 (got {args.nodes})")
+    if args.port is not None and not (0 <= args.port <= 65535):
+        raise cli_error(f"--port must be in [0, 65535] (got {args.port})")
+    if args.socket is not None and args.port is not None:
+        raise cli_error("--socket and --port are mutually exclusive")
+    if args.time_scale is not None:
+        _positive_finite(args.time_scale, "--time-scale")
+    if args.loadgen is not None:
+        _positive_finite(args.loadgen, "--loadgen")
+    _positive_finite(args.duration, "--duration")
+    if args.connections < 1:
+        raise cli_error(f"--connections must be at least 1 (got {args.connections})")
+    _positive_finite(args.service_time, "--service-time")
+    if args.bench_out is not None and not args.bench_out.endswith(".json"):
+        raise cli_error(f"--bench-out {args.bench_out!r}: expected a .json destination")
+    if args.bench_out is not None and not (args.bench or args.loadgen is not None):
+        raise cli_error("--bench-out needs --bench or --loadgen (nothing to measure)")
+
+
+def _write_bench_out(path: Optional[str], summary: dict) -> None:
+    if not path:
+        return
+    import json
+
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2)
+            handle.write("\n")
+    except OSError as error:
+        raise cli_error(f"cannot write {path!r}: {error}") from None
+    print(f"# summary written to {path}")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    _validate_serve(args)
+    load_mode = args.bench or args.loadgen is not None
+    # Real time for a long-lived daemon; compressed time under load
+    # generation so the paper's 300 s control interval fires within a
+    # seconds-long run.
+    time_scale = args.time_scale if args.time_scale is not None else (
+        600.0 if load_mode else 1.0
+    )
+
+    from .serve import (
+        MAX_LINE_BYTES,
+        LoadGenerator,
+        ServeDaemon,
+        ServeEngine,
+        fleet_tracker_infos,
+        run_serve_benchmark,
+    )
+    from .serve.bench import DEFAULT_BENCH
+
+    if args.bench:
+        summary = run_serve_benchmark(
+            rate=args.loadgen if args.loadgen is not None else DEFAULT_BENCH["rate"],
+            duration=args.duration,
+            scheduler=args.scheduler,
+            seed=args.seed,
+            nodes=args.nodes,
+            connections=args.connections,
+            service_time=args.service_time,
+            time_scale=time_scale,
+        )
+        print(json.dumps(summary, indent=2))
+        _write_bench_out(args.bench_out, summary)
+        return 0
+
+    engine = ServeEngine(
+        scheduler=args.scheduler,
+        seed=args.seed,
+        nodes=args.nodes,
+        trust_wire_now=False,
+    )
+    daemon = ServeDaemon(
+        engine,
+        host=args.host,
+        port=(args.port if args.port is not None else (0 if load_mode else 7077)),
+        path=args.socket,
+        time_scale=time_scale,
+    )
+
+    if args.loadgen is not None:
+        # In-process smoke: daemon and loadgen share this event loop.
+        # Client and server contend for one interpreter, so this measures
+        # correctness and rough latency; `--bench` isolates the daemon in
+        # a subprocess for the honest throughput number.
+        generator = LoadGenerator(
+            rate=args.loadgen,
+            duration=args.duration,
+            trackers=fleet_tracker_infos(args.nodes, args.seed),
+            connections=args.connections,
+            service_time=args.service_time,
+            time_scale=time_scale,
+        )
+
+        async def _run_loadgen() -> dict:
+            await daemon.start()
+
+            async def open_connection():
+                if args.socket is not None:
+                    return await asyncio.open_unix_connection(
+                        args.socket, limit=MAX_LINE_BYTES
+                    )
+                return await asyncio.open_connection(
+                    args.host, daemon.bound_port, limit=MAX_LINE_BYTES
+                )
+
+            stats = await generator.run(open_connection)
+            daemon.request_stop()
+            await daemon.wait_stopped()
+            return stats.summary()
+
+        summary = asyncio.run(_run_loadgen())
+        print(json.dumps(summary, indent=2))
+        _write_bench_out(args.bench_out, summary)
+        return 0
+
+    async def _run_daemon() -> dict:
+        await daemon.start()
+        daemon.install_signal_handlers()
+        print(
+            f"# serving {args.scheduler} on {daemon.address} "
+            f"(time scale {time_scale:g}x; Ctrl-C or SIGTERM to stop)",
+            flush=True,
+        )
+        return await daemon.wait_stopped()
+
+    try:
+        final = asyncio.run(_run_daemon())
+    except OSError as error:
+        raise cli_error(f"cannot bind {daemon.address}: {error}") from None
+    print(json.dumps(final, indent=2))
     return 0
 
 
@@ -658,6 +898,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_report(args)
         if args.command == "profile":
             return _cmd_profile(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+    except CliError as error:
+        # The one rendering point for every input-validation failure:
+        # `file:line: error: message` on stderr, exit status 2.
+        print(error, file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # `repro trace out.jsonl | head` closes stdout mid-print; exit
         # quietly like a well-behaved filter.  Point stdout at /dev/null

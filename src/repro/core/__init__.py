@@ -16,10 +16,26 @@ from .convergence import ConvergenceDetector, distribution_overlap
 from .heuristics import FairnessView, fairness_eta
 from .pheromone import ExchangeLevel, PheromoneTable, TaskFeedback
 from .scheduler import EAntConfig, EAntScheduler
+from .service import (
+    AssignmentResponse,
+    HeartbeatRequest,
+    LocalSchedulerCore,
+    SchedulerCore,
+    TaskDirective,
+    TrackerInfo,
+    WireError,
+)
 
 __all__ = [
     "EAntScheduler",
     "EAntConfig",
+    "SchedulerCore",
+    "LocalSchedulerCore",
+    "TrackerInfo",
+    "HeartbeatRequest",
+    "TaskDirective",
+    "AssignmentResponse",
+    "WireError",
     "PheromoneTable",
     "TaskFeedback",
     "ExchangeLevel",

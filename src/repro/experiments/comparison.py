@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from .._compat import deprecated_positionals
 from ..core import EAntConfig
 from ..metrics import RunMetrics
 from ..runner import RunRecord, ScenarioSpec, SweepRunner, resolve_specs
@@ -103,14 +104,21 @@ def msd_comparison_specs(
     ]
 
 
+@deprecated_positionals("seed", "n_jobs", "eant_config", "schedulers", "runner")
 def run_msd_comparison(
+    *,
     seed: int = 3,
     n_jobs: int = 87,
     eant_config: Optional[EAntConfig] = None,
     schedulers: Tuple[str, ...] = SCHEDULERS,
     runner: Optional[SweepRunner] = None,
 ) -> ComparisonResult:
-    """Replay the MSD workload under each scheduler (Figs. 8 and 9)."""
+    """Replay the MSD workload under each scheduler (Figs. 8 and 9).
+
+    All parameters are keyword-only; positional use of (seed, n_jobs,
+    eant_config, schedulers, runner) is deprecated and warns for one
+    release.
+    """
     specs = msd_comparison_specs(
         seed=seed, n_jobs=n_jobs, eant_config=eant_config, schedulers=schedulers
     )

@@ -58,7 +58,7 @@ def msd_scenario(
         max_maps=max_maps,
         seed_label=f"msd{seed}",
     )
-    jobs = generate_msd_workload(config, RandomStreams(seed))
+    jobs = generate_msd_workload(config=config, streams=RandomStreams(seed))
     return jobs, HadoopConfig()
 
 

@@ -1,24 +1,27 @@
 """The JobTracker: job admission, heartbeat dispatch, completion tracking.
 
 The JobTracker owns the job inventory and delegates every assignment
-decision to a pluggable :class:`~repro.schedulers.base.Scheduler` — the
-same control surface the paper modifies in Hadoop 1.2.1 (Section V-A).  It
-also runs the periodic control-interval tick E-Ant's adaptive task assigner
-re-optimizes on, and fans completed-task reports out to the scheduler and
-any registered listeners (metrics collectors, task analyzers).
+decision to a :class:`~repro.core.service.LocalSchedulerCore` wrapping the
+pluggable :class:`~repro.schedulers.base.Scheduler` — the same control
+surface the paper modifies in Hadoop 1.2.1 (Section V-A).  The DES is one
+*host* of that core (the :mod:`repro.serve` daemon is the other): this
+module keeps the host concerns — the sim clock, heartbeat bookkeeping,
+lazy tracker expiry, trace emission — and the core keeps the decision
+concerns.  It also drives the periodic control-interval tick E-Ant's
+adaptive task assigner re-optimizes on, and fans completed-task reports
+out to the scheduler and any registered listeners (metrics collectors,
+task analyzers).
 """
 
 from __future__ import annotations
 
-from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Dict, Generator, List, Optional
 
 import numpy as np
 
 from ..cluster import Cluster
 from ..noise import NoiseModel
-from ..observability.metrics import Counter, MetricsRegistry
-from ..observability.profiler import NULL_PROFILER, SAMPLE_STRIDE
+from ..observability.metrics import MetricsRegistry
 from ..observability.tracer import NULL_TRACER, EventType
 from ..simulation import Event, Simulator
 from ..workloads import JobSpec
@@ -26,6 +29,12 @@ from .config import HadoopConfig
 from .hdfs import BlockPlacer
 from .job import Job, Task, TaskAttempt, TaskReport
 from .tasktracker import TaskTracker
+
+# Imported after the hadoop leaf modules above: repro.core's package init
+# pulls in repro.core.scheduler, which imports those same leaf modules, so
+# this import must come last to stay cycle-safe under either entry order
+# (see the import-discipline note in repro/core/service.py).
+from ..core.service import LocalSchedulerCore, TrackerInfo
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..schedulers.base import Scheduler
@@ -69,6 +78,7 @@ class JobTracker:
         rng: Optional[np.random.Generator] = None,
         tracer=NULL_TRACER,
         registry: Optional[MetricsRegistry] = None,
+        control_loop: bool = True,
     ) -> None:
         self.sim = sim
         #: Trace sink shared with the trackers and the scheduler; the no-op
@@ -81,15 +91,20 @@ class JobTracker:
         self._heartbeat_gap_hist = (
             None if registry is None else registry.histogram("heartbeat_gap_seconds")
         )
-        #: Telemetry/profiling hooks (see :meth:`attach_telemetry`); the
-        #: defaults keep the heartbeat hot path at one attribute check each.
-        self.telemetry = None
-        self.profiler = NULL_PROFILER
-        #: countdown to the next stride-sampled ``select_tasks`` timing
-        #: (see ``repro.observability.profiler.SAMPLE_STRIDE``)
-        self._select_tick = 0
-        self._assignment_counters: Dict[tuple, Counter] = {}
-        self._completion_counters: Dict[tuple, Counter] = {}
+        #: The transport-agnostic decision core this host drives.  Every
+        #: assignment decision, control-interval tick, and completion
+        #: feedback goes through it — the same object the serve daemon
+        #: would drive, so simulation and service cannot drift.
+        self.core = LocalSchedulerCore(
+            scheduler,
+            control_interval=config.control_interval,
+            registry=registry,
+            start_time=sim.now,
+        )
+        #: Whether :meth:`start_control_loop` actually spawns the periodic
+        #: sim process.  Hosts that drive :meth:`control_tick` themselves
+        #: (the serve engine) pass ``control_loop=False``.
+        self._control_loop_enabled = control_loop
         self.cluster = cluster
         self.config = config
         self.scheduler = scheduler
@@ -111,7 +126,6 @@ class JobTracker:
         self._shutdown = False
         self.all_done_event: Event = sim.event()
         self._interval_process = None
-        self._interval_index = 0
         #: lower bound on the earliest time any tracker could go stale; lets
         #: the per-heartbeat expiry sweep short-circuit (see the sweep)
         self._no_expiry_before = 0.0
@@ -121,7 +135,17 @@ class JobTracker:
     # ------------------------------------------------------------- lifecycle
     def register_tracker(self, tracker: TaskTracker) -> None:
         """Called by each TaskTracker when it starts."""
-        self.trackers[tracker.machine.machine_id] = tracker
+        machine = tracker.machine
+        self.trackers[machine.machine_id] = tracker
+        self.core.register_tracker(
+            TrackerInfo(
+                machine_id=machine.machine_id,
+                hostname=machine.hostname,
+                model=machine.spec.model,
+                map_slots=machine.spec.map_slots,
+                reduce_slots=machine.spec.reduce_slots,
+            )
+        )
 
     def attach_telemetry(self, sink=None, profiler=None) -> None:
         """Attach a :class:`~repro.observability.TelemetrySink` and/or a
@@ -136,10 +160,17 @@ class JobTracker:
         stride weight.  Pure observation either way — no RNG is consumed
         and no simulation event is scheduled.
         """
-        if sink is not None:
-            self.telemetry = sink
-        if profiler is not None:
-            self.profiler = profiler
+        self.core.attach_telemetry(sink, profiler)
+
+    @property
+    def telemetry(self):
+        """The core's attached telemetry sink (None when detached)."""
+        return self.core.telemetry
+
+    @property
+    def profiler(self):
+        """The core's attached phase profiler (the null profiler when off)."""
+        return self.core.profiler
 
     def expect_jobs(self, count: int) -> None:
         """Declare the total number of jobs this run will submit.
@@ -156,8 +187,13 @@ class JobTracker:
         return self._shutdown
 
     def start_control_loop(self) -> None:
-        """Begin the periodic control-interval tick (idempotent)."""
-        if self._interval_process is None:
+        """Begin the periodic control-interval tick (idempotent).
+
+        A no-op when the JobTracker was built with ``control_loop=False``
+        — hosts that pump the clock themselves call :meth:`control_tick`
+        at their own cadence instead.
+        """
+        if self._control_loop_enabled and self._interval_process is None:
             self._interval_process = self.sim.process(
                 self._control_loop(), name="jt-control-loop"
             )
@@ -167,17 +203,22 @@ class JobTracker:
             yield self.sim.timeout(self.config.control_interval)
             if self._shutdown:
                 return
-            self._interval_index += 1
-            if self.tracer.enabled:
-                self.tracer.emit(
-                    EventType.CONTROL_INTERVAL,
-                    self.sim.now,
-                    index=self._interval_index,
-                    active_jobs=len(self.active_jobs),
-                    pending_maps=sum(j.pending_map_count for j in self.active_jobs),
-                    pending_reduces=sum(j.pending_reduce_count for j in self.active_jobs),
-                )
-            self.scheduler.on_control_interval(self.sim.now)
+            self.control_tick()
+
+    def control_tick(self) -> None:
+        """Fire control-interval ticks due at the current sim time."""
+        self.core.advance_time(self.sim.now, on_interval=self._trace_interval)
+
+    def _trace_interval(self, index: int) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventType.CONTROL_INTERVAL,
+                self.sim.now,
+                index=index,
+                active_jobs=len(self.active_jobs),
+                pending_maps=sum(j.pending_map_count for j in self.active_jobs),
+                pending_reduces=sum(j.pending_reduce_count for j in self.active_jobs),
+            )
 
     # ------------------------------------------------------------- admission
     def submit(self, spec: JobSpec, replica_hosts=None) -> Job:
@@ -207,7 +248,7 @@ class JobTracker:
         job.done_event.add_callback(lambda _e, j=job: self._job_done(j))
         if self.tracer.enabled:
             self._trace_job_submitted(job)
-        self.scheduler.on_job_added(job)
+        self.core.job_added(job)
         return job
 
     def _trace_job_submitted(self, job: Job) -> None:
@@ -231,7 +272,7 @@ class JobTracker:
         job.done_event.add_callback(lambda _e, j=job: self._job_done(j))
         if self.tracer.enabled:
             self._trace_job_submitted(job)
-        self.scheduler.on_job_added(job)
+        self.core.job_added(job)
         return job
 
     def next_job_id(self) -> int:
@@ -251,7 +292,7 @@ class JobTracker:
                 name=job.name,
                 completion_time=job.completion_time,
             )
-        self.scheduler.on_job_removed(job)
+        self.core.job_removed(job)
         if self._expected_jobs is not None and len(self.completed_jobs) >= self._expected_jobs:
             self.shutdown()
 
@@ -283,55 +324,8 @@ class JobTracker:
         if machine_id not in self.trackers:
             return []  # this tracker was itself expired
         status = tracker.status()
-        profiler = self.profiler
-        sink = self.telemetry
-        if profiler.enabled or sink is not None:
-            # Stride-sampled timing: the two clock reads are the dominant
-            # instrumentation cost at ~400k heartbeats per fleet-scale run,
-            # so only every SAMPLE_STRIDE-th select is timed, charged at
-            # stride weight (an unbiased estimate of the phase total).
-            # Batch sizes need no clock and are observed every heartbeat.
-            tick = self._select_tick - 1
-            if tick < 0:
-                self._select_tick = SAMPLE_STRIDE - 1
-                started = perf_counter()
-                assignments = self.scheduler.select_tasks(status)
-                elapsed = perf_counter() - started
-                if profiler.enabled:
-                    profiler.add("select", elapsed * SAMPLE_STRIDE)
-                if sink is not None:
-                    sink.observe_heartbeat(elapsed, len(assignments))
-            else:
-                self._select_tick = tick
-                assignments = self.scheduler.select_tasks(status)
-                if sink is not None:
-                    sink.observe_batch(len(assignments))
-        else:
-            assignments = self.scheduler.select_tasks(status)
-        maps = reduces = 0
-        if assignments:  # empty heartbeats (the common case at scale) skip the audit
-            maps = sum(1 for t in assignments if t.is_map)
-            reduces = len(assignments) - maps
-            if maps > status.free_map_slots or reduces > status.free_reduce_slots:
-                raise RuntimeError(
-                    f"scheduler over-assigned {tracker.machine.hostname}: "
-                    f"{maps} maps into {status.free_map_slots} slots, "
-                    f"{reduces} reduces into {status.free_reduce_slots}"
-                )
-        if self.registry is not None and assignments:
-            model = tracker.machine.spec.model
-            for task in assignments:
-                key = (model, task.kind.value)
-                counter = self._assignment_counters.get(key)
-                if counter is None:
-                    counter = self.registry.counter(
-                        "assignments_total",
-                        scheduler=self.scheduler.name,
-                        model=model,
-                        kind=task.kind.value,
-                    )
-                    self._assignment_counters[key] = counter
-                counter.inc()
+        core = self.core
+        assignments = core.select(status, self.sim.now)
         if self.tracer.enabled:
             self.tracer.emit(
                 EventType.HEARTBEAT,
@@ -341,8 +335,8 @@ class JobTracker:
                 free_reduce_slots=status.free_reduce_slots,
                 running_maps=status.running_maps,
                 running_reduces=status.running_reduces,
-                assigned_maps=maps,
-                assigned_reduces=reduces,
+                assigned_maps=core.last_maps,
+                assigned_reduces=core.last_reduces,
                 gap=None if previous is None else self.sim.now - previous,
             )
         return assignments
@@ -445,16 +439,7 @@ class JobTracker:
             return  # speculative duplicate: winner already reported
         report = attempt.to_report()
         self.reports.append(report)
-        if self.registry is not None:
-            key = (tracker.machine.spec.model, report.kind.value)
-            counter = self._completion_counters.get(key)
-            if counter is None:
-                counter = self.registry.counter(
-                    "tasks_completed_total", model=key[0], kind=key[1]
-                )
-                self._completion_counters[key] = counter
-            counter.inc()
-        self.scheduler.on_task_completed(report)
+        self.core.task_report(report)
         for listener in self._listeners:
             listener(report)
 

@@ -134,6 +134,39 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        Linear interpolation within the containing bucket, the way
+        Prometheus's ``histogram_quantile`` does it, with two refinements
+        the exact ``min``/``max`` tracking makes possible: results are
+        clamped to the observed range, and quantiles landing in the
+        unbounded overflow bucket return the observed maximum instead of
+        infinity.  Returns 0.0 on an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        lower = 0.0
+        estimate = self.max
+        for bound, raw in zip(self.buckets, self._raw):
+            if raw:
+                previous = running
+                running += raw
+                if running >= target:
+                    if bound == float("inf"):
+                        estimate = self.max
+                    else:
+                        fraction = (target - previous) / raw
+                        estimate = lower + (bound - lower) * fraction
+                    break
+            if bound != float("inf"):
+                lower = bound
+        return min(max(estimate, self.min), self.max)
+
     def to_data(self) -> Dict[str, Any]:
         return {
             "count": self.count,

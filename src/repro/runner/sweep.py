@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -68,6 +70,20 @@ def _execute_record_worker(spec: ScenarioSpec) -> RunRecord:
     start = time.perf_counter()
     result = spec.run()
     return build_record(spec, result, wall_seconds=time.perf_counter() - start)
+
+
+def _pool_worker_init() -> None:
+    """Reset signal disposition in pool workers.
+
+    Workers fork with the parent's handlers installed: without this,
+    ``Pool.terminate()``'s SIGTERM would fire the parent's
+    raise-KeyboardInterrupt handler inside every worker (a traceback per
+    worker on every Ctrl-C), and a terminal's session-wide SIGINT would
+    race the parent's orchestrated teardown.  The parent alone owns
+    interruption; workers die quietly when told to.
+    """
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 
 @dataclass
@@ -200,7 +216,9 @@ class SweepRunner:
         leftovers: List[Tuple[int, ScenarioSpec]] = []
         processes = min(self.workers or 1, len(pending))
         try:
-            with multiprocessing.Pool(processes=processes) as pool:
+            with multiprocessing.Pool(
+                processes=processes, initializer=_pool_worker_init
+            ) as pool:
                 async_results = [
                     (index, spec, pool.apply_async(_execute_record_worker, (spec,)))
                     for index, spec in pending
@@ -227,12 +245,40 @@ class SweepRunner:
             leftovers = [(i, s) for i, s in pending if results[i] is None]
         return leftovers
 
+    def _flush_partial(
+        self,
+        specs: Sequence[ScenarioSpec],
+        results: List[Optional[RunRecord]],
+        report: SweepReport,
+        started: float,
+    ) -> None:
+        """Persist what an interrupted sweep already resolved.
+
+        Every executed record goes into the cache (when one is attached)
+        so a re-run after Ctrl-C resumes from the interruption point
+        instead of re-simulating, and ``last_report`` reflects the partial
+        accounting.
+        """
+        if self.cache is not None:
+            for index, spec in enumerate(specs):
+                if results[index] is not None and report.sources.get(index) != "cache":
+                    self.cache.put(spec, results[index])  # type: ignore[arg-type]
+        report.wall_seconds = time.perf_counter() - started
+        self.last_report = report
+
     # ------------------------------------------------------------------ API
     def run(self, specs: Sequence[ScenarioSpec]) -> List[RunRecord]:
         """Resolve every spec (cache, pool, then serial fallback), in order.
 
         The returned list is index-aligned with ``specs``.  Raises
         :class:`SweepError` if any spec still fails after retries.
+
+        SIGINT and SIGTERM interrupt the sweep cleanly: pool workers are
+        terminated (the ``Pool`` context manager handles that on the way
+        out), already-resolved records are flushed to the cache, and
+        ``KeyboardInterrupt`` propagates to the caller.  SIGTERM is
+        mapped onto ``KeyboardInterrupt`` for the duration of the run
+        (main thread only) so both signals take the same path.
         """
         specs = list(specs)
         total = len(specs)
@@ -240,31 +286,44 @@ class SweepRunner:
         report = SweepReport(total=total)
         results: List[Optional[RunRecord]] = [None] * total
 
-        pending: List[Tuple[int, ScenarioSpec]] = []
-        for index, spec in enumerate(specs):
-            cached = self.cache.get(spec) if self.cache is not None else None
-            if cached is not None:
-                results[index] = cached
-                report.cache_hits += 1
-                report.sources[index] = "cache"
-                self._emit(started, index, total, spec, "cache", 0.0, report)
-            else:
-                pending.append((index, spec))
+        previous_sigterm = None
+        if threading.current_thread() is threading.main_thread():
+            def _on_sigterm(signum, frame):  # pragma: no cover - signal path
+                raise KeyboardInterrupt
+            previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
 
-        if pending and (self.workers or 1) > 1 and len(pending) > 1:
-            pending = self._run_pool(pending, results, report, started, total)
-            report.fell_back_serial = len(pending)
+        try:
+            pending: List[Tuple[int, ScenarioSpec]] = []
+            for index, spec in enumerate(specs):
+                cached = self.cache.get(spec) if self.cache is not None else None
+                if cached is not None:
+                    results[index] = cached
+                    report.cache_hits += 1
+                    report.sources[index] = "cache"
+                    self._emit(started, index, total, spec, "cache", 0.0, report)
+                else:
+                    pending.append((index, spec))
 
-        for index, spec in pending:
-            attempt_started = time.perf_counter()
-            record = self._run_serial_one(spec, report)
-            results[index] = record
-            report.executed += 1
-            report.sources[index] = "serial"
-            self._emit(
-                started, index, total, spec, "serial",
-                time.perf_counter() - attempt_started, report,
-            )
+            if pending and (self.workers or 1) > 1 and len(pending) > 1:
+                pending = self._run_pool(pending, results, report, started, total)
+                report.fell_back_serial = len(pending)
+
+            for index, spec in pending:
+                attempt_started = time.perf_counter()
+                record = self._run_serial_one(spec, report)
+                results[index] = record
+                report.executed += 1
+                report.sources[index] = "serial"
+                self._emit(
+                    started, index, total, spec, "serial",
+                    time.perf_counter() - attempt_started, report,
+                )
+        except KeyboardInterrupt:
+            self._flush_partial(specs, results, report, started)
+            raise
+        finally:
+            if previous_sigterm is not None:
+                signal.signal(signal.SIGTERM, previous_sigterm)
 
         if self.cache is not None:
             for index, spec in enumerate(specs):

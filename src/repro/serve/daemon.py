@@ -1,0 +1,218 @@
+"""The asyncio heartbeat daemon: ``repro serve``'s network front end.
+
+One :class:`ServeDaemon` owns one :class:`~repro.serve.engine.ServeEngine`
+and exposes it over a TCP or UNIX-domain socket speaking the NDJSON
+protocol of :mod:`repro.serve.protocol`.  Message handling is synchronous
+on the event loop — the same single-decision-lock concurrency model as
+the real JobTracker's RPC handler — so per-connection reader tasks
+interleave at message granularity and the engine never needs a lock.
+
+Clock: the daemon anchors the engine's simulation clock to the event
+loop's monotonic clock at start, scaled by ``time_scale`` simulated
+seconds per wall second.  ``time_scale=1`` serves in real time (a control
+interval is the paper's 300 s); tests and benchmarks crank it up so
+pheromone updates fire within seconds.
+
+Shutdown: SIGINT/SIGTERM (via :meth:`install_signal_handlers`), a client
+``{"type": "shutdown"}`` message, or :meth:`request_stop` all trigger the
+same graceful sequence — stop accepting, let in-flight messages finish,
+flush replies, close client sockets, and snapshot final stats.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+from typing import Any, Dict, Optional, Set
+
+from .engine import ServeEngine
+from .protocol import MAX_LINE_BYTES, decode, encode
+
+__all__ = ["ServeDaemon"]
+
+
+class ServeDaemon:
+    """Serve one engine over a socket until told to stop.
+
+    Parameters
+    ----------
+    engine:
+        The message-driven scheduler host.  If it trusts wire clocks
+        (``trust_wire_now=True``; replay and parity harnesses) message
+        timestamps drive the sim clock; otherwise the daemon stamps every
+        message with its scaled wall clock.
+    host, port:
+        TCP endpoint (``port=0`` picks a free port, exposed as
+        :attr:`address` after :meth:`start`).
+    path:
+        UNIX-domain socket path; mutually exclusive with host/port.
+    time_scale:
+        Simulated seconds per wall-clock second (default 1.0).
+    tick_interval:
+        Wall seconds between control-interval timer fires; defaults to
+        ``engine.config.control_interval / time_scale`` so the scheduler
+        re-optimizes exactly on the paper's cadence.  ``0`` disables the
+        timer (replay hosts drive ticks through the protocol instead).
+    """
+
+    def __init__(
+        self,
+        engine: ServeEngine,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        path: Optional[str] = None,
+        time_scale: float = 1.0,
+        tick_interval: Optional[float] = None,
+    ) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.path = path
+        self.time_scale = time_scale
+        if tick_interval is None:
+            tick_interval = engine.config.control_interval / time_scale
+        self.tick_interval = tick_interval
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._ticker: Optional[asyncio.Task] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._stop_event: Optional[asyncio.Event] = None
+        self._t0 = 0.0
+        self.final_stats: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------ clock
+    def _now(self) -> float:
+        return (asyncio.get_running_loop().time() - self._t0) * self.time_scale
+
+    @property
+    def address(self) -> str:
+        """The bound endpoint (``host:port`` or the socket path)."""
+        if self.path is not None:
+            return self.path
+        if self._server is not None and self._server.sockets:
+            host, port = self._server.sockets[0].getsockname()[:2]
+            return f"{host}:{port}"
+        return f"{self.host}:{self.port}"
+
+    @property
+    def bound_port(self) -> int:
+        """The actual TCP port after binding (resolves ``port=0``)."""
+        if self._server is not None and self._server.sockets and self.path is None:
+            return self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    # -------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._t0 = loop.time()
+        if self.path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._serve_connection, path=self.path, limit=MAX_LINE_BYTES
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._serve_connection, host=self.host, port=self.port,
+                limit=MAX_LINE_BYTES,
+            )
+        if self.tick_interval > 0:
+            self._ticker = asyncio.ensure_future(self._tick_loop())
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGINT/SIGTERM into a graceful stop (POSIX event loops)."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(signum, self.request_stop)
+
+    def request_stop(self) -> None:
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def wait_stopped(self) -> Dict[str, Any]:
+        """Block until a stop is requested, then shut down gracefully.
+
+        Returns the engine's final stats snapshot (also kept on
+        :attr:`final_stats`).
+        """
+        assert self._stop_event is not None, "start() first"
+        await self._stop_event.wait()
+        # Stop accepting new connections, then let in-flight handlers
+        # finish their current message and flush buffered replies.
+        assert self._server is not None
+        self._server.close()
+        if self._ticker is not None:
+            self._ticker.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._ticker
+        for writer in list(self._writers):
+            with contextlib.suppress(ConnectionError):
+                await writer.drain()
+            writer.close()
+        await self._server.wait_closed()
+        self.final_stats = self.engine.shutdown()
+        return self.final_stats
+
+    async def run(self, *, install_signals: bool = False) -> Dict[str, Any]:
+        """Start, optionally install signal handlers, and serve until stopped."""
+        await self.start()
+        if install_signals:
+            self.install_signal_handlers()
+        return await self.wait_stopped()
+
+    # ------------------------------------------------------------ connections
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        engine = self.engine
+        stamp_clock = not engine.trust_wire_now
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(encode({"type": "error", "message": "line too long"}))
+                    break
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    message = decode(stripped)
+                except ValueError as exc:  # WireError is a ValueError
+                    writer.write(encode({"type": "error", "message": str(exc)}))
+                    continue
+                if message.get("type") == "shutdown":
+                    reply = {"type": "stats", **engine.stats()}
+                    if "seq" in message:
+                        reply["seq"] = message["seq"]
+                    writer.write(encode(reply))
+                    with contextlib.suppress(ConnectionError):
+                        await writer.drain()
+                    self.request_stop()
+                    break
+                now = self._now() if stamp_clock else None
+                reply = engine.handle(message, now=now)
+                writer.write(encode(reply))
+                # drain() is a no-op below the high-water mark; above it,
+                # this is the backpressure that keeps one flooding client
+                # from ballooning the reply buffer.
+                with contextlib.suppress(ConnectionError):
+                    await writer.drain()
+        finally:
+            self._writers.discard(writer)
+            with contextlib.suppress(ConnectionError):
+                writer.close()
+
+    # ----------------------------------------------------------------- ticker
+    async def _tick_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.tick_interval)
+            self.engine.tick(self._now())

@@ -29,6 +29,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from .._compat import deprecated_positionals
 from .benchmarks import PUMA
 from .profiles import JobSpec, WorkloadProfile
 
@@ -106,7 +107,9 @@ def _class_assignment(config: MSDConfig, rng: np.random.Generator) -> List[str]:
     return classes
 
 
+@deprecated_positionals("config", "streams")
 def generate_msd_workload(
+    *,
     config: MSDConfig = MSDConfig(),
     streams: "RandomStreams" = None,  # noqa: F821 - forward ref
 ) -> List[JobSpec]:
@@ -115,6 +118,9 @@ def generate_msd_workload(
     Returns jobs sorted by submit time.  With the default config this is
     87 jobs in roughly 50/25/12 small/medium/large proportions across the
     three PUMA applications, with Poisson arrivals.
+
+    Both parameters are keyword-only; positional use of (config, streams)
+    is deprecated and warns for one release.
     """
     from ..simulation import RandomStreams
 

@@ -1,0 +1,25 @@
+"""Smoke test for the subprocess serve benchmark (the BENCH_serve rig)."""
+
+from repro.serve import run_serve_benchmark
+
+
+def test_benchmark_harness_round_trips():
+    result = run_serve_benchmark(
+        rate=300.0,
+        duration=1.0,
+        scheduler="fifo",
+        seed=3,
+        connections=2,
+        service_time=0.05,
+        time_scale=600.0,
+    )
+    # The daemon lived in its own process and answered everything.
+    assert result["client_errors"] == 0
+    assert result["server"]["errors"] == 0
+    assert result["heartbeats_sent"] > 0
+    assert result["responses_received"] == result["heartbeats_sent"]
+    assert result["server"]["heartbeats"] == result["heartbeats_sent"]
+    assert result["assignments_received"] > 0
+    assert result["rtt_ms"]["p50"] <= result["rtt_ms"]["p99"]
+    assert result["server"]["decision_latency_ms"]["count"] > 0
+    assert result["config"]["scheduler"] == "fifo"

@@ -1,0 +1,88 @@
+"""``repro serve`` CLI: flag validation and the in-process loadgen mode.
+
+Every input-validation failure follows the repo's CLI error convention:
+exit status 2 and one compiler-style ``repro/cli.py:NNN: error: ...``
+line on stderr — never a traceback.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+
+ERROR_LINE = re.compile(r"^repro/cli\.py:\d+: error: ", re.MULTILINE)
+
+
+def assert_cli_error(capsys, argv, fragment):
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert ERROR_LINE.search(err), f"no file:line error prefix in {err!r}"
+    assert fragment in err
+
+
+class TestValidation:
+    def test_zero_nodes_rejected(self, capsys):
+        assert_cli_error(capsys, ["serve", "--nodes", "0"], "--nodes")
+
+    def test_port_out_of_range(self, capsys):
+        assert_cli_error(capsys, ["serve", "--port", "70000"], "--port")
+
+    def test_socket_and_port_conflict(self, capsys):
+        assert_cli_error(
+            capsys,
+            ["serve", "--socket", "/tmp/x.sock", "--port", "7077"],
+            "mutually exclusive",
+        )
+
+    @pytest.mark.parametrize("value", ["0", "-1", "nan", "inf"])
+    def test_bad_time_scale(self, value, capsys):
+        assert_cli_error(capsys, ["serve", "--time-scale", value], "--time-scale")
+
+    @pytest.mark.parametrize("value", ["0", "-5", "nan"])
+    def test_bad_loadgen_rate(self, value, capsys):
+        assert_cli_error(capsys, ["serve", "--loadgen", value], "--loadgen")
+
+    def test_bad_duration(self, capsys):
+        assert_cli_error(
+            capsys, ["serve", "--loadgen", "100", "--duration", "0"], "--duration"
+        )
+
+    def test_bench_out_requires_load_mode(self, capsys):
+        assert_cli_error(
+            capsys, ["serve", "--bench-out", "out.json"], "--bench-out"
+        )
+
+    def test_bench_out_requires_json_suffix(self, capsys):
+        assert_cli_error(
+            capsys,
+            ["serve", "--loadgen", "100", "--bench-out", "out.txt"],
+            ".json",
+        )
+
+    def test_unknown_scheduler_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--scheduler", "spark"])
+
+
+class TestLoadgenMode:
+    def test_loadgen_prints_summary_json(self, capsys, tmp_path):
+        out_path = tmp_path / "summary.json"
+        code = main([
+            "serve", "--loadgen", "200", "--duration", "0.5",
+            "--connections", "2", "--service-time", "0.05",
+            "--scheduler", "fifo", "--bench-out", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        payload = "\n".join(
+            line for line in out.splitlines() if not line.startswith("#")
+        )
+        summary = json.loads(payload)
+        assert summary["errors"] == 0
+        assert summary["heartbeats_sent"] > 0
+        assert summary["responses_received"] == summary["heartbeats_sent"]
+        assert summary["assignments_received"] > 0
+        # --bench-out wrote the same summary to disk.
+        assert json.loads(out_path.read_text()) == summary

@@ -1,0 +1,185 @@
+"""ServeEngine message-handling semantics (no sockets, no asyncio)."""
+
+import pytest
+
+from repro.serve import ServeEngine
+
+
+def make_engine(**kwargs):
+    kwargs.setdefault("scheduler", "e-ant")
+    kwargs.setdefault("seed", 3)
+    return ServeEngine(**kwargs)
+
+
+def register(engine, machine_id=0, slots=(2, 2)):
+    return engine.handle({
+        "type": "register",
+        "machine_id": machine_id,
+        "hostname": f"node-{machine_id:02d}",
+        "model": "atom",
+        "map_slots": slots[0],
+        "reduce_slots": slots[1],
+    })
+
+
+class TestErrors:
+    def test_unknown_type_is_error_not_crash(self):
+        engine = make_engine()
+        reply = engine.handle({"type": "frobnicate"})
+        assert reply["type"] == "error"
+        assert "frobnicate" in reply["message"]
+        assert engine.errors == 1
+
+    def test_missing_type_is_error(self):
+        reply = make_engine().handle({"machine_id": 0})
+        assert reply["type"] == "error"
+
+    def test_seq_echoes_on_errors_too(self):
+        reply = make_engine().handle({"type": "nope", "seq": 42})
+        assert reply["seq"] == 42
+
+    def test_register_outside_fleet_rejected(self):
+        engine = make_engine()  # paper fleet: machine ids 0..15
+        reply = register(engine, machine_id=99)
+        assert reply["type"] == "error"
+        assert "99" in reply["message"]
+
+    def test_heartbeat_before_register_rejected(self):
+        reply = make_engine().handle({
+            "type": "heartbeat", "machine_id": 0, "now": 0.0,
+            "free_map_slots": 2, "free_reduce_slots": 2,
+            "running_maps": 0, "running_reduces": 0,
+        })
+        assert reply["type"] == "error"
+        assert "registered" in reply["message"]
+
+    def test_heartbeat_offering_unregistered_slots_rejected(self):
+        engine = make_engine()
+        assert register(engine, slots=(2, 2))["type"] == "ok"
+        reply = engine.handle({
+            "type": "heartbeat", "machine_id": 0, "now": 1.0,
+            "free_map_slots": 5, "free_reduce_slots": 0,
+            "running_maps": 0, "running_reduces": 0,
+        })
+        assert reply["type"] == "error"
+
+    def test_report_for_unknown_task_rejected(self):
+        engine = make_engine()
+        reply = engine.handle({
+            "type": "report", "task_id": "job0-m-0000", "attempt_id": "x",
+            "kind": "map", "machine_id": 0, "start_time": 0.0,
+            "finish_time": 1.0, "avg_utilization": 0.5, "local": True,
+            "samples": [[0.5, 1.0]], "phases": {"cpu": 1.0},
+        })
+        assert reply["type"] == "error"
+
+
+class TestSession:
+    """One full assign/report/complete conversation against the engine."""
+
+    def test_full_session(self):
+        engine = make_engine(scheduler="fifo")
+        for machine_id in range(4):
+            assert register(engine, machine_id)["type"] == "ok"
+
+        submitted = engine.handle({
+            "type": "submit", "application": "grep",
+            "input_mb": 256.0, "num_reduces": 1, "seq": 7,
+        })
+        assert submitted["type"] == "ok"
+        assert submitted["seq"] == 7
+        assert submitted["num_maps"] >= 1
+
+        # Heartbeats pick the queued maps up, at most free_map_slots each.
+        assigned = {}
+        now = 1.0
+        while len(assigned) < submitted["num_maps"] and now < 100.0:
+            for machine_id in range(4):
+                reply = engine.handle({
+                    "type": "heartbeat", "machine_id": machine_id, "now": now,
+                    "free_map_slots": 2, "free_reduce_slots": 1,
+                    "running_maps": 0, "running_reduces": 0,
+                })
+                assert reply["type"] == "assignment"
+                assert len([d for d in reply["directives"] if d["kind"] == "map"]) <= 2
+                for directive in reply["directives"]:
+                    assigned[directive["task_id"]] = (machine_id, directive, now)
+            now += 3.0
+
+        maps = {t: v for t, v in assigned.items() if v[1]["kind"] == "map"}
+        assert len(maps) == submitted["num_maps"]
+
+        # Reporting a completion with the wrong attempt id is refused...
+        task_id, (machine_id, directive, started) = next(iter(maps.items()))
+        base_report = {
+            "type": "report", "task_id": task_id,
+            "attempt_id": f"attempt_{task_id}_9", "kind": directive["kind"],
+            "machine_id": machine_id, "start_time": started,
+            "finish_time": started + 10.0, "avg_utilization": 0.6,
+            "local": True, "samples": [[0.6, 10.0]], "phases": {"cpu": 10.0},
+        }
+        assert engine.handle(base_report)["type"] == "error"
+
+        # ... while the real attempt id closes the task.
+        for task_id, (machine_id, directive, started) in maps.items():
+            reply = engine.handle({
+                **base_report, "task_id": task_id, "machine_id": machine_id,
+                "attempt_id": f"attempt_{task_id}_0", "start_time": started,
+                "finish_time": started + 10.0,
+            })
+            assert reply == {"type": "ok", "task_id": task_id, "duplicate": False}
+
+        # A second report for a finished task no longer resolves.
+        assert engine.handle({
+            **base_report, "attempt_id": f"attempt_{task_id}_0",
+        })["type"] == "error"
+
+        stats = engine.stats()
+        assert stats["reports"] == len(maps)
+        assert stats["assignments"] == len(assigned)
+        assert stats["trackers"] == 4
+
+    def test_tick_advances_control_interval(self):
+        engine = make_engine()
+        interval = engine.config.control_interval
+        assert engine.handle({"type": "tick", "now": interval * 2.5})[
+            "interval_index"
+        ] == 2
+        assert engine.core.interval_index == 2
+
+    def test_clock_never_moves_backwards(self):
+        engine = make_engine()
+        register(engine)
+        engine.handle({
+            "type": "heartbeat", "machine_id": 0, "now": 50.0,
+            "free_map_slots": 0, "free_reduce_slots": 0,
+            "running_maps": 2, "running_reduces": 2,
+        })
+        assert engine.now == 50.0
+        engine.handle({
+            "type": "heartbeat", "machine_id": 0, "now": 10.0,
+            "free_map_slots": 0, "free_reduce_slots": 0,
+            "running_maps": 2, "running_reduces": 2,
+        })
+        assert engine.now == 50.0
+
+    def test_submit_needs_a_size(self):
+        reply = make_engine().handle({"type": "submit", "application": "grep"})
+        assert reply["type"] == "error"
+        assert "input_gb" in reply["message"]
+
+    def test_stats_shape(self):
+        stats = make_engine().stats()
+        for key in (
+            "scheduler", "heartbeats", "assignments", "reports",
+            "control_intervals", "errors", "decision_latency_ms",
+        ):
+            assert key in stats
+        assert stats["decision_latency_ms"]["count"] == 0
+        assert stats["decision_latency_ms"]["p99"] == 0.0
+
+    def test_shutdown_returns_final_stats(self):
+        engine = make_engine()
+        stats = engine.shutdown()
+        assert engine.jobtracker.is_shutdown
+        assert stats["errors"] == 0

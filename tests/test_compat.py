@@ -1,0 +1,72 @@
+"""The keyword-only migration shims: warn once, behave identically."""
+
+import warnings
+
+import pytest
+
+from repro._compat import deprecated_positionals
+from repro.experiments import figure_result
+from repro.workloads import MSDConfig, generate_msd_workload
+from repro.simulation import RandomStreams
+
+
+@deprecated_positionals("alpha", "beta")
+def _example(*, alpha=1, beta=2):
+    return alpha, beta
+
+
+@deprecated_positionals("name", "scale", allowed=1)
+def _example_allowed(name, *, scale=10):
+    return name, scale
+
+
+class TestDecorator:
+    def test_keyword_call_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert _example(alpha=5, beta=6) == (5, 6)
+
+    def test_positional_call_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="alpha=.*beta="):
+            assert _example(5, 6) == (5, 6)
+
+    def test_partial_positional_call(self):
+        with pytest.warns(DeprecationWarning, match="alpha="):
+            assert _example(5, beta=7) == (5, 7)
+
+    def test_duplicate_parameter_is_type_error(self):
+        with pytest.raises(TypeError, match="alpha"):
+            _example(5, alpha=9)
+
+    def test_excess_positionals_is_type_error(self):
+        with pytest.raises(TypeError, match="at most 2"):
+            _example(1, 2, 3)
+
+    def test_allowed_positionals_pass_silently(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert _example_allowed("fig6") == ("fig6", 10)
+
+    def test_allowed_boundary_still_warns_beyond(self):
+        with pytest.warns(DeprecationWarning, match="beyond the first 1"):
+            assert _example_allowed("fig6", 99) == ("fig6", 99)
+
+
+class TestShimmedEntrypoints:
+    """The real deprecated call shapes keep producing identical results."""
+
+    def test_generate_msd_workload_positional_matches_keyword(self):
+        config = MSDConfig(n_jobs=6)
+        with pytest.warns(DeprecationWarning):
+            legacy = generate_msd_workload(config, RandomStreams(5))
+        modern = generate_msd_workload(config=config, streams=RandomStreams(5))
+        assert [(j.profile.name, j.input_mb, j.submit_time) for j in legacy] == [
+            (j.profile.name, j.input_mb, j.submit_time) for j in modern
+        ]
+
+    def test_figure_result_name_stays_positional(self):
+        # Single-positional ergonomics survive the migration: no warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = figure_result("fig6")
+        assert result is not None

@@ -12,7 +12,7 @@ CFG = MSDConfig(n_jobs=12, mean_interarrival_s=30.0, max_maps=60, seed_label="e2
 
 @pytest.fixture(scope="module")
 def workload():
-    return generate_msd_workload(CFG, RandomStreams(21))
+    return generate_msd_workload(config=CFG, streams=RandomStreams(21))
 
 
 @pytest.fixture(scope="module", params=["fifo", "fair", "tarazu", "e-ant"])
@@ -67,7 +67,7 @@ def test_eant_reduces_dynamic_energy_vs_fair():
     (CPU-activity) energy than Fair's.  Tiny workloads finish before the
     pheromones learn, so this uses a moderate 30-job mix."""
     config = MSDConfig(n_jobs=30, mean_interarrival_s=40.0, max_maps=300, seed_label="dyn")
-    workload = generate_msd_workload(config, RandomStreams(7))
+    workload = generate_msd_workload(config=config, streams=RandomStreams(7))
     fair = run_scenario(workload, scheduler="fair", seed=7).metrics
     eant = run_scenario(workload, scheduler="e-ant", seed=7).metrics
     assert eant.dynamic_energy_joules < fair.dynamic_energy_joules

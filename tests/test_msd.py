@@ -15,7 +15,7 @@ class TestTableIII:
         assert CLASS_SPECS["large"][2] == (256, 1024)
 
     def test_87_jobs_in_421_proportions(self):
-        jobs = generate_msd_workload(MSDConfig(), RandomStreams(5))
+        jobs = generate_msd_workload(config=MSDConfig(), streams=RandomStreams(5))
         histogram = class_histogram(jobs)
         assert sum(histogram.values()) == 87
         assert histogram["small"] == 50  # 87 * 4/7, largest remainder
@@ -23,37 +23,37 @@ class TestTableIII:
         assert histogram["large"] == 12
 
     def test_proportions_hold_for_other_sizes(self):
-        jobs = generate_msd_workload(MSDConfig(n_jobs=14), RandomStreams(1))
+        jobs = generate_msd_workload(config=MSDConfig(n_jobs=14), streams=RandomStreams(1))
         histogram = class_histogram(jobs)
         assert histogram == {"small": 8, "medium": 4, "large": 2}
 
 
 class TestGenerator:
     def test_deterministic_for_seed(self):
-        a = generate_msd_workload(MSDConfig(), RandomStreams(9))
-        b = generate_msd_workload(MSDConfig(), RandomStreams(9))
+        a = generate_msd_workload(config=MSDConfig(), streams=RandomStreams(9))
+        b = generate_msd_workload(config=MSDConfig(), streams=RandomStreams(9))
         assert [(j.name, j.input_mb, j.submit_time) for j in a] == [
             (j.name, j.input_mb, j.submit_time) for j in b
         ]
 
     def test_different_seed_label_different_draw(self):
-        a = generate_msd_workload(MSDConfig(seed_label="x"), RandomStreams(9))
-        b = generate_msd_workload(MSDConfig(seed_label="y"), RandomStreams(9))
+        a = generate_msd_workload(config=MSDConfig(seed_label="x"), streams=RandomStreams(9))
+        b = generate_msd_workload(config=MSDConfig(seed_label="y"), streams=RandomStreams(9))
         assert [j.input_mb for j in a] != [j.input_mb for j in b]
 
     def test_sorted_by_submit_time(self):
-        jobs = generate_msd_workload(MSDConfig(), RandomStreams(2))
+        jobs = generate_msd_workload(config=MSDConfig(), streams=RandomStreams(2))
         times = [j.submit_time for j in jobs]
         assert times == sorted(times)
 
     def test_map_counts_respect_caps(self):
         config = MSDConfig(max_maps=100, min_maps=3)
-        jobs = generate_msd_workload(config, RandomStreams(3))
+        jobs = generate_msd_workload(config=config, streams=RandomStreams(3))
         for job in jobs:
             assert 3 <= job.num_maps(config.block_mb) <= 100
 
     def test_applications_are_puma(self):
-        jobs = generate_msd_workload(MSDConfig(), RandomStreams(4))
+        jobs = generate_msd_workload(config=MSDConfig(), streams=RandomStreams(4))
         assert {j.profile.name for j in jobs} <= {"wordcount", "grep", "terasort"}
 
     def test_unknown_application_rejected(self):
@@ -62,7 +62,7 @@ class TestGenerator:
 
     def test_task_scale_one_reproduces_table_counts(self):
         config = MSDConfig(task_scale=1.0, max_maps=10**9, n_jobs=50)
-        jobs = generate_msd_workload(config, RandomStreams(6))
+        jobs = generate_msd_workload(config=config, streams=RandomStreams(6))
         for job in jobs:
             maps = job.num_maps(config.block_mb)
             if job.size_class == "small":

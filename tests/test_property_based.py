@@ -94,7 +94,7 @@ def test_pheromone_stays_within_clamps(energies, machines, rho, data):
 
 @given(st.integers(min_value=7, max_value=300))
 def test_msd_class_mix_is_exact_for_any_size(n_jobs):
-    jobs = generate_msd_workload(MSDConfig(n_jobs=n_jobs), RandomStreams(0))
+    jobs = generate_msd_workload(config=MSDConfig(n_jobs=n_jobs), streams=RandomStreams(0))
     histogram = class_histogram(jobs)
     assert sum(histogram.values()) == n_jobs
     # Largest-remainder apportionment of 4:2:1 never deviates by > 1.

@@ -175,3 +175,48 @@ class TestProgressAndTracing:
         kinds = [event.type for event in tracer.events]
         assert kinds.count(EventType.SWEEP_TASK) == len(specs)
         assert kinds.count(EventType.SWEEP_SUMMARY) == 1
+
+
+class TestInterruption:
+    """Ctrl-C mid-sweep: partial results reach the cache, then re-raise.
+
+    The deterministic stand-in for a real SIGINT is a progress callback
+    that raises ``KeyboardInterrupt`` after the first resolved spec — the
+    same exception the signal handler would inject, at a reproducible
+    point.
+    """
+
+    def test_interrupt_flushes_partials_and_reraises(self, tmp_path):
+        specs = micro_specs(2)
+        cache = ResultCache(tmp_path)
+        resolved = []
+
+        def interrupt_after_first(line):
+            resolved.append(line)
+            if len(resolved) == 1:
+                raise KeyboardInterrupt
+
+        runner = SweepRunner(workers=1, cache=cache, progress=interrupt_after_first)
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(specs)
+
+        report = runner.last_report
+        assert report is not None
+        assert len(report.sources) == 1
+        assert report.wall_seconds > 0
+
+        # The one resolved spec was flushed: a re-run resumes from cache.
+        rerun = SweepRunner(workers=1, cache=ResultCache(tmp_path))
+        records = rerun.run(specs)
+        assert len(records) == len(specs)
+        assert rerun.last_report.cache_hits >= 1
+
+    def test_sigterm_handler_restored_after_run(self):
+        import signal
+
+        sentinel = signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        try:
+            SweepRunner(workers=1).run(micro_specs(1))
+            assert signal.getsignal(signal.SIGTERM) is signal.SIG_DFL
+        finally:
+            signal.signal(signal.SIGTERM, sentinel)
