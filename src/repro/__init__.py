@@ -50,7 +50,13 @@ from .observability import (
     TelemetrySink,
     Tracer,
 )
-from .runner import ScenarioResult, ScenarioSpec, SweepRunner, execute_spec
+from .runner import (
+    BacklogRecord,
+    ScenarioResult,
+    ScenarioSpec,
+    SweepRunner,
+    execute_spec,
+)
 from .schedulers import FairScheduler, FifoScheduler, LateScheduler, Scheduler, TarazuScheduler
 from .simulation import RandomStreams, Simulator
 from .workloads import (
@@ -58,11 +64,22 @@ from .workloads import (
     PUMA,
     TERASORT,
     WORDCOUNT,
+    BurstyProcess,
+    DiurnalProcess,
+    FlashCrowdProcess,
     JobSpec,
     MSDConfig,
+    TraceError,
+    TraceJob,
+    TraceRef,
+    TraceSpec,
     WorkloadProfile,
     generate_msd_workload,
+    load_trace,
+    make_process,
     puma_job,
+    render_trace,
+    write_trace,
 )
 
 #: The supported public surface.  Anything importable but not listed here
@@ -89,6 +106,18 @@ __all__ = [
     "puma_job",
     "MSDConfig",
     "generate_msd_workload",
+    # workload traces (trace-driven frontend)
+    "TraceJob",
+    "TraceSpec",
+    "TraceRef",
+    "TraceError",
+    "load_trace",
+    "write_trace",
+    "render_trace",
+    "make_process",
+    "DiurnalProcess",
+    "BurstyProcess",
+    "FlashCrowdProcess",
     # noise
     "NoiseModel",
     "NO_NOISE",
@@ -113,6 +142,7 @@ __all__ = [
     # declarative runner
     "ScenarioSpec",
     "ScenarioResult",
+    "BacklogRecord",
     "execute_spec",
     "SweepRunner",
     # faults / observability

@@ -5,7 +5,16 @@ Subcommands
 ``catalog``
     Print the calibrated machine catalog (Table I / Section V-B).
 ``run``
-    Simulate a PUMA job mix under a chosen scheduler.
+    Simulate a PUMA job mix under a chosen scheduler.  ``--trace FILE``
+    drives the run from a workload trace file instead of ``--jobs``;
+    ``--horizon SECONDS`` additionally runs it open-loop (the run is cut
+    at the horizon and backlog/admission accounting is printed).
+``workload``
+    Workload trace files: ``workload gen`` renders an arrival process
+    (diurnal / bursty / flash-crowd) to a CSV or JSONL trace,
+    ``workload validate`` checks a file against the schema (exit 2 with
+    a ``file:line`` diagnostic on the first bad row), and ``workload
+    describe`` prints a summary plus the content digest.
 ``compare``
     The headline Fair vs Tarazu vs E-Ant comparison on the MSD workload
     (Figs. 8-9).
@@ -20,9 +29,9 @@ Subcommands
     ``--dry-run`` prints the expanded grid (spec hashes + cache status)
     without simulating anything.
 ``trace``
-    Summarize a JSONL trace file written by ``run --trace`` (event counts,
-    decision-audit roll-up, flamegraph-style phase breakdown).  Streams
-    the file line by line — constant memory at any trace size.
+    Summarize a JSONL trace file written by ``run --trace-out`` (event
+    counts, decision-audit roll-up, flamegraph-style phase breakdown).
+    Streams the file line by line — constant memory at any trace size.
 ``report``
     Replay a JSONL trace into the per-machine utilization/power sparkline
     report, offline — no re-simulation.  Also accepts telemetry exports
@@ -53,11 +62,35 @@ from .experiments import (
     figure_result,
     run_msd_comparison,
     run_scenario,
+    trace_driven_spec,
 )
-from .runner import ResultCache, ScenarioSpec, SweepError, SweepRunner, default_cache_dir
-from .workloads import JobSpec, PUMA, puma_job
+from .runner import (
+    ResultCache,
+    ScenarioSpec,
+    SweepError,
+    SweepRunner,
+    default_cache_dir,
+    execute_spec,
+)
+from .workloads import (
+    JobSpec,
+    PUMA,
+    PROCESS_KINDS,
+    TraceError,
+    TraceSpec,
+    load_trace,
+    make_process,
+    puma_job,
+    render_trace,
+    write_trace,
+)
 
 __all__ = ["main", "build_parser"]
+
+#: The historical default job mix for `run`, `sweep`, and `profile`.
+#: `--jobs` defaults to None in argparse so trace-driven invocations can
+#: tell "flag omitted" from "flag given" (they are mutually exclusive).
+DEFAULT_JOB_TOKENS = ["wordcount:4", "grep:4", "terasort:4"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,14 +103,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("catalog", help="print the calibrated machine catalog")
 
-    run = sub.add_parser("run", help="simulate a PUMA job mix")
+    run = sub.add_parser("run", help="simulate a PUMA job mix or a workload trace")
     run.add_argument("--scheduler", choices=SCHEDULER_NAMES, default="e-ant")
     run.add_argument(
         "--jobs",
         nargs="+",
-        default=["wordcount:4", "grep:4", "terasort:4"],
+        default=None,
         metavar="APP:GB",
-        help="jobs as application:input_gb (submitted a minute apart)",
+        help="jobs as application:input_gb, submitted a minute apart "
+        f"(default: {' '.join(DEFAULT_JOB_TOKENS)})",
+    )
+    run.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="drive the run from a workload trace file (.csv/.jsonl, see "
+        "`workload gen`) instead of --jobs",
+    )
+    run.add_argument(
+        "--horizon",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="run open-loop: cut the run at this simulated time and print "
+        "backlog/admission accounting (requires --trace)",
     )
     run.add_argument("--seed", type=int, default=0)
     run.add_argument(
@@ -86,7 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-machine power sparklines (attaches a meter)",
     )
     run.add_argument(
-        "--trace",
+        "--trace-out",
         metavar="FILE",
         help="write a JSONL trace of the run (inspect with `trace`/`report`)",
     )
@@ -109,14 +157,97 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=3)
 
     trace = sub.add_parser("trace", help="summarize a JSONL trace file")
-    trace.add_argument("file", help="trace written by `run --trace`")
+    trace.add_argument("file", help="trace written by `run --trace-out`")
 
     report = sub.add_parser("report", help="replay a trace into sparklines")
     report.add_argument(
         "file",
-        help="trace written by `run --trace`, or a telemetry export "
+        help="trace written by `run --trace-out`, or a telemetry export "
         "written by `profile --out`",
     )
+
+    workload = sub.add_parser(
+        "workload",
+        help="generate, validate, or describe workload trace files",
+        description="Workload trace files (.csv/.jsonl) drive `run --trace` "
+        "and `sweep --trace` (see docs/workloads.md).  `gen` renders an "
+        "arrival process deterministically from a seed; `validate` checks "
+        "a file against the schema; `describe` summarizes one.",
+    )
+    wsub = workload.add_subparsers(dest="workload_command", required=True)
+
+    gen = wsub.add_parser("gen", help="render an arrival process to a trace file")
+    gen.add_argument(
+        "--process",
+        choices=sorted(PROCESS_KINDS),
+        default="diurnal",
+        help="arrival process to render (default: diurnal)",
+    )
+    gen.add_argument(
+        "--rate",
+        type=float,
+        default=0.05,
+        metavar="JOBS_PER_S",
+        help="mean arrival rate in jobs per simulated second (default 0.05)",
+    )
+    gen.add_argument(
+        "--duration",
+        type=float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="length of the rendered window in simulated seconds (default 3600)",
+    )
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument(
+        "--name",
+        default=None,
+        metavar="NAME",
+        help="trace name (identity: names the RNG stream and the digest "
+        "payload; default: the --out file stem, which is also what "
+        "loading the file will call it)",
+    )
+    gen.add_argument(
+        "--applications",
+        nargs="+",
+        choices=sorted(PUMA),
+        default=None,
+        metavar="APP",
+        help="application pool jobs draw from (default: all PUMA)",
+    )
+    gen.add_argument(
+        "--task-counts",
+        nargs="+",
+        type=int,
+        default=None,
+        metavar="N",
+        help="map-task-count pool jobs draw from (default: 4 8 16)",
+    )
+    gen.add_argument(
+        "--option",
+        "-O",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="process shape option (repeatable), e.g. -O period_s=7200 "
+        "-O amplitude=0.5 for diurnal, -O burst_multiplier=10 for bursty, "
+        "-O spike_start_s=600 for flash-crowd",
+    )
+    gen.add_argument(
+        "--out",
+        required=True,
+        metavar="FILE",
+        help="destination trace file (.csv, .jsonl, or .ndjson by extension)",
+    )
+
+    validate = wsub.add_parser(
+        "validate", help="check a trace file against the schema"
+    )
+    validate.add_argument("file", help="trace file to validate (.csv/.jsonl)")
+
+    describe = wsub.add_parser(
+        "describe", help="summarize a trace file (rows, span, digest)"
+    )
+    describe.add_argument("file", help="trace file to describe (.csv/.jsonl)")
 
     profile = sub.add_parser(
         "profile", help="run with telemetry + kernel phase profiling"
@@ -125,7 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--jobs",
         nargs="+",
-        default=["wordcount:4", "grep:4", "terasort:4"],
+        default=DEFAULT_JOB_TOKENS,
         metavar="APP:GB",
         help="jobs as application:input_gb (submitted a minute apart)",
     )
@@ -190,9 +321,24 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--jobs",
         nargs="+",
-        default=["wordcount:4", "grep:4", "terasort:4"],
+        default=None,
         metavar="APP:GB",
-        help="job mix every grid point simulates (submitted a minute apart)",
+        help="job mix every grid point simulates, submitted a minute apart "
+        f"(default: {' '.join(DEFAULT_JOB_TOKENS)})",
+    )
+    sweep.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="drive every grid point from a workload trace file instead of "
+        "--jobs (the trace digest is folded into each spec hash)",
+    )
+    sweep.add_argument(
+        "--horizon",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="run every grid point open-loop, cut at this simulated time "
+        "(requires --trace)",
     )
     sweep.add_argument(
         "--workers",
@@ -297,6 +443,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.05,
         metavar="SECONDS",
         help="wall seconds a synthetic task holds its slot before reporting",
+    )
+    serve.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="with --loadgen: replay this workload trace's arrivals as the "
+        "submit schedule (each row submits at arrival_time / time-scale "
+        "wall seconds) instead of the fixed-interval synthetic jobs",
     )
     serve.add_argument(
         "--bench",
@@ -415,35 +568,120 @@ def parse_job_tokens(tokens: List[str]) -> List[JobSpec]:
     return jobs
 
 
+def load_workload_trace(path: str) -> TraceSpec:
+    """Load ``--trace FILE``, passing the loader's ``file:line: error:``
+    diagnostics through verbatim (they already carry the location of the
+    offending row, which is more useful than this call site's)."""
+    try:
+        return load_trace(path)
+    except TraceError as error:
+        raise CliError(str(error)) from None
+
+
+def _check_open_loop_flags(args: argparse.Namespace) -> None:
+    """Shared ``run``/``sweep`` validation of --trace/--horizon/--jobs."""
+    if args.trace is not None and args.jobs is not None:
+        raise cli_error("--trace and --jobs are mutually exclusive")
+    if args.horizon is not None:
+        if args.trace is None:
+            raise cli_error("--horizon requires --trace (open-loop runs are trace-driven)")
+        if not (args.horizon > 0) or args.horizon == float("inf"):
+            raise cli_error(
+                f"--horizon must be a positive finite number of simulated "
+                f"seconds (got {args.horizon!r})"
+            )
+
+
+def _print_backlog(backlog) -> None:
+    """Render a :class:`~repro.runner.BacklogRecord` (open-loop runs)."""
+    print(f"\nopen-loop accounting at the t={backlog.horizon:.0f}s horizon:")
+    print(
+        f"  offered   : {backlog.jobs_offered} jobs "
+        f"({backlog.offered_rate_per_s:.4f}/s)"
+    )
+    print(
+        f"  admitted  : {backlog.jobs_admitted} "
+        f"({backlog.jobs_not_admitted} arrived past the horizon)"
+    )
+    print(
+        f"  completed : {backlog.jobs_completed} jobs, "
+        f"{backlog.tasks_completed} tasks "
+        f"({backlog.completion_rate_per_s:.4f} jobs/s drain)"
+    )
+    print(
+        f"  backlog   : {backlog.jobs_unfinished} jobs in flight; "
+        f"{backlog.maps_pending} maps + {backlog.reduces_pending} reduces pending"
+        + ("  [saturated]" if backlog.saturated else "")
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    jobs = parse_job_tokens(args.jobs)
+    _check_open_loop_flags(args)
     hadoop = parse_tracker_expiry(args.tracker_expiry)
     faults = load_fault_plan(args.faults)
-    _print_run_config(
-        scheduler=args.scheduler,
-        seed=args.seed,
-        jobs=",".join(args.jobs),
-        trace=args.trace,
-        tracker_expiry=args.tracker_expiry,
-        faults=args.faults,
-    )
-    try:
-        result = run_scenario(
-            jobs,
+    trace_spec = load_workload_trace(args.trace) if args.trace else None
+    if trace_spec is not None:
+        jobs = None
+        _print_run_config(
             scheduler=args.scheduler,
             seed=args.seed,
-            with_meter=args.timeline,
-            meter_interval=10.0,
-            trace=args.trace,
-            hadoop=hadoop,
-            faults=faults,
+            trace=f"{args.trace}#{trace_spec.ref().short_digest}",
+            horizon=args.horizon,
+            trace_out=args.trace_out,
+            tracker_expiry=args.tracker_expiry,
+            faults=args.faults,
         )
+    else:
+        tokens = args.jobs if args.jobs is not None else DEFAULT_JOB_TOKENS
+        jobs = parse_job_tokens(tokens)
+        _print_run_config(
+            scheduler=args.scheduler,
+            seed=args.seed,
+            jobs=",".join(tokens),
+            trace_out=args.trace_out,
+            tracker_expiry=args.tracker_expiry,
+            faults=args.faults,
+        )
+    try:
+        if trace_spec is not None:
+            spec = trace_driven_spec(
+                trace_spec,
+                scheduler=args.scheduler,
+                seed=args.seed,
+                open_loop=args.horizon is not None,
+                horizon=args.horizon,
+                with_meter=args.timeline,
+                meter_interval=10.0,
+                hadoop=hadoop,
+                faults=faults,
+            )
+            result = execute_spec(spec, trace=args.trace_out)
+        else:
+            result = run_scenario(
+                jobs,
+                scheduler=args.scheduler,
+                seed=args.seed,
+                with_meter=args.timeline,
+                meter_interval=10.0,
+                trace=args.trace_out,
+                hadoop=hadoop,
+                faults=faults,
+            )
     except OSError as error:
-        raise cli_error(f"cannot write trace {args.trace!r}: {error}") from None
-    print(result.metrics.summary())
+        raise cli_error(f"cannot write trace {args.trace_out!r}: {error}") from None
+    if result.metrics.job_results:
+        print(result.metrics.summary())
+    else:
+        # An overloaded open-loop run can finish zero jobs inside the
+        # horizon; the summary's mean-JCT is undefined then.
+        print(f"scheduler={args.scheduler} seed={args.seed}")
+        print("  jobs completed : 0 (no completions before the horizon)")
+        print(f"  total energy   : {result.metrics.total_energy_kj:.1f} kJ")
     print("\nenergy by machine type (kJ):")
     for model, joules in sorted(result.metrics.energy_by_type.items()):
         print(f"  {model:8s} {joules / 1000:8.1f}")
+    if result.backlog is not None:
+        _print_backlog(result.backlog)
     if result.injector is not None:
         print("\nfault timeline:")
         for rec in result.injector.recovery_summary():
@@ -458,8 +696,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         print("\nper-machine power over time:")
         print(timeline_report(result.meter))
-    if args.trace:
-        print(f"\ntrace written to {args.trace} ({len(result.tracer.events)} events)")
+    if args.trace_out:
+        print(f"\ntrace written to {args.trace_out} ({len(result.tracer.events)} events)")
     return 0
 
 
@@ -508,36 +746,52 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 def _sweep_grid(args: argparse.Namespace) -> List[ScenarioSpec]:
     """Expand the sweep flags into the full spec grid, seed-major."""
-    jobs = tuple(parse_job_tokens(args.jobs))
+    _check_open_loop_flags(args)
     hadoop = parse_tracker_expiry(args.tracker_expiry)
     faults = load_fault_plan(args.faults)
+    trace_spec = load_workload_trace(args.trace) if args.trace else None
+    if trace_spec is None:
+        tokens = args.jobs if args.jobs is not None else DEFAULT_JOB_TOKENS
+        jobs = tuple(parse_job_tokens(tokens))
+
+    def make_spec(scheduler: str, seed: int, label: str, **extra) -> ScenarioSpec:
+        if trace_spec is not None:
+            return trace_driven_spec(
+                trace_spec,
+                scheduler=scheduler,
+                seed=seed,
+                open_loop=args.horizon is not None,
+                horizon=args.horizon,
+                hadoop=hadoop,
+                faults=faults,
+                label=f"{trace_spec.name}/{label}",
+                **extra,
+            )
+        return ScenarioSpec(
+            jobs=jobs,
+            scheduler=scheduler,
+            hadoop=hadoop,
+            seed=seed,
+            faults=faults,
+            label=label,
+            **extra,
+        )
+
     specs: List[ScenarioSpec] = []
     for seed in args.seeds:
         for scheduler in args.schedulers:
             if scheduler == "e-ant" and args.betas:
                 for beta in args.betas:
                     specs.append(
-                        ScenarioSpec(
-                            jobs=jobs,
-                            scheduler=scheduler,
-                            hadoop=hadoop,
-                            seed=seed,
+                        make_spec(
+                            scheduler,
+                            seed,
+                            f"e-ant@seed{seed}/beta={beta:g}",
                             eant_config=EAntConfig(beta=beta),
-                            faults=faults,
-                            label=f"e-ant@seed{seed}/beta={beta:g}",
                         )
                     )
             else:
-                specs.append(
-                    ScenarioSpec(
-                        jobs=jobs,
-                        scheduler=scheduler,
-                        hadoop=hadoop,
-                        seed=seed,
-                        faults=faults,
-                        label=f"{scheduler}@seed{seed}",
-                    )
-                )
+                specs.append(make_spec(scheduler, seed, f"{scheduler}@seed{seed}"))
     return specs
 
 
@@ -563,7 +817,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         schedulers=",".join(args.schedulers),
         seeds=",".join(str(s) for s in args.seeds),
         betas=",".join(f"{b:g}" for b in args.betas) if args.betas else None,
-        jobs=",".join(args.jobs),
+        jobs=",".join(args.jobs) if args.jobs is not None else (
+            None if args.trace else ",".join(DEFAULT_JOB_TOKENS)
+        ),
+        trace=args.trace,
+        horizon=args.horizon,
         workers=args.workers if args.workers is not None else os.cpu_count(),
     )
     runner = SweepRunner(workers=args.workers, cache=cache, progress=print)
@@ -585,13 +843,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         return 130
 
-    print(f"\n{'label':32s} {'energy kJ':>10s} {'makespan min':>13s} {'mean JCT min':>13s}")
+    open_loop = any(record.backlog is not None for record in records)
+    header = f"\n{'label':32s} {'energy kJ':>10s} {'makespan min':>13s} {'mean JCT min':>13s}"
+    if open_loop:
+        header += f" {'done/offered':>13s}"
+    print(header)
     for spec, record in zip(specs, records):
         metrics = record.metrics
-        print(
+        # Overloaded open-loop grid points can finish zero jobs, where
+        # mean JCT is undefined.
+        jct = f"{metrics.mean_jct() / 60:13.2f}" if metrics.job_results else f"{'-':>13s}"
+        line = (
             f"{spec.display_label:32s} {metrics.total_energy_kj:10.0f} "
-            f"{metrics.makespan / 60:13.1f} {metrics.mean_jct() / 60:13.2f}"
+            f"{metrics.makespan / 60:13.1f} {jct}"
         )
+        if record.backlog is not None:
+            line += f" {f'{record.backlog.jobs_completed}/{record.backlog.jobs_offered}':>13s}"
+        elif open_loop:
+            line += f" {'-':>13s}"
+        print(line)
     report = runner.last_report
     if report is not None:
         print(
@@ -732,6 +1002,100 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_process_options(tokens: List[str]) -> dict:
+    """Parse repeated ``-O KEY=VALUE`` tokens into float process options."""
+    options: dict = {}
+    for token in tokens:
+        key, sep, raw = token.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise cli_error(f"--option {token!r}: expected form KEY=VALUE")
+        try:
+            value = float(raw)
+        except ValueError:
+            raise cli_error(
+                f"--option {token!r}: value must be a number"
+            ) from None
+        if key in options:
+            raise cli_error(f"--option {token!r}: {key} given twice")
+        options[key] = value
+    return options
+
+
+def _describe_trace(trace: TraceSpec, path: str) -> None:
+    """The shared ``workload describe`` / post-``gen`` summary block."""
+    by_app: dict = {}
+    for job in trace.jobs:
+        by_app[job.application] = by_app.get(job.application, 0) + 1
+    span = trace.duration_s
+    rate = len(trace.jobs) / span if span > 0 else float("nan")
+    counts = [job.task_count for job in trace.jobs]
+    print(f"trace {trace.name} ({path})")
+    print(f"  digest    : {trace.trace_digest()}")
+    print(
+        f"  jobs      : {len(trace.jobs)} over {span:.1f}s "
+        f"({rate:.4f}/s mean arrival rate)"
+    )
+    print(
+        f"  tasks     : {trace.total_tasks} maps "
+        f"(per job: min {min(counts)}, max {max(counts)}) + "
+        f"{sum(job.num_reduces for job in trace.jobs)} reduces"
+    )
+    print(
+        "  mix       : "
+        + ", ".join(f"{app}={n}" for app, n in sorted(by_app.items()))
+    )
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    if args.workload_command == "gen":
+        if not (args.rate > 0) or args.rate == float("inf"):
+            raise cli_error(
+                f"--rate must be a positive finite number of jobs per "
+                f"second (got {args.rate!r})"
+            )
+        if not (args.duration > 0) or args.duration == float("inf"):
+            raise cli_error(
+                f"--duration must be a positive finite number of seconds "
+                f"(got {args.duration!r})"
+            )
+        options = _parse_process_options(args.option)
+        render_kwargs = {}
+        if args.applications is not None:
+            render_kwargs["applications"] = tuple(args.applications)
+        if args.task_counts is not None:
+            render_kwargs["task_counts"] = tuple(args.task_counts)
+        try:
+            process = make_process(args.process, args.rate, **options)
+            trace = render_trace(
+                process,
+                duration_s=args.duration,
+                name=args.name if args.name is not None else Path(args.out).stem,
+                seed=args.seed,
+                **render_kwargs,
+            )
+            write_trace(trace, args.out)
+        except TypeError as error:
+            # make_process surfaces unknown -O keys as constructor errors.
+            raise cli_error(f"--process {args.process}: {error}") from None
+        except TraceError as error:
+            raise CliError(str(error)) from None
+        except OSError as error:
+            raise cli_error(f"cannot write trace {args.out!r}: {error}") from None
+        _describe_trace(trace, args.out)
+        print(f"\ntrace written to {args.out}")
+        return 0
+    trace = load_workload_trace(args.file)
+    if args.workload_command == "validate":
+        print(
+            f"ok: {args.file}: {len(trace.jobs)} jobs, "
+            f"digest {trace.ref().short_digest}"
+        )
+        return 0
+    _describe_trace(trace, args.file)
+    return 0
+
+
 def _positive_finite(value: float, flag: str) -> None:
     """Shared ``serve`` flag validation (rejects 0, negatives, nan, inf)."""
     if not (value > 0) or value == float("inf"):
@@ -753,6 +1117,10 @@ def _validate_serve(args: argparse.Namespace) -> None:
     if args.connections < 1:
         raise cli_error(f"--connections must be at least 1 (got {args.connections})")
     _positive_finite(args.service_time, "--service-time")
+    if args.trace is not None and args.bench:
+        raise cli_error("--trace is not supported under --bench (fixed workload)")
+    if args.trace is not None and args.loadgen is None:
+        raise cli_error("--trace needs --loadgen (it replaces its submit schedule)")
     if args.bench_out is not None and not args.bench_out.endswith(".json"):
         raise cli_error(f"--bench-out {args.bench_out!r}: expected a .json destination")
     if args.bench_out is not None and not (args.bench or args.loadgen is not None):
@@ -837,6 +1205,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             connections=args.connections,
             service_time=args.service_time,
             time_scale=time_scale,
+            trace=load_workload_trace(args.trace) if args.trace else None,
         )
 
         async def _run_loadgen() -> dict:
@@ -898,6 +1267,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_report(args)
         if args.command == "profile":
             return _cmd_profile(args)
+        if args.command == "workload":
+            return _cmd_workload(args)
         if args.command == "serve":
             return _cmd_serve(args)
     except CliError as error:

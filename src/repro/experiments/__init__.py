@@ -74,7 +74,23 @@ from .overhead import (
     measure_update_overhead,
     testbed_problem,
 )
-from .scenarios import exchange_workload, motivation_rig, msd_scenario, open_loop_jobs
+from .diurnal import (
+    DIURNAL_SCHEDULERS,
+    DiurnalPhase,
+    DiurnalResult,
+    diurnal_efficiency,
+    diurnal_specs,
+)
+from .scenarios import (
+    diurnal_overload_spec,
+    diurnal_trace,
+    exchange_workload,
+    large_fleet_spec,
+    motivation_rig,
+    msd_scenario,
+    open_loop_jobs,
+    trace_driven_spec,
+)
 from .sensitivity import (
     BetaPoint,
     IntervalPoint,
@@ -126,6 +142,15 @@ __all__ = [
     "churn_plan",
     "churn_specs",
     "churn_adaptiveness",
+    "DIURNAL_SCHEDULERS",
+    "DiurnalPhase",
+    "DiurnalResult",
+    "diurnal_specs",
+    "diurnal_efficiency",
+    "trace_driven_spec",
+    "diurnal_trace",
+    "diurnal_overload_spec",
+    "large_fleet_spec",
     "ConvergenceMeasurement",
     "fig11a_specs",
     "fig11a_machine_homogeneity",

@@ -1,0 +1,228 @@
+"""Long-horizon energy efficiency across diurnal load phases.
+
+The paper's adaptiveness claim (Section VI) is only ever exercised under
+stationary arrivals by the synthetic grids.  This experiment drives the
+schedulers with a *rendered diurnal trace* — a sinusoidal day/night
+arrival curve — in open-loop mode: every scheduler observes the same
+offered stream for the same fixed horizon, whether or not it keeps up.
+
+The observable is windowed energy efficiency (tasks completed per
+kilojoule) in the four phases of each rendered day — rise, peak, fall,
+trough — plus the backlog each policy carried at the horizon.  An
+adaptive policy should hold its efficiency through the peak (steering
+work to energy-efficient machines as queues build) where a static policy
+degrades; the backlog counters show who actually kept up with the crowd.
+
+Fully declarative like the churn figure: :func:`diurnal_specs` emits one
+metered open-loop :class:`~repro.runner.ScenarioSpec` per
+(seed, scheduler) with the trace digest folded into the spec identity, so
+``repro figure diurnal`` resolves through the
+:class:`~repro.runner.SweepRunner` with caching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..runner import ScenarioSpec, SweepRunner, resolve_specs
+from ..workloads import TraceSpec
+from .exchange import _cumulative_energy
+from .scenarios import diurnal_trace, trace_driven_spec
+
+__all__ = [
+    "DIURNAL_SCHEDULERS",
+    "PHASE_NAMES",
+    "DiurnalPhase",
+    "DiurnalResult",
+    "diurnal_specs",
+    "diurnal_efficiency",
+]
+
+#: Policies compared across the diurnal curve, in report order.
+DIURNAL_SCHEDULERS: Tuple[str, ...] = ("fair", "tarazu", "e-ant")
+
+#: The four quarters of one rendered day, in time order.  With the
+#: default sinusoid (phase 0) the rate rises from the mean over the first
+#: quarter, crests in the second, falls through the third, and bottoms
+#: out in the fourth.
+PHASE_NAMES: Tuple[str, ...] = ("rise", "peak", "fall", "trough")
+
+#: Default figure operating point: a compressed one-hour "day" on the
+#: paper fleet, offered at a mean rate the 16-slave fleet cannot fully
+#: drain through the peak.
+DEFAULT_PERIOD_S = 3_600.0
+DEFAULT_DAYS = 1.0
+DEFAULT_RATE_PER_S = 0.05
+
+
+@dataclass(frozen=True)
+class DiurnalPhase:
+    """Tasks/energy/efficiency of one scheduler in one load phase."""
+
+    name: str  # "rise" | "peak" | "fall" | "trough"
+    tasks: float
+    energy_kj: float
+
+    @property
+    def tasks_per_kj(self) -> float:
+        return self.tasks / self.energy_kj if self.energy_kj > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class DiurnalResult:
+    """Per-scheduler outcome over the diurnal horizon, seed-averaged."""
+
+    scheduler: str
+    phases: Tuple[DiurnalPhase, ...]
+    jobs_offered: float
+    jobs_completed: float
+    jobs_backlogged: float  # unfinished + never-admitted at the horizon
+    total_energy_kj: float
+
+    def phase(self, name: str) -> DiurnalPhase:
+        for p in self.phases:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+    @property
+    def peak_holdup(self) -> float:
+        """Peak-phase efficiency relative to trough-phase efficiency.
+
+        1.0 means the policy is as energy-efficient under the crowd as it
+        is at the bottom of the curve; static policies typically sag."""
+        trough = self.phase("trough").tasks_per_kj
+        peak = self.phase("peak").tasks_per_kj
+        return peak / trough if trough > 0 else 0.0
+
+    @property
+    def drain_fraction(self) -> float:
+        """Fraction of the offered jobs finished inside the horizon."""
+        return (
+            self.jobs_completed / self.jobs_offered if self.jobs_offered > 0 else 0.0
+        )
+
+
+def diurnal_specs(
+    seeds: Sequence[int] = (0, 1),
+    schedulers: Sequence[str] = DIURNAL_SCHEDULERS,
+    *,
+    period_s: float = DEFAULT_PERIOD_S,
+    days: float = DEFAULT_DAYS,
+    base_rate_per_s: float = DEFAULT_RATE_PER_S,
+    trace: Optional[TraceSpec] = None,
+) -> List[ScenarioSpec]:
+    """The diurnal grid: per seed, one metered open-loop run per scheduler.
+
+    Common random numbers: every scheduler at a given seed replays the
+    *same* rendered trace (same digest) against the same noise draws, and
+    is cut at the same horizon, so phase windows line up exactly.
+    """
+    horizon = days * period_s
+    specs: List[ScenarioSpec] = []
+    for seed in seeds:
+        day = trace if trace is not None else diurnal_trace(
+            seed=seed,
+            base_rate_per_s=base_rate_per_s,
+            period_s=period_s,
+            days=days,
+        )
+        for scheduler in schedulers:
+            specs.append(
+                trace_driven_spec(
+                    day,
+                    scheduler=scheduler,
+                    seed=seed,
+                    open_loop=True,
+                    horizon=horizon,
+                    with_meter=True,
+                    label=f"diurnal/{scheduler}@seed{seed}",
+                )
+            )
+    return specs
+
+
+def _phase_edges(period_s: float, horizon: float) -> List[Tuple[int, float, float]]:
+    """(phase index, lo, hi) quarters tiling ``[0, horizon)`` day by day."""
+    quarter = period_s / 4.0
+    edges: List[Tuple[int, float, float]] = []
+    t = 0.0
+    index = 0
+    while t < horizon - 1e-9:
+        hi = min(t + quarter, horizon)
+        edges.append((index % 4, t, hi))
+        t = hi
+        index += 1
+    return edges
+
+
+def diurnal_efficiency(
+    seeds: Sequence[int] = (0, 1),
+    schedulers: Sequence[str] = DIURNAL_SCHEDULERS,
+    *,
+    period_s: float = DEFAULT_PERIOD_S,
+    days: float = DEFAULT_DAYS,
+    base_rate_per_s: float = DEFAULT_RATE_PER_S,
+    runner: Optional[SweepRunner] = None,
+) -> Dict[str, DiurnalResult]:
+    """Run the diurnal grid and reduce it to per-phase energy efficiency.
+
+    Returns ``scheduler -> DiurnalResult`` with tasks-per-kJ in the
+    rise/peak/fall/trough windows (aggregated over days, averaged over
+    seeds) plus the at-horizon backlog accounting.
+    """
+    horizon = days * period_s
+    specs = diurnal_specs(
+        seeds,
+        schedulers,
+        period_s=period_s,
+        days=days,
+        base_rate_per_s=base_rate_per_s,
+    )
+    records = resolve_specs(specs, runner)
+
+    windows = _phase_edges(period_s, horizon)
+    boundary_times = [lo for _, lo, _ in windows] + [horizon]
+
+    out: Dict[str, DiurnalResult] = {}
+    for offset, scheduler in enumerate(schedulers):
+        tasks_sum = [0.0] * 4
+        energy_sum = [0.0] * 4
+        offered_sum = completed_sum = backlog_sum = total_kj_sum = 0.0
+        for block, _seed in enumerate(seeds):
+            record = records[block * len(schedulers) + offset]
+            metrics = record.metrics
+            cumulative = _cumulative_energy(record.meter, boundary_times)
+            completions = metrics.collector.completion_times
+            for slot, (phase_index, lo, hi) in enumerate(windows):
+                last = slot == len(windows) - 1
+                tasks_sum[phase_index] += sum(
+                    1 for t in completions if lo <= t < hi or (last and t == hi)
+                )
+                energy_sum[phase_index] += cumulative[slot + 1] - cumulative[slot]
+            backlog = record.backlog
+            if backlog is None:
+                raise ValueError(
+                    f"{record.spec_hash}: diurnal records must be open-loop"
+                )
+            offered_sum += backlog.jobs_offered
+            completed_sum += backlog.jobs_completed
+            backlog_sum += backlog.jobs_unfinished + backlog.jobs_not_admitted
+            total_kj_sum += metrics.total_energy_kj
+        n = len(seeds)
+        phases = tuple(
+            DiurnalPhase(
+                name=name, tasks=tasks_sum[i] / n, energy_kj=energy_sum[i] / n
+            )
+            for i, name in enumerate(PHASE_NAMES)
+        )
+        out[scheduler] = DiurnalResult(
+            scheduler=scheduler,
+            phases=phases,
+            jobs_offered=offered_sum / n,
+            jobs_completed=completed_sum / n,
+            jobs_backlogged=backlog_sum / n,
+            total_energy_kj=total_kj_sum / n,
+        )
+    return out

@@ -22,6 +22,7 @@ from .._compat import deprecated_positionals
 from ..runner import SweepRunner
 from .churn import churn_adaptiveness
 from .convergence_exp import fig11a_machine_homogeneity, fig11b_job_homogeneity
+from .diurnal import diurnal_efficiency
 from .energy_model import fig4_model_accuracy, fig7_noise_scatter
 from .exchange import fig10_exchange_effectiveness
 from .locality import fig6_locality_impact
@@ -276,6 +277,35 @@ def _churn(runner: Optional[SweepRunner]) -> FigureResult:
     )
 
 
+def _diurnal(runner: Optional[SweepRunner]) -> FigureResult:
+    results = diurnal_efficiency(runner=runner)
+    series = {
+        scheduler: tuple(
+            f"{scheduler}\t{phase.name}\t{phase.tasks:.1f}\t"
+            f"{phase.energy_kj:.1f}\t{phase.tasks_per_kj:.4f}"
+            for phase in result.phases
+        )
+        for scheduler, result in results.items()
+    }
+    return FigureResult(
+        name="diurnal",
+        series=series,
+        metadata={
+            "peak_holdup": {s: r.peak_holdup for s, r in results.items()},
+            "drain_fraction": {s: r.drain_fraction for s, r in results.items()},
+            "jobs_backlogged": {s: r.jobs_backlogged for s, r in results.items()},
+        },
+        series_notes={
+            scheduler: (
+                f"peak efficiency {result.peak_holdup:.0%} of trough; "
+                f"drained {result.drain_fraction:.0%} of offered jobs, "
+                f"{result.jobs_backlogged:.1f} backlogged at horizon"
+            )
+            for scheduler, result in results.items()
+        },
+    )
+
+
 _BUILDERS: Dict[str, Callable[[Optional[SweepRunner]], FigureResult]] = {
     "fig1a": _fig1a,
     "fig1b": _fig1b,
@@ -290,6 +320,7 @@ _BUILDERS: Dict[str, Callable[[Optional[SweepRunner]], FigureResult]] = {
     "fig12a": _fig12a,
     "fig12b": _fig12b,
     "churn": _churn,
+    "diurnal": _diurnal,
 }
 
 #: Every figure ``repro figure`` can regenerate, in paper order.

@@ -95,6 +95,7 @@ COLUMNS = (
     "running_reduces",
     "active_jobs",
     "completed_jobs",
+    "submitted_jobs",
     "tau_min",
     "tau_mean",
     "tau_max",
@@ -273,11 +274,15 @@ class TelemetryRecord:
     @classmethod
     def from_json_dict(cls, data: Dict[str, Any]) -> "TelemetryRecord":
         class_names = tuple(str(n) for n in data["class_names"])
+        columns = {k: _floats_from_json(v) for k, v in data["columns"].items()}
+        # Zero-fill columns the document predates so old exports stay
+        # loadable after the schema grows.
+        for name in COLUMNS:
+            if name not in columns:
+                columns[name] = np.zeros_like(columns["time"])
         return cls(
             interval=float(data["interval"]),
-            columns={
-                k: _floats_from_json(v) for k, v in data["columns"].items()
-            },
+            columns=columns,
             class_names=class_names,
             class_columns={
                 k: np.array(
@@ -484,13 +489,16 @@ class TelemetrySink:
         busy_reduces = float(busy_reduce_row.sum())
 
         pending_maps = pending_reduces = 0
-        active_jobs = completed_jobs = 0
+        active_jobs = completed_jobs = submitted_jobs = 0
         if jobtracker is not None:
             for job in jobtracker.active_jobs:
                 pending_maps += job.pending_map_count
                 pending_reduces += job.pending_reduce_count
             active_jobs = len(jobtracker.active_jobs)
             completed_jobs = len(jobtracker.completed_jobs)
+            # Admissions so far — under open-loop overload the gap between
+            # this curve and completed_jobs is the growing backlog.
+            submitted_jobs = len(jobtracker.jobs)
 
         tau_min = tau_mean = tau_max = math.nan
         table = getattr(self.scheduler, "pheromones", None)
@@ -535,6 +543,7 @@ class TelemetrySink:
         column[row["running_reduces"]] = busy_reduces
         column[row["active_jobs"]] = active_jobs
         column[row["completed_jobs"]] = completed_jobs
+        column[row["submitted_jobs"]] = submitted_jobs
         column[row["tau_min"]] = tau_min
         column[row["tau_mean"]] = tau_mean
         column[row["tau_max"]] = tau_max
@@ -644,9 +653,19 @@ def read_telemetry_npz(
         if "telemetry" in meta:
             info = meta["telemetry"]
             class_names = tuple(str(n) for n in info["class_names"])
+            times = archive["col_time"]
             telemetry = TelemetryRecord(
                 interval=float(info["interval"]),
-                columns={name: archive[f"col_{name}"] for name in COLUMNS},
+                # Zero-fill columns the archive predates (exports written
+                # before a column was added stay loadable).
+                columns={
+                    name: (
+                        archive[f"col_{name}"]
+                        if f"col_{name}" in archive
+                        else np.zeros_like(times)
+                    )
+                    for name in COLUMNS
+                },
                 class_names=class_names,
                 class_columns={
                     name: archive[f"cls_{name}"] for name in CLASS_COLUMNS

@@ -17,7 +17,14 @@ The pieces (see ``docs/api.md`` for the full guide):
 
 from .cache import CacheStats, ResultCache, code_version_salt, default_cache_dir
 from .engine import SCHEDULER_NAMES, ScenarioResult, execute_spec, make_scheduler
-from .record import ConvergenceRecord, MeterRecord, RunRecord, build_record, record_digest
+from .record import (
+    BacklogRecord,
+    ConvergenceRecord,
+    MeterRecord,
+    RunRecord,
+    build_record,
+    record_digest,
+)
 from .spec import SPEC_VERSION, ScenarioSpec, canonical_json
 from .sweep import SweepError, SweepReport, SweepRunner, resolve_specs
 
@@ -30,6 +37,7 @@ __all__ = [
     "make_scheduler",
     "SCHEDULER_NAMES",
     "RunRecord",
+    "BacklogRecord",
     "MeterRecord",
     "ConvergenceRecord",
     "build_record",

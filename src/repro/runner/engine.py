@@ -50,6 +50,7 @@ from ..schedulers import (
     TarazuScheduler,
 )
 from ..simulation import RandomStreams, Simulator
+from .record import BacklogRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (spec imports us)
     from .spec import ScenarioSpec
@@ -102,6 +103,8 @@ class ScenarioResult:
     injector: Optional[FaultInjector] = None
     telemetry: Optional[TelemetrySink] = None
     profiler: Optional[PhaseProfiler] = None
+    #: Open-loop admission/backlog accounting (None on closed-loop runs)
+    backlog: Optional[BacklogRecord] = None
 
     @property
     def eant(self) -> EAntScheduler:
@@ -295,10 +298,25 @@ def execute_spec(
         for index, job_spec in enumerate(ordered):
             if job_spec.submit_time > sim.now:
                 yield sim.timeout(job_spec.submit_time - sim.now)
+            if jobtracker.is_shutdown:
+                # Open-loop horizon hit: the rest of the offered stream
+                # never enters the system (counted as not-admitted).
+                return
             override = placements.get(index) if placements else None
             jobtracker.submit(job_spec, replica_hosts=override)
 
     sim.process(submit_all(), name="job-submitter")
+
+    if spec.open_loop:
+        # Open-loop overload mode: the run is cut at the horizon whether or
+        # not the workload drained.  shutdown() is idempotent, so a
+        # workload that *does* drain first ends early exactly as a
+        # closed-loop run would.
+        def stop_at_horizon():
+            yield sim.timeout(spec.horizon)
+            jobtracker.shutdown()
+
+        sim.process(stop_at_horizon(), name="open-loop-horizon")
 
     # Snapshot energy at the instant the workload completes, so trailing
     # heartbeat ticks do not blur the comparison between schedulers.
@@ -311,6 +329,27 @@ def execute_spec(
         snapshot["dynamic"] = sum(m.energy.dynamic_joules for m in cluster)
         snapshot["utilization_by_type"] = cluster.utilization_by_type()
         snapshot["makespan"] = sim.now
+        if spec.open_loop:
+            # Backlog counters are taken at the cut instant: in-flight
+            # attempts may still complete afterwards while the simulator
+            # drains, and those must not blur the at-horizon picture.
+            admitted = len(jobtracker.jobs)
+            completed = len(jobtracker.completed_jobs)
+            snapshot["backlog"] = BacklogRecord(
+                horizon=float(spec.horizon),
+                jobs_offered=len(ordered),
+                jobs_admitted=admitted,
+                jobs_completed=completed,
+                jobs_unfinished=admitted - completed,
+                jobs_not_admitted=len(ordered) - admitted,
+                tasks_completed=len(jobtracker.reports),
+                maps_pending=sum(
+                    job.pending_map_count for job in jobtracker.active_jobs
+                ),
+                reduces_pending=sum(
+                    job.pending_reduce_count for job in jobtracker.active_jobs
+                ),
+            )
 
     jobtracker.all_done_event.add_callback(on_all_done)
     if sampler is not None:
@@ -362,4 +401,5 @@ def execute_spec(
         injector=injector,
         telemetry=sink,
         profiler=profiler,
+        backlog=snapshot.get("backlog"),  # type: ignore[arg-type]
     )

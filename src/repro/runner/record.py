@@ -38,6 +38,7 @@ __all__ = [
     "RunRecord",
     "MeterRecord",
     "ConvergenceRecord",
+    "BacklogRecord",
     "build_record",
     "record_digest",
 ]
@@ -117,6 +118,10 @@ def record_digest(record: "RunRecord", precision: Optional[int] = None) -> str:
     data.pop("wall_seconds", None)
     data.pop("telemetry", None)
     data.pop("profile", None)
+    if data.get("backlog") is None:
+        # Key absent when empty: closed-loop records keep the digest
+        # payload they had before open-loop mode existed.
+        data.pop("backlog", None)
     payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -156,6 +161,52 @@ class ConvergenceRecord:
 
 
 @dataclass(frozen=True)
+class BacklogRecord:
+    """Admission/backlog accounting of one open-loop (overload) run.
+
+    Produced only when the spec ran with ``open_loop=True``: the run was
+    cut at ``horizon`` simulated seconds, and these counters say how much
+    of the offered workload was admitted, finished, or still queued at
+    the cut.  Part of the digest payload — overload outcomes are
+    simulation results, not observations.
+    """
+
+    #: The open-loop cutoff (simulated seconds) the run was stopped at.
+    horizon: float
+    #: Jobs in the spec's workload (arrivals offered to the system).
+    jobs_offered: int
+    #: Jobs whose arrival fell before the horizon and entered the tracker.
+    jobs_admitted: int
+    #: Admitted jobs that finished before the horizon.
+    jobs_completed: int
+    #: Admitted jobs still unfinished at the horizon (the job backlog).
+    jobs_unfinished: int
+    #: Offered jobs whose arrival fell at/after the horizon (never admitted).
+    jobs_not_admitted: int
+    #: Map/reduce tasks that completed before the horizon.
+    tasks_completed: int
+    #: Map tasks still pending (queued, unlaunched) at the horizon.
+    maps_pending: int
+    #: Reduce tasks still pending at the horizon.
+    reduces_pending: int
+
+    @property
+    def offered_rate_per_s(self) -> float:
+        """Mean arrival rate the workload offered over the horizon."""
+        return self.jobs_offered / self.horizon if self.horizon > 0 else 0.0
+
+    @property
+    def completion_rate_per_s(self) -> float:
+        """Mean job drain rate the system achieved over the horizon."""
+        return self.jobs_completed / self.horizon if self.horizon > 0 else 0.0
+
+    @property
+    def saturated(self) -> bool:
+        """True when jobs arrived faster than they drained (backlog grew)."""
+        return self.jobs_unfinished > 0
+
+
+@dataclass(frozen=True)
 class RunRecord:
     """The portable outcome of executing one :class:`ScenarioSpec`."""
 
@@ -174,6 +225,10 @@ class RunRecord:
     telemetry: Optional[TelemetryRecord] = None
     #: Kernel phase-profile (host wall-clock); excluded from digests
     profile: Optional[ProfileRecord] = None
+    #: Open-loop backlog/admission accounting (None on closed-loop runs;
+    #: dropped from the digest payload when absent so pre-existing golden
+    #: digests survive)
+    backlog: Optional[BacklogRecord] = None
     #: seconds of wall-clock time the producing run took (0.0 on restore
     #: from cache the field keeps the *original* run's cost)
     wall_seconds: float = 0.0
@@ -232,5 +287,6 @@ def build_record(spec: "ScenarioSpec", result: "ScenarioResult", wall_seconds: f
         faults=recoveries,
         telemetry=telemetry,
         profile=profile,
+        backlog=result.backlog,
         wall_seconds=wall_seconds,
     )

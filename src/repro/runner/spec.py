@@ -32,7 +32,7 @@ from ..core import EAntConfig, ExchangeLevel
 from ..faults import FaultPlan
 from ..hadoop import HadoopConfig
 from ..noise import DEFAULT_NOISE, NoiseModel
-from ..workloads import JobSpec, WorkloadProfile
+from ..workloads import JobSpec, TraceRef, TraceSpec, WorkloadProfile
 from .engine import SCHEDULER_NAMES
 
 __all__ = ["ScenarioSpec", "SPEC_VERSION", "canonical_json"]
@@ -116,6 +116,20 @@ class ScenarioSpec:
         the :class:`~repro.runner.record.RunRecord`.
     max_sim_time:
         Hard cap guarding against non-terminating configurations.
+    trace:
+        :class:`~repro.workloads.TraceRef` (name + content digest) of the
+        trace the ``jobs`` were materialized from, or ``None`` for
+        synthetic workloads.  Folded into the identity so trace-driven
+        runs cache and sweep like synthetic ones; trace-free specs keep
+        their pre-existing hashes.
+    open_loop:
+        Run in open-loop overload mode: the scenario ends at ``horizon``
+        simulated seconds whether or not the workload drained, and the
+        run reports backlog/admission accounting instead of requiring
+        every job to finish.
+    horizon:
+        Open-loop cutoff in simulated seconds (required iff
+        ``open_loop``); must stay below ``max_sim_time``.
     label:
         Presentation-only tag (excluded from identity and hashing).
     """
@@ -131,6 +145,9 @@ class ScenarioSpec:
     meter_interval: float = 30.0
     max_sim_time: float = 10_000_000.0
     faults: Optional[FaultPlan] = None
+    trace: Optional[TraceRef] = None
+    open_loop: bool = False
+    horizon: Optional[float] = None
     label: Optional[str] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
@@ -161,6 +178,21 @@ class ScenarioSpec:
             # An empty plan is the same run as no plan; normalize so both
             # spellings share one identity (and one cache entry).
             object.__setattr__(self, "faults", None)
+        if self.trace is not None and not isinstance(self.trace, TraceRef):
+            raise ValueError("trace must be a TraceRef (or None)")
+        if self.open_loop:
+            if self.horizon is None:
+                raise ValueError("open_loop scenarios require a horizon")
+            object.__setattr__(self, "horizon", float(self.horizon))
+            if not self.horizon > 0:
+                raise ValueError(f"horizon must be positive, got {self.horizon}")
+            if self.horizon >= self.max_sim_time:
+                raise ValueError(
+                    f"horizon ({self.horizon}) must be below max_sim_time "
+                    f"({self.max_sim_time})"
+                )
+        elif self.horizon is not None:
+            raise ValueError("horizon is only meaningful with open_loop=True")
 
     # ------------------------------------------------------------- identity
     def to_json_dict(self) -> Dict[str, Any]:
@@ -182,6 +214,13 @@ class ScenarioSpec:
         # JSON (hence hash) it had before fault plans existed.
         if self.faults is not None:
             out["faults"] = self.faults.to_json_dict()
+        # Same rule for the trace frontend: synthetic closed-loop specs
+        # keep the canonical JSON they had before traces existed.
+        if self.trace is not None:
+            out["trace"] = {"name": self.trace.name, "digest": self.trace.digest}
+        if self.open_loop:
+            out["open_loop"] = True
+            out["horizon"] = self.horizon
         return out
 
     def canonical_json(self) -> str:
@@ -232,11 +271,33 @@ class ScenarioSpec:
                 if data.get("faults") is not None
                 else None
             ),
+            trace=(
+                TraceRef(**data["trace"]) if data.get("trace") is not None else None
+            ),
+            open_loop=data.get("open_loop", False),
+            horizon=data.get("horizon"),
         )
 
     @classmethod
     def from_json(cls, text: str) -> "ScenarioSpec":
         return cls.from_json_dict(json.loads(text))
+
+    @classmethod
+    def from_trace(cls, trace: TraceSpec, **fields: Any) -> "ScenarioSpec":
+        """Build a trace-driven spec: jobs materialized, identity folded.
+
+        The trace's rows become the ``jobs`` tuple and its
+        :class:`~repro.workloads.TraceRef` (name + content digest) is
+        embedded in the identity, so two specs built from content-equal
+        traces — whatever file or format they came from — share one hash
+        and one cache entry.  All other :class:`ScenarioSpec` fields pass
+        through ``fields``.
+        """
+        if not isinstance(trace, TraceSpec):
+            raise TypeError(f"expected a TraceSpec, got {type(trace).__name__}")
+        if "jobs" in fields:
+            raise ValueError("from_trace derives jobs from the trace")
+        return cls(jobs=trace.to_job_specs(), trace=trace.ref(), **fields)
 
     # ------------------------------------------------------------ execution
     def run(self, **runtime: Any):

@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..cluster import paper_fleet, procedural_fleet
 from ..core.service import TrackerInfo
+from ..workloads import TraceSpec
 from .protocol import encode
 
 __all__ = ["LoadGenerator", "LoadgenStats", "fleet_tracker_infos"]
@@ -161,6 +162,12 @@ class LoadGenerator:
         ``[{"application": "terasort", "input_gb": 4, "num_reduces": 8}]``.
     submit_interval:
         Wall seconds between job submissions (keeps the backlog alive).
+    trace:
+        Optional :class:`~repro.workloads.TraceSpec` to replay instead of
+        the interval submit schedule: each row is submitted when the wall
+        clock reaches ``arrival_time / time_scale``, so the daemon sees
+        the trace's arrival curve in simulated time.  Arrivals past the
+        run ``duration`` never fire (the replay is cut with the senders).
     """
 
     def __init__(
@@ -174,6 +181,7 @@ class LoadGenerator:
         time_scale: float = 1.0,
         jobs: Optional[Sequence[Dict[str, Any]]] = None,
         submit_interval: float = 0.5,
+        trace: Optional[TraceSpec] = None,
     ) -> None:
         if rate <= 0:
             raise ValueError("rate must be positive")
@@ -183,6 +191,8 @@ class LoadGenerator:
             raise ValueError("need at least one tracker")
         if connections < 1:
             raise ValueError("need at least one connection")
+        if trace is not None and not (time_scale > 0):
+            raise ValueError("trace replay needs a positive time_scale")
         self.rate = rate
         self.duration = duration
         self.connections = min(connections, len(trackers))
@@ -192,6 +202,24 @@ class LoadGenerator:
             {"application": "terasort", "input_gb": 4.0, "num_reduces": 8}
         ]
         self.submit_interval = submit_interval
+        self.trace = trace
+        # Pre-rendered replay schedule: (wall seconds from start, message).
+        # TraceJob defaults are materialized at validation time, so the
+        # demand fields are always concrete numbers here.
+        self._trace_schedule: List[Tuple[float, Dict[str, Any]]] = []
+        if trace is not None:
+            self._trace_schedule = [
+                (
+                    job.arrival_time / self.time_scale,
+                    {
+                        "type": "submit",
+                        "application": job.application,
+                        "input_mb": job.input_mb,
+                        "num_reduces": job.num_reduces,
+                    },
+                )
+                for job in trace.jobs
+            ]
         self._shards: List[List[_VirtualTracker]] = [
             [] for _ in range(self.connections)
         ]
@@ -229,11 +257,13 @@ class LoadGenerator:
         ]
 
         # Phase 1: register every shard's trackers and seed the first job.
+        # Trace replay supplies its own arrivals, starting at t=0 — no seed.
         for index, (_reader, writer) in enumerate(conns):
             for tracker in self._shards[index]:
                 writer.write(encode({"type": "register", **tracker.info.to_wire()}))
             await writer.drain()
-        await self._submit_one(conns[0][1])
+        if self.trace is None:
+            await self._submit_one(conns[0][1])
 
         # Phase 2: open-loop heartbeat senders plus the submit schedule.
         senders = [
@@ -242,7 +272,11 @@ class LoadGenerator:
             )
             for index, (_reader, writer) in enumerate(conns)
         ]
-        submitter = asyncio.ensure_future(self._submitter(conns[0][1]))
+        submitter = asyncio.ensure_future(
+            self._trace_submitter(conns[0][1])
+            if self.trace is not None
+            else self._submitter(conns[0][1])
+        )
         await asyncio.gather(*senders)
         submitter.cancel()
 
@@ -310,6 +344,23 @@ class LoadGenerator:
         while True:
             await asyncio.sleep(self.submit_interval)
             await self._submit_one(writer)
+
+    async def _trace_submitter(self, writer: asyncio.StreamWriter) -> None:
+        """Replay the trace's arrival schedule against the wall clock.
+
+        Paced absolutely from the run start (not sleep-to-sleep), so a
+        slow drain does not push later arrivals: the offered schedule
+        stays open-loop like the heartbeat senders.
+        """
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        for wall, message in self._trace_schedule:
+            delay = start + wall - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            writer.write(encode(message))
+            self.stats.jobs_submitted += 1
+            await writer.drain()
 
     async def _submit_one(self, writer: asyncio.StreamWriter) -> None:
         template = self.jobs[self.stats.jobs_submitted % len(self.jobs)]

@@ -4,6 +4,20 @@ from .benchmarks import GREP, PUMA, TERASORT, WORDCOUNT, profile_by_name, puma_j
 from .generator import TaskArrivalSpec, poisson_arrivals, uniform_job_stream
 from .msd import CLASS_SPECS, MSDConfig, class_histogram, generate_msd_workload
 from .profiles import SIZE_CLASSES, JobSpec, WorkloadProfile
+from .traces import (
+    BurstyProcess,
+    DiurnalProcess,
+    FlashCrowdProcess,
+    PROCESS_KINDS,
+    TraceError,
+    TraceJob,
+    TraceRef,
+    TraceSpec,
+    load_trace,
+    make_process,
+    render_trace,
+    write_trace,
+)
 
 __all__ = [
     "WorkloadProfile",
@@ -23,4 +37,16 @@ __all__ = [
     "TaskArrivalSpec",
     "poisson_arrivals",
     "uniform_job_stream",
+    "TraceError",
+    "TraceJob",
+    "TraceSpec",
+    "TraceRef",
+    "load_trace",
+    "write_trace",
+    "DiurnalProcess",
+    "BurstyProcess",
+    "FlashCrowdProcess",
+    "PROCESS_KINDS",
+    "make_process",
+    "render_trace",
 ]

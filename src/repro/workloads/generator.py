@@ -16,6 +16,7 @@ import numpy as np
 
 from .benchmarks import profile_by_name
 from .profiles import JobSpec, WorkloadProfile
+from .traces.arrivals import cumulative_exponential_times, poisson_process_times
 
 __all__ = ["TaskArrivalSpec", "poisson_arrivals", "uniform_job_stream"]
 
@@ -55,16 +56,15 @@ def poisson_arrivals(
     duration_s: float,
     rng: np.random.Generator,
 ) -> List[float]:
-    """Poisson arrival timestamps (seconds) over ``[0, duration_s)``."""
+    """Poisson arrival timestamps (seconds) over ``[0, duration_s)``.
+
+    Thin shim over :func:`repro.workloads.traces.poisson_process_times`
+    (the single arrival-curve implementation); the draw sequence is
+    bit-identical to the historical inline loop.
+    """
     if rate_per_min <= 0:
         raise ValueError("arrival rate must be positive")
-    rate_per_s = rate_per_min / 60.0
-    times: List[float] = []
-    t = float(rng.exponential(1.0 / rate_per_s))
-    while t < duration_s:
-        times.append(t)
-        t += float(rng.exponential(1.0 / rate_per_s))
-    return times
+    return poisson_process_times(rate_per_min / 60.0, duration_s, rng)
 
 
 def uniform_job_stream(
@@ -83,11 +83,12 @@ def uniform_job_stream(
         raise ValueError("jobs_per_app must be >= 1")
     names = [name for name in applications for _ in range(jobs_per_app)]
     rng.shuffle(names)
+    # The submit schedule comes from the shared arrival-curve module; the
+    # shuffle-then-cumulative-exponential draw order is the historical one.
+    submits = cumulative_exponential_times(len(names), mean_interarrival_s, rng)
     jobs: List[JobSpec] = []
-    submit = 0.0
-    for index, name in enumerate(names):
+    for index, (name, submit) in enumerate(zip(names, submits)):
         profile = profile_by_name(name)
-        submit += float(rng.exponential(mean_interarrival_s))
         input_mb = input_gb * 1024.0
         num_reduces = max(1, int(round(input_mb / 64.0 / 8.0)))
         jobs.append(

@@ -1,0 +1,51 @@
+"""Trace-driven workload frontend.
+
+Three layers, one schema:
+
+* :mod:`~repro.workloads.traces.schema` — the canonical frozen
+  :class:`TraceSpec` (validated job rows, content digest, the
+  :class:`TraceRef` identity that :class:`~repro.runner.spec.ScenarioSpec`
+  folds into its hash);
+* :mod:`~repro.workloads.traces.loader` — strict streaming CSV/JSONL IO
+  with ``file:line: error:`` diagnostics;
+* :mod:`~repro.workloads.traces.arrivals` — deterministic arrival-process
+  generators (diurnal sinusoid, bursty MMPP, flash crowd) rendering to the
+  same schema from named RNG streams.
+
+See ``docs/workloads.md`` for the schema and the open-loop overload mode.
+"""
+
+from .arrivals import (
+    ArrivalProcess,
+    BurstyProcess,
+    DiurnalProcess,
+    FlashCrowdProcess,
+    PROCESS_KINDS,
+    cumulative_exponential_times,
+    make_process,
+    poisson_process_times,
+    render_trace,
+)
+from .loader import TRACE_COLUMNS, TRACE_SUFFIXES, load_trace, write_trace
+from .schema import TRACE_VERSION, TraceError, TraceJob, TraceRef, TraceSpec
+
+__all__ = [
+    "TraceError",
+    "TraceJob",
+    "TraceSpec",
+    "TraceRef",
+    "TRACE_VERSION",
+    "TRACE_COLUMNS",
+    "TRACE_SUFFIXES",
+    "load_trace",
+    "write_trace",
+    "ArrivalProcess",
+    "DiurnalProcess",
+    "BurstyProcess",
+    "FlashCrowdProcess",
+    "PROCESS_KINDS",
+    "make_process",
+    "render_trace",
+    "poisson_process_times",
+    "cumulative_exponential_times",
+]

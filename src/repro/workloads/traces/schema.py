@@ -1,0 +1,253 @@
+"""Canonical trace schema: frozen job rows with a content digest.
+
+A *trace* is an explicit list of job arrivals — the workload frontend the
+synthetic grids cannot express: real cluster logs, rendered diurnal or
+bursty curves, flash crowds.  :class:`TraceJob` is one row (job id,
+arrival time, task count, demand fields); :class:`TraceSpec` is the
+validated, canonically-ordered whole with a SHA-256 content digest.
+
+The digest is the identity seam: :class:`TraceRef` (name + digest) is what
+:class:`~repro.runner.spec.ScenarioSpec` folds into its canonical JSON, so
+trace-driven runs cache and sweep exactly like synthetic ones while the
+bulky row data stays out of the spec hash payload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..benchmarks import PUMA, profile_by_name
+from ..profiles import JobSpec
+
+__all__ = ["TraceError", "TraceJob", "TraceSpec", "TraceRef", "TRACE_VERSION"]
+
+#: Bumped whenever the trace schema itself changes shape, so digests from
+#: incompatible generations can never collide.
+TRACE_VERSION = 1
+
+#: HDFS block size the task_count <-> input_mb consistency rule assumes.
+BLOCK_MB = 64.0
+
+#: Hadoop-style default of one reduce task per this many map tasks.
+MAPS_PER_REDUCE = 8
+
+
+class TraceError(ValueError):
+    """A trace violated the schema (bad field, bad ordering, bad file)."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise TraceError(message)
+
+
+@dataclass(frozen=True)
+class TraceJob:
+    """One job arrival in a trace.
+
+    Parameters
+    ----------
+    job_id:
+        Unique non-negative integer identifying the row.
+    arrival_time:
+        Submission time in simulated seconds (finite, >= 0); rows must be
+        sorted non-decreasing.
+    task_count:
+        Map task count (>= 1).  Authoritative: when ``input_mb`` is also
+        given it must agree (``ceil(input_mb / 64) == task_count``).
+    application:
+        PUMA profile name supplying the demand shape.
+    input_mb:
+        Total input size; defaults to ``task_count * 64`` (one full block
+        per map task).
+    num_reduces:
+        Reduce task count; defaults to one reduce per 8 map tasks (min 1).
+    """
+
+    job_id: int
+    arrival_time: float
+    task_count: int
+    application: str = "wordcount"
+    input_mb: Optional[float] = None
+    num_reduces: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.job_id, int) and not isinstance(self.job_id, bool),
+            f"job_id must be an integer, got {self.job_id!r}",
+        )
+        _require(self.job_id >= 0, f"job_id must be >= 0, got {self.job_id}")
+        object.__setattr__(self, "arrival_time", float(self.arrival_time))
+        _require(
+            math.isfinite(self.arrival_time) and self.arrival_time >= 0.0,
+            f"arrival_time must be finite and >= 0, got {self.arrival_time!r}",
+        )
+        _require(
+            isinstance(self.task_count, int) and not isinstance(self.task_count, bool),
+            f"task_count must be an integer, got {self.task_count!r}",
+        )
+        _require(self.task_count >= 1, f"task_count must be >= 1, got {self.task_count}")
+        name = self.application.strip().lower()
+        _require(
+            name in PUMA,
+            f"unknown application {self.application!r}; known: {sorted(PUMA)}",
+        )
+        object.__setattr__(self, "application", name)
+        if self.input_mb is None:
+            object.__setattr__(self, "input_mb", self.task_count * BLOCK_MB)
+        else:
+            object.__setattr__(self, "input_mb", float(self.input_mb))
+            _require(
+                math.isfinite(self.input_mb) and self.input_mb > 0,
+                f"input_mb must be finite and > 0, got {self.input_mb!r}",
+            )
+            derived = max(1, math.ceil(self.input_mb / BLOCK_MB))
+            _require(
+                derived == self.task_count,
+                f"input_mb {self.input_mb} implies {derived} map tasks "
+                f"at {BLOCK_MB:.0f} MB blocks, but task_count is {self.task_count}",
+            )
+        if self.num_reduces is None:
+            object.__setattr__(
+                self, "num_reduces", max(1, self.task_count // MAPS_PER_REDUCE)
+            )
+        else:
+            _require(
+                isinstance(self.num_reduces, int)
+                and not isinstance(self.num_reduces, bool),
+                f"num_reduces must be an integer, got {self.num_reduces!r}",
+            )
+            _require(
+                self.num_reduces >= 0,
+                f"num_reduces must be >= 0, got {self.num_reduces}",
+            )
+
+    # ------------------------------------------------------------- conversion
+    def to_json_dict(self) -> Dict[str, Any]:
+        """The row as plain JSON data (all defaults materialized)."""
+        return {
+            "job_id": self.job_id,
+            "arrival_time": self.arrival_time,
+            "task_count": self.task_count,
+            "application": self.application,
+            "input_mb": self.input_mb,
+            "num_reduces": self.num_reduces,
+        }
+
+    def to_job_spec(self) -> JobSpec:
+        """Materialize the row as a submittable :class:`JobSpec`."""
+        return JobSpec(
+            profile=profile_by_name(self.application),
+            input_mb=self.input_mb,
+            num_reduces=self.num_reduces,
+            submit_time=self.arrival_time,
+            name=f"{self.application}-{self.job_id:04d}",
+        )
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A validated trace: canonically ordered rows plus a content digest.
+
+    Rows must arrive sorted by ``arrival_time`` with unique ``job_id``
+    values; the constructor enforces both so every ``TraceSpec`` with the
+    same content has the same canonical JSON, hence the same digest,
+    regardless of the file format or column order it came from.
+    """
+
+    name: str
+    jobs: Tuple[TraceJob, ...]
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name.strip()), "trace name must be non-empty")
+        object.__setattr__(self, "jobs", tuple(self.jobs))
+        _require(len(self.jobs) >= 1, "trace contains no jobs")
+        seen: set = set()
+        prev = None
+        for job in self.jobs:
+            _require(
+                job.job_id not in seen, f"duplicate job_id {job.job_id}"
+            )
+            seen.add(job.job_id)
+            if prev is not None:
+                _require(
+                    job.arrival_time >= prev,
+                    f"arrivals not sorted: job {job.job_id} at {job.arrival_time} "
+                    f"after {prev}",
+                )
+            prev = job.arrival_time
+
+    # --------------------------------------------------------------- identity
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_version": TRACE_VERSION,
+            "name": self.name,
+            "jobs": [job.to_json_dict() for job in self.jobs],
+        }
+
+    def canonical_json(self) -> str:
+        """Canonical (sorted-key, compact) JSON of the whole trace."""
+        return json.dumps(self.to_json_dict(), sort_keys=True, separators=(",", ":"))
+
+    def trace_digest(self) -> str:
+        """SHA-256 of the canonical JSON — the content identity."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    def ref(self) -> "TraceRef":
+        """The compact identity a :class:`ScenarioSpec` embeds."""
+        return TraceRef(name=self.name, digest=self.trace_digest())
+
+    # -------------------------------------------------------------- summaries
+    @property
+    def duration_s(self) -> float:
+        """Arrival span of the trace (last arrival time)."""
+        return self.jobs[-1].arrival_time
+
+    @property
+    def total_tasks(self) -> int:
+        """Sum of map-task counts across all rows."""
+        return sum(job.task_count for job in self.jobs)
+
+    def to_job_specs(self) -> Tuple[JobSpec, ...]:
+        """Materialize every row as a submittable :class:`JobSpec`."""
+        return tuple(job.to_job_spec() for job in self.jobs)
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "TraceSpec":
+        version = data.get("trace_version", TRACE_VERSION)
+        if version != TRACE_VERSION:
+            raise TraceError(
+                f"unsupported trace_version {version} (expected {TRACE_VERSION})"
+            )
+        jobs = tuple(TraceJob(**row) for row in data["jobs"])
+        return cls(name=data["name"], jobs=jobs)
+
+
+@dataclass(frozen=True)
+class TraceRef:
+    """Name + content digest of a trace — the spec-identity projection.
+
+    Two scenario specs that reference byte-different trace files with the
+    same canonical content (e.g. the same rows in CSV vs JSONL, or with
+    CSV columns reordered) share one ``TraceRef`` and therefore one spec
+    hash and one cache entry.
+    """
+
+    name: str
+    digest: str
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name.strip()), "trace name must be non-empty")
+        _require(
+            len(self.digest) == 64
+            and all(c in "0123456789abcdef" for c in self.digest),
+            f"trace digest must be 64 lowercase hex chars, got {self.digest!r}",
+        )
+
+    @property
+    def short_digest(self) -> str:
+        return self.digest[:12]

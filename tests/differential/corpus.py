@@ -15,10 +15,10 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.core import EAntConfig
-from repro.experiments.scenarios import large_fleet_spec
+from repro.experiments.scenarios import large_fleet_spec, trace_driven_spec
 from repro.faults import FaultEvent, FaultPlan
 from repro.runner import ScenarioSpec
-from repro.workloads import puma_job
+from repro.workloads import DiurnalProcess, puma_job, render_trace
 
 #: Scientific-notation digits for the large-fleet tolerance tier: floats
 #: must agree to 10 significant digits — loose enough for sub-ulp
@@ -50,6 +50,22 @@ def _decommission_plan() -> FaultPlan:
             FaultEvent(time=50.0, kind="decommission", machine_id=7),
             FaultEvent(time=70.0, kind="flaky_heartbeats", machine_id=2, drop_probability=0.4, duration=90.0),
         )
+    )
+
+
+def _corpus_trace():
+    """A small rendered diurnal trace (~12 tiny jobs over 240 s).
+
+    Deterministic in (process, duration, name, seed), so the trace digest
+    — and with it every trace-driven spec hash below — is frozen.
+    """
+    process = DiurnalProcess(base_rate_per_s=0.05, amplitude=0.8, period_s=240.0)
+    return render_trace(
+        process,
+        duration_s=240.0,
+        name="corpus-diurnal",
+        seed=7,
+        task_counts=(1, 2, 4),
     )
 
 
@@ -101,6 +117,22 @@ def build_corpus() -> List[Tuple[str, ScenarioSpec]]:
                 faults=_churn_plan(),
                 with_meter=True,
                 meter_interval=20.0,
+            ),
+        ),
+        # Trace-driven runs: the workload comes from a rendered diurnal
+        # trace whose content digest is folded into the spec identity.
+        (
+            "eant-trace-seed3",
+            trace_driven_spec(_corpus_trace(), scheduler="e-ant", seed=3),
+        ),
+        (
+            "fair-trace-openloop-seed12",
+            trace_driven_spec(
+                _corpus_trace(),
+                scheduler="fair",
+                seed=12,
+                open_loop=True,
+                horizon=150.0,
             ),
         ),
     ]

@@ -13,6 +13,7 @@ import json
 
 from repro.serve import LoadGenerator, ServeDaemon, ServeEngine, fleet_tracker_infos
 from repro.serve.protocol import encode
+from repro.workloads import DiurnalProcess, render_trace
 
 TIME_SCALE = 600.0  # one 300 s control interval every half wall second
 
@@ -69,6 +70,53 @@ def test_daemon_serves_loadgen_for_control_intervals():
     summary = stats.summary()
     assert summary["rtt_ms"]["p50"] <= summary["rtt_ms"]["p99"] <= summary["rtt_ms"]["max"]
     assert summary["server_stats"] is not None
+
+
+def test_daemon_replays_a_workload_trace():
+    # Every arrival fits inside duration * TIME_SCALE simulated seconds,
+    # so the replay should submit the whole trace before the run ends.
+    trace = render_trace(
+        DiurnalProcess(base_rate_per_s=0.05, amplitude=0.8, period_s=240.0),
+        duration_s=240.0,
+        name="serve-replay",
+        seed=7,
+        task_counts=(1, 2, 4),
+    )
+
+    async def scenario():
+        engine = ServeEngine(scheduler="e-ant", seed=3, trust_wire_now=False)
+        daemon = ServeDaemon(engine, host="127.0.0.1", port=0, time_scale=TIME_SCALE)
+        await daemon.start()
+        loadgen = LoadGenerator(
+            rate=400.0,
+            duration=1.0,
+            trackers=fleet_tracker_infos(),
+            connections=2,
+            service_time=0.05,
+            time_scale=TIME_SCALE,
+            trace=trace,
+        )
+        port = daemon.bound_port
+
+        async def connect():
+            return await asyncio.open_connection("127.0.0.1", port)
+
+        serve_task = asyncio.ensure_future(daemon.wait_stopped())
+        try:
+            stats = await loadgen.run(connect)
+        finally:
+            daemon.request_stop()
+            final = await serve_task
+        return stats, final
+
+    stats, final = asyncio.run(scenario())
+    assert stats.errors == 0
+    assert final["errors"] == 0
+    # The replay paced out exactly the trace's jobs — no interval seeding.
+    assert stats.jobs_submitted == len(trace.jobs)
+    # Heartbeats still flowed alongside the replayed submissions.
+    assert stats.heartbeats_sent > 0
+    assert stats.responses_received == stats.heartbeats_sent
 
 
 def test_shutdown_message_stops_daemon_with_stats():

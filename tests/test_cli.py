@@ -217,7 +217,7 @@ class TestTraceStreaming:
     def _write_trace(self, tmp_path):
         path = tmp_path / "run.jsonl"
         assert main(["run", "--scheduler", "fifo", "--jobs", "grep:1",
-                     "--seed", "1", "--trace", str(path)]) == 0
+                     "--seed", "1", "--trace-out", str(path)]) == 0
         return path
 
     def test_summarizes_real_trace(self, capsys, tmp_path):

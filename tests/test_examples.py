@@ -39,6 +39,13 @@ def test_fault_injection_runs(capsys):
     assert "recovery ratio" in out
 
 
+def test_trace_driven_runs(capsys):
+    run_example("trace_driven.py")
+    out = capsys.readouterr().out
+    assert "share spec hash" in out
+    assert "offered" in out and "admitted" in out
+
+
 def test_all_examples_exist():
     names = {p.name for p in EXAMPLES.glob("*.py")}
     assert {
@@ -48,4 +55,5 @@ def test_all_examples_exist():
         "custom_scheduler.py",
         "noise_and_exchange.py",
         "fault_injection.py",
+        "trace_driven.py",
     } <= names

@@ -146,7 +146,7 @@ class TestCliTraceFlow:
         path = tmp_path / "cli.jsonl"
         assert main(
             ["run", "--scheduler", "e-ant", "--jobs", "wordcount:1",
-             "--seed", "3", "--trace", str(path)]
+             "--seed", "3", "--trace-out", str(path)]
         ) == 0
         out = capsys.readouterr().out
         assert "# scheduler=e-ant seed=3" in out
