@@ -52,10 +52,15 @@ from .observability import (
 )
 from .runner import (
     BacklogRecord,
+    ResultSpool,
     ScenarioResult,
     ScenarioSpec,
+    ShardManifest,
+    SweepAggregate,
     SweepRunner,
     execute_spec,
+    merge_spools,
+    shard_specs,
 )
 from .schedulers import FairScheduler, FifoScheduler, LateScheduler, Scheduler, TarazuScheduler
 from .simulation import RandomStreams, Simulator
@@ -145,6 +150,12 @@ __all__ = [
     "BacklogRecord",
     "execute_spec",
     "SweepRunner",
+    # sharded, resumable sweeps
+    "ShardManifest",
+    "shard_specs",
+    "ResultSpool",
+    "SweepAggregate",
+    "merge_spools",
     # faults / observability
     "FaultEvent",
     "FaultPlan",

@@ -27,7 +27,22 @@ Subcommands
     :class:`~repro.runner.ScenarioSpec` form and resolve it through the
     parallel, content-addressed-cached :class:`~repro.runner.SweepRunner`.
     ``--dry-run`` prints the expanded grid (spec hashes + cache status)
-    without simulating anything.
+    without simulating anything.  ``--shards N --shard-index i`` runs one
+    content-addressed shard of the grid (any machine, any subset);
+    ``--spool FILE.jsonl`` streams results to a crash-safe JSONL spool
+    with O(1) memory and automatic resume — a killed sweep restarted
+    against the same spool continues where it died (docs/sweeps.md).
+``sweep-merge``
+    Reassemble shard spools into one result set, deterministically:
+    identical output whatever order the spools are given in.
+    ``--check-manifest`` verifies coverage against shard manifests;
+    ``--digests`` prints the diffable ``spec_hash record_digest`` listing.
+``cache``
+    Result-cache maintenance: ``cache info`` inventories entries and
+    bytes per code generation; ``cache gc`` compacts with age/size
+    bounds (``--max-age-days`` / ``--max-size-mb``), never touching spec
+    hashes protected by ``--keep-manifest``, with ``--dry-run`` reporting
+    exactly what a real pass would delete.
 ``trace``
     Summarize a JSONL trace file written by ``run --trace-out`` (event
     counts, decision-audit roll-up, flamegraph-style phase breakdown).
@@ -66,11 +81,18 @@ from .experiments import (
 )
 from .runner import (
     ResultCache,
+    ResultSpool,
     ScenarioSpec,
+    ShardError,
     SweepError,
     SweepRunner,
+    aggregate_digest,
     default_cache_dir,
+    digest_listing,
     execute_spec,
+    load_manifest,
+    merge_spools,
+    shard_specs,
 )
 from .workloads import (
     JobSpec,
@@ -373,6 +395,111 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults",
         metavar="PLAN.json",
         help="fault plan (JSON file) injected into every grid point",
+    )
+    sweep.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="split the grid into N content-addressed shards and run only "
+        "--shard-index (shard membership depends on spec hashes alone, "
+        "never on enumeration order)",
+    )
+    sweep.add_argument(
+        "--shard-index",
+        type=int,
+        default=None,
+        metavar="I",
+        help="which shard to run, in [0, N) (required with --shards)",
+    )
+    sweep.add_argument(
+        "--spool",
+        metavar="FILE.jsonl",
+        help="stream each result to this JSONL spool as it completes "
+        "(O(1) memory; an existing spool is resumed: completed specs are "
+        "not re-run, damaged lines are redone with a warning)",
+    )
+    sweep.add_argument(
+        "--manifest-out",
+        metavar="FILE.json",
+        help="also write this run's shard manifest (grid digest + member "
+        "spec hashes; feeds `sweep-merge --check-manifest` and "
+        "`cache gc --keep-manifest`)",
+    )
+
+    merge = sub.add_parser(
+        "sweep-merge",
+        help="merge sweep result spools into one result set",
+        description="Reassemble the JSONL spools of a sharded or resumed "
+        "sweep deterministically: the merged output and its aggregate "
+        "digest are identical whatever order the spools are given in "
+        "(see docs/sweeps.md).",
+    )
+    merge.add_argument("spools", nargs="+", metavar="SPOOL.jsonl")
+    merge.add_argument(
+        "--out",
+        metavar="FILE.jsonl",
+        help="write the merged spool (lines re-encoded in spec-hash order)",
+    )
+    merge.add_argument(
+        "--digests",
+        action="store_true",
+        help="print the sorted `spec_hash record_digest` listing to stdout "
+        "(the summary moves to stderr so the listing diffs cleanly)",
+    )
+    merge.add_argument(
+        "--check-manifest",
+        action="append",
+        default=[],
+        metavar="M.json",
+        help="verify the merged set covers this shard manifest "
+        "(repeatable; exit 1 on missing specs)",
+    )
+
+    cache_cmd = sub.add_parser(
+        "cache",
+        help="inspect or compact the result cache",
+        description="Maintenance for the content-addressed result cache "
+        "(see docs/sweeps.md for the GC policy).",
+    )
+    csub = cache_cmd.add_subparsers(dest="cache_command", required=True)
+    gc = csub.add_parser("gc", help="age/size-bounded cache compaction")
+    gc.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help=f"cache location (default: {default_cache_dir()})",
+    )
+    gc.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        metavar="D",
+        help="evict entries not stored or hit in the last D days",
+    )
+    gc.add_argument(
+        "--max-size-mb",
+        type=float,
+        default=None,
+        metavar="M",
+        help="evict oldest entries until the cache fits in M megabytes",
+    )
+    gc.add_argument(
+        "--keep-manifest",
+        action="append",
+        default=[],
+        metavar="M.json",
+        help="never evict specs listed in this shard manifest (repeatable)",
+    )
+    gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be removed without deleting anything",
+    )
+    info = csub.add_parser("info", help="inventory entries and bytes")
+    info.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help=f"cache location (default: {default_cache_dir()})",
     )
 
     serve = sub.add_parser(
@@ -795,8 +922,42 @@ def _sweep_grid(args: argparse.Namespace) -> List[ScenarioSpec]:
     return specs
 
 
+def _check_shard_flags(args: argparse.Namespace) -> None:
+    """Validate the ``--shards``/``--shard-index`` pair (both or neither)."""
+    if (args.shards is None) != (args.shard_index is None):
+        raise cli_error("--shards and --shard-index must be given together")
+    if args.shards is not None:
+        if args.shards < 1:
+            raise cli_error(f"--shards must be at least 1 (got {args.shards})")
+        if not (0 <= args.shard_index < args.shards):
+            raise cli_error(
+                f"--shard-index must be in [0, {args.shards}) "
+                f"(got {args.shard_index})"
+            )
+
+
+def _stderr_warn(line: str) -> None:
+    print(line, file=sys.stderr)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    _check_shard_flags(args)
+    if args.manifest_out is not None and args.shards is None:
+        raise cli_error("--manifest-out requires --shards/--shard-index")
     specs = _sweep_grid(args)
+
+    manifest = None
+    if args.shards is not None:
+        manifest, specs = shard_specs(specs, args.shards, args.shard_index)
+        print(f"# {manifest.display}")
+        if args.manifest_out is not None:
+            try:
+                manifest.write(args.manifest_out)
+            except OSError as error:
+                raise cli_error(
+                    f"cannot write manifest {args.manifest_out!r}: {error}"
+                ) from None
+            print(f"# manifest written to {args.manifest_out}")
 
     cache: Optional[ResultCache] = None
     if not args.no_cache:
@@ -823,8 +984,41 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         trace=args.trace,
         horizon=args.horizon,
         workers=args.workers if args.workers is not None else os.cpu_count(),
+        shard=f"{args.shard_index}/{args.shards}" if args.shards else None,
+        spool=args.spool,
     )
-    runner = SweepRunner(workers=args.workers, cache=cache, progress=print)
+    runner = SweepRunner(
+        workers=args.workers, cache=cache, progress=print, warn=_stderr_warn
+    )
+
+    if args.spool is not None:
+        spool = ResultSpool(args.spool)
+        try:
+            aggregate = runner.run_spooled(specs, spool, manifest=manifest)
+        except SweepError as error:
+            print(error, file=sys.stderr)
+            return 1
+        except KeyboardInterrupt:
+            report = runner.last_report
+            resolved = len(report.sources) if report is not None else 0
+            print(
+                f"\n# interrupted; {resolved}/{len(specs)} specs spooled to "
+                f"{args.spool} (re-run the same command to resume)",
+                file=sys.stderr,
+            )
+            return 130
+        report = runner.last_report
+        assert report is not None
+        print(f"\n# {aggregate.summary()}")
+        print(
+            f"# resolved {report.total} specs in {report.wall_seconds:.2f}s: "
+            f"{report.resumed} resumed, {report.cache_hits} cached, "
+            f"{report.executed} executed"
+            + (f", {report.skipped_lines} damaged spool lines redone"
+               if report.skipped_lines else "")
+        )
+        return 0
+
     try:
         records = runner.run(specs)
     except SweepError as error:
@@ -869,6 +1063,106 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{report.cache_hits} cached, {report.executed} executed "
             f"({report.fell_back_serial} serial fallbacks, {report.retried} retries)"
         )
+    return 0
+
+
+def _cmd_sweep_merge(args: argparse.Namespace) -> int:
+    for path in args.spools:
+        if not Path(path).exists():
+            raise cli_error(f"spool {path!r} does not exist")
+    manifests = [load_manifest(path) for path in args.check_manifest]
+    if manifests:
+        grids = {m.grid_digest for m in manifests}
+        if len(grids) > 1:
+            raise cli_error(
+                "--check-manifest files describe different grids: "
+                + ", ".join(sorted(g[:12] for g in grids))
+            )
+
+    entries = merge_spools(args.spools, out=args.out, warn=_stderr_warn)
+    info = sys.stderr if args.digests else sys.stdout
+    print(
+        f"# merged {len(args.spools)} spool(s): {len(entries)} specs, "
+        f"aggregate {aggregate_digest(entries)[:12]}",
+        file=info,
+    )
+    if args.out:
+        print(f"# merged spool written to {args.out}", file=info)
+
+    missing: List[str] = []
+    for manifest in manifests:
+        absent = [h for h in manifest.spec_hashes if h not in entries]
+        if absent:
+            missing.extend(absent)
+            print(
+                f"# {manifest.display}: {len(absent)} spec(s) missing "
+                f"from the merged set",
+                file=sys.stderr,
+            )
+        else:
+            print(f"# {manifest.display}: covered", file=info)
+
+    if args.digests:
+        for line in digest_listing(entries):
+            print(line)
+
+    if missing:
+        for spec_hash in sorted(set(missing)):
+            print(f"missing: {spec_hash}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(Path(args.cache_dir) if args.cache_dir else None)
+
+    if args.cache_command == "info":
+        by_generation: dict = {}
+        for entry in cache.entries():
+            count, size = by_generation.get(entry.generation, (0, 0))
+            by_generation[entry.generation] = (count + 1, size + entry.size_bytes)
+        print(f"cache {cache.directory} (current generation v1-{cache.salt[:12]})")
+        if not by_generation:
+            print("  empty")
+            return 0
+        for generation, (count, size) in sorted(by_generation.items()):
+            marker = " *" if generation == f"v1-{cache.salt[:12]}" else ""
+            print(f"  {generation}  {count:6d} entries  {size / 1e6:8.1f} MB{marker}")
+        total = sum(s for _, s in by_generation.values())
+        entries = sum(c for c, _ in by_generation.values())
+        print(f"  total       {entries:6d} entries  {total / 1e6:8.1f} MB")
+        return 0
+
+    # cache gc
+    if args.max_age_days is None and args.max_size_mb is None:
+        raise cli_error(
+            "cache gc needs at least one bound: --max-age-days or --max-size-mb"
+        )
+    if args.max_age_days is not None and not (args.max_age_days >= 0):
+        raise cli_error(
+            f"--max-age-days must be a non-negative number (got {args.max_age_days!r})"
+        )
+    if args.max_size_mb is not None and not (args.max_size_mb >= 0):
+        raise cli_error(
+            f"--max-size-mb must be a non-negative number (got {args.max_size_mb!r})"
+        )
+    keep: set = set()
+    for path in args.keep_manifest:
+        keep.update(load_manifest(path).spec_hashes)
+    report = cache.gc(
+        max_age_seconds=(
+            args.max_age_days * 86400.0 if args.max_age_days is not None else None
+        ),
+        max_size_bytes=(
+            int(args.max_size_mb * 1e6) if args.max_size_mb is not None else None
+        ),
+        keep=keep,
+        dry_run=args.dry_run,
+    )
+    print(report.summary())
+    for spec_hash in report.removed_hashes:
+        verb = "would remove" if report.dry_run else "removed"
+        print(f"  {verb} {spec_hash}")
     return 0
 
 
@@ -1261,6 +1555,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_figure(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "sweep-merge":
+            return _cmd_sweep_merge(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
         if args.command == "trace":
             return _cmd_trace(args)
         if args.command == "report":
@@ -1271,9 +1569,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_workload(args)
         if args.command == "serve":
             return _cmd_serve(args)
-    except CliError as error:
+    except (CliError, ShardError) as error:
         # The one rendering point for every input-validation failure:
         # `file:line: error: message` on stderr, exit status 2.
+        # (ShardError covers corrupt/mismatched manifest files, whose
+        # messages already carry the offending path.)
         print(error, file=sys.stderr)
         return 2
     except BrokenPipeError:

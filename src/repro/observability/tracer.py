@@ -72,6 +72,12 @@ class EventType(str, enum.Enum):
     SWEEP_TASK = "sweep.task"
     #: Sweep-runner roll-up after the whole grid resolved.
     SWEEP_SUMMARY = "sweep.summary"
+    #: A sharded sweep announced its shard coordinates (grid digest,
+    #: shard index/count, member spec count).
+    SWEEP_SHARD = "sweep.shard"
+    #: Resume reconciliation against an existing result spool (restored
+    #: entries, damaged lines skipped for redo, foreign entries ignored).
+    SWEEP_RESUME = "sweep.resume"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

@@ -13,9 +13,21 @@ The pieces (see ``docs/api.md`` for the full guide):
   hash plus a code-version salt.
 * :class:`SweepRunner` — parallel fan-out with per-task retry/timeout,
   graceful serial degradation, and cache-first resolution.
+* :class:`ShardManifest` / :func:`shard_specs` — content-addressed
+  partitioning of a spec grid across machines (see ``docs/sweeps.md``).
+* :class:`ResultSpool` / :class:`SweepAggregate` / :func:`merge_spools` —
+  streaming JSONL result spooling with incremental aggregation, SIGKILL
+  resume, and deterministic shard merging.
 """
 
-from .cache import CacheStats, ResultCache, code_version_salt, default_cache_dir
+from .cache import (
+    CacheEntry,
+    CacheStats,
+    GcReport,
+    ResultCache,
+    code_version_salt,
+    default_cache_dir,
+)
 from .engine import SCHEDULER_NAMES, ScenarioResult, execute_spec, make_scheduler
 from .record import (
     BacklogRecord,
@@ -25,7 +37,16 @@ from .record import (
     build_record,
     record_digest,
 )
+from .shard import ShardError, ShardManifest, grid_digest, load_manifest, shard_specs
 from .spec import SPEC_VERSION, ScenarioSpec, canonical_json
+from .spool import (
+    ResultSpool,
+    SpoolLineError,
+    SweepAggregate,
+    aggregate_digest,
+    digest_listing,
+    merge_spools,
+)
 from .sweep import SweepError, SweepReport, SweepRunner, resolve_specs
 
 __all__ = [
@@ -44,10 +65,23 @@ __all__ = [
     "record_digest",
     "ResultCache",
     "CacheStats",
+    "CacheEntry",
+    "GcReport",
     "code_version_salt",
     "default_cache_dir",
     "SweepError",
     "SweepReport",
     "SweepRunner",
     "resolve_specs",
+    "ShardManifest",
+    "ShardError",
+    "shard_specs",
+    "grid_digest",
+    "load_manifest",
+    "ResultSpool",
+    "SpoolLineError",
+    "SweepAggregate",
+    "aggregate_digest",
+    "digest_listing",
+    "merge_spools",
 ]

@@ -28,16 +28,24 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional
 
 from .record import RunRecord
 
 if TYPE_CHECKING:  # pragma: no cover
     from .spec import ScenarioSpec
 
-__all__ = ["ResultCache", "CacheStats", "code_version_salt", "default_cache_dir"]
+__all__ = [
+    "ResultCache",
+    "CacheStats",
+    "CacheEntry",
+    "GcReport",
+    "code_version_salt",
+    "default_cache_dir",
+]
 
 #: Environment override for the salt (useful to pin caches across
 #: deliberately-compatible code edits, or to segregate CI runs).
@@ -89,6 +97,45 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One stored record's on-disk metadata (GC inventory unit)."""
+
+    path: Path
+    spec_hash: str
+    #: Generation directory name (``v1-<salt12>``); entries from stale
+    #: code generations compete under the same age/size bounds.
+    generation: str
+    mtime: float
+    size_bytes: int
+
+
+@dataclass
+class GcReport:
+    """Accounting of one :meth:`ResultCache.gc` pass.
+
+    A ``dry_run`` report lists exactly what the equivalent real pass
+    would remove — the test suite holds the two to byte equality.
+    """
+
+    dry_run: bool = False
+    scanned: int = 0
+    kept: int = 0
+    removed: int = 0
+    total_bytes: int = 0
+    freed_bytes: int = 0
+    #: Spec hashes of the removed entries, sorted.
+    removed_hashes: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        verb = "would remove" if self.dry_run else "removed"
+        return (
+            f"cache gc: scanned {self.scanned} entries "
+            f"({self.total_bytes / 1e6:.1f} MB); {verb} {self.removed} "
+            f"({self.freed_bytes / 1e6:.1f} MB), kept {self.kept}"
+        )
 
 
 @dataclass
@@ -149,6 +196,12 @@ class ResultCache:
                 pass
             return None
         self.stats.hits += 1
+        # Touch the entry so GC's age/LRU ordering reflects *use*, not
+        # just creation: a spec re-read every sweep stays warm.
+        try:
+            os.utime(path, None)
+        except OSError:  # pragma: no cover - racing eviction
+            pass
         return record
 
     def put(self, spec: "ScenarioSpec", record: RunRecord) -> Path:
@@ -172,6 +225,108 @@ class ResultCache:
         sidecar.write_text(spec.canonical_json() + "\n", encoding="utf-8")
         self.stats.stores += 1
         return path
+
+    # ------------------------------------------------------------------- GC
+    def entries(self) -> Iterator["CacheEntry"]:
+        """Every stored record across *all* code generations, cheapest
+        metadata only (no unpickling)."""
+        if not self.directory.exists():
+            return
+        for gen_dir in sorted(self.directory.glob("v1-*")):
+            if not gen_dir.is_dir():
+                continue
+            for path in sorted(gen_dir.rglob("*.pkl")):
+                try:
+                    stat = path.stat()
+                except OSError:  # racing deletion
+                    continue
+                yield CacheEntry(
+                    path=path,
+                    spec_hash=path.stem,
+                    generation=gen_dir.name,
+                    mtime=stat.st_mtime,
+                    size_bytes=stat.st_size,
+                )
+
+    def gc(
+        self,
+        max_age_seconds: Optional[float] = None,
+        max_size_bytes: Optional[int] = None,
+        keep: Iterable[str] = (),
+        dry_run: bool = False,
+        now: Optional[float] = None,
+    ) -> "GcReport":
+        """Age- and size-bounded compaction across every generation.
+
+        * Entries older than ``max_age_seconds`` (by mtime, which
+          :meth:`get` refreshes on every hit — LRU, not FIFO) are evicted.
+        * If the surviving set still exceeds ``max_size_bytes``, the
+          oldest entries are evicted until it fits.
+        * Spec hashes in ``keep`` (e.g. a live shard manifest's members)
+          are **never** evicted, by either bound.
+        * ``dry_run=True`` reports exactly what a real pass would delete,
+          deleting nothing — the report is the contract: a dry run
+          followed by a real run removes precisely the listed hashes.
+
+        Both bounds ``None`` means nothing is evicted (the report still
+        inventories the cache).  Returns a :class:`GcReport`.
+        """
+        keep_set = frozenset(keep)
+        now = time.time() if now is None else now
+        entries = list(self.entries())
+        report = GcReport(
+            dry_run=dry_run,
+            scanned=len(entries),
+            total_bytes=sum(e.size_bytes for e in entries),
+        )
+
+        doomed: List[CacheEntry] = []
+        survivors: List[CacheEntry] = []
+        for entry in entries:
+            if entry.spec_hash in keep_set:
+                survivors.append(entry)
+            elif (
+                max_age_seconds is not None
+                and now - entry.mtime > max_age_seconds
+            ):
+                doomed.append(entry)
+            else:
+                survivors.append(entry)
+
+        if max_size_bytes is not None:
+            # Oldest-first (mtime, then path for a total order) until the
+            # surviving set fits the budget; kept hashes are immovable.
+            remaining = sum(e.size_bytes for e in survivors)
+            for entry in sorted(survivors, key=lambda e: (e.mtime, str(e.path))):
+                if remaining <= max_size_bytes:
+                    break
+                if entry.spec_hash in keep_set:
+                    continue
+                doomed.append(entry)
+                remaining -= entry.size_bytes
+
+        for entry in doomed:
+            report.removed += 1
+            report.freed_bytes += entry.size_bytes
+            report.removed_hashes.append(entry.spec_hash)
+            if dry_run:
+                continue
+            sidecar = entry.path.with_suffix("").with_suffix(".spec.json")
+            for victim in (entry.path, sidecar):
+                try:
+                    victim.unlink()
+                except OSError:
+                    pass
+            self.stats.evictions += 1
+            # Prune now-empty fan-out and generation directories.
+            for parent in (entry.path.parent, entry.path.parent.parent):
+                try:
+                    parent.rmdir()
+                except OSError:
+                    break
+        report.kept = report.scanned - report.removed
+        report.removed_hashes.sort()
+        return report
 
     def clear_generation(self) -> int:
         """Delete every entry of the current code generation; returns the

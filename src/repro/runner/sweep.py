@@ -25,13 +25,16 @@ import os
 import signal
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..observability import EventType, Tracer
 from .cache import ResultCache
 from .record import RunRecord, build_record
+from .shard import ShardManifest
 from .spec import ScenarioSpec
+from .spool import ResultSpool, SweepAggregate
 
 __all__ = ["SweepRunner", "SweepError", "SweepReport", "resolve_specs"]
 
@@ -95,8 +98,12 @@ class SweepReport:
     executed: int = 0
     retried: int = 0
     fell_back_serial: int = 0
+    #: Specs restored from an existing spool during resume reconciliation.
+    resumed: int = 0
+    #: Spool lines skipped during resume (damaged or duplicate).
+    skipped_lines: int = 0
     wall_seconds: float = 0.0
-    #: index -> "cache" | "parallel" | "serial"
+    #: index -> "cache" | "parallel" | "serial" | "spool"
     sources: Dict[int, str] = field(default_factory=dict)
 
 
@@ -124,6 +131,9 @@ class SweepRunner:
     progress:
         Optional callable receiving one human-readable line per resolved
         spec (the CLI passes ``print``).
+    warn:
+        Optional callable for resume-reconciliation diagnostics (damaged
+        spool lines, foreign entries); the CLI points it at stderr.
     """
 
     workers: Optional[int] = None
@@ -132,6 +142,7 @@ class SweepRunner:
     task_timeout: Optional[float] = None
     tracer: Optional[Tracer] = None
     progress: Optional[ProgressFn] = None
+    warn: Optional[ProgressFn] = None
 
     def __post_init__(self) -> None:
         if self.workers is None:
@@ -207,42 +218,54 @@ class SweepRunner:
     def _run_pool(
         self,
         pending: List[Tuple[int, ScenarioSpec]],
-        results: List[Optional[RunRecord]],
+        on_record: Callable[[int, ScenarioSpec, RunRecord, str, float], None],
         report: SweepReport,
-        started: float,
-        total: int,
     ) -> List[Tuple[int, ScenarioSpec]]:
-        """Fan ``pending`` out over a pool; return what still needs serial."""
+        """Fan ``pending`` out over a pool; return what still needs serial.
+
+        Each completed record is handed to ``on_record`` (which stores or
+        spools it) as soon as its result is collected, and submission is
+        window-bounded (a few tasks per worker in flight), so the pool
+        path holds O(workers) records regardless of grid size — the
+        memory contract spooled 10k-spec sweeps rely on.
+        """
         leftovers: List[Tuple[int, ScenarioSpec]] = []
+        resolved: set = set()
         processes = min(self.workers or 1, len(pending))
+        window = max(8, 4 * processes)
         try:
             with multiprocessing.Pool(
                 processes=processes, initializer=_pool_worker_init
             ) as pool:
-                async_results = [
-                    (index, spec, pool.apply_async(_execute_record_worker, (spec,)))
-                    for index, spec in pending
-                ]
-                for index, spec, handle in async_results:
+                in_flight: deque = deque()
+
+                def collect_oldest() -> None:
+                    index, spec, handle = in_flight.popleft()
                     try:
                         record = handle.get(timeout=self.task_timeout)
                     except Exception:
                         # Worker crash, timeout, or unpicklable failure:
                         # this spec goes to the serial fallback.
                         leftovers.append((index, spec))
-                        continue
-                    results[index] = record
+                        return
+                    resolved.add(index)
                     report.executed += 1
                     report.sources[index] = "parallel"
-                    self._emit(
-                        started, index, total, spec, "parallel",
-                        record.wall_seconds, report,
+                    on_record(index, spec, record, "parallel", record.wall_seconds)
+
+                for index, spec in pending:
+                    in_flight.append(
+                        (index, spec, pool.apply_async(_execute_record_worker, (spec,)))
                     )
+                    if len(in_flight) >= window:
+                        collect_oldest()
+                while in_flight:
+                    collect_oldest()
         except Exception:
             # The pool itself failed (fork refused, semaphores unavailable,
             # broken pipe on teardown): degrade gracefully to serial for
             # everything not already resolved.
-            leftovers = [(i, s) for i, s in pending if results[i] is None]
+            leftovers = [(i, s) for i, s in pending if i not in resolved]
         return leftovers
 
     def _flush_partial(
@@ -292,6 +315,13 @@ class SweepRunner:
                 raise KeyboardInterrupt
             previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
 
+        def on_record(
+            index: int, spec: ScenarioSpec, record: RunRecord,
+            source: str, seconds: float,
+        ) -> None:
+            results[index] = record
+            self._emit(started, index, total, spec, source, seconds, report)
+
         try:
             pending: List[Tuple[int, ScenarioSpec]] = []
             for index, spec in enumerate(specs):
@@ -305,18 +335,17 @@ class SweepRunner:
                     pending.append((index, spec))
 
             if pending and (self.workers or 1) > 1 and len(pending) > 1:
-                pending = self._run_pool(pending, results, report, started, total)
+                pending = self._run_pool(pending, on_record, report)
                 report.fell_back_serial = len(pending)
 
             for index, spec in pending:
                 attempt_started = time.perf_counter()
                 record = self._run_serial_one(spec, report)
-                results[index] = record
                 report.executed += 1
                 report.sources[index] = "serial"
-                self._emit(
-                    started, index, total, spec, "serial",
-                    time.perf_counter() - attempt_started, report,
+                on_record(
+                    index, spec, record, "serial",
+                    time.perf_counter() - attempt_started,
                 )
         except KeyboardInterrupt:
             self._flush_partial(specs, results, report, started)
@@ -343,3 +372,154 @@ class SweepRunner:
             )
         self.last_report = report
         return results  # type: ignore[return-value]
+
+    def run_spooled(
+        self,
+        specs: Sequence[ScenarioSpec],
+        spool: ResultSpool,
+        manifest: Optional[ShardManifest] = None,
+    ) -> SweepAggregate:
+        """Resolve specs *through a spool*: streaming, resumable, O(1) memory.
+
+        Every record is flushed to ``spool`` (and the cache, when one is
+        attached) the moment it completes and then dropped — nothing
+        accumulates in this process, so peak memory is flat in grid size.
+        On entry, an existing spool is reconciled first: valid entries for
+        specs of this grid are folded into the aggregate and **not**
+        re-executed; damaged or truncated lines (a SIGKILL mid-write) are
+        skipped with a warning and their specs re-run.  Running the same
+        sweep against the same spool twice is therefore idempotent, and a
+        sweep killed at any point resumes where it died.
+
+        Duplicate specs (same hash) collapse — a spooled result set is a
+        set.  Returns the incremental :class:`SweepAggregate`; the records
+        themselves live in the spool (reassemble with
+        :func:`~repro.runner.spool.merge_spools`).
+
+        ``manifest`` is presentation/observability metadata: when given, a
+        ``sweep.shard`` trace event announces the shard coordinates.
+        """
+        by_hash: Dict[str, ScenarioSpec] = {}
+        for spec in specs:
+            by_hash.setdefault(spec.spec_hash(), spec)
+        specs = list(by_hash.values())
+        hash_to_index = {h: i for i, h in enumerate(by_hash)}
+        total = len(specs)
+        started = time.perf_counter()
+        report = SweepReport(total=total)
+        aggregate = SweepAggregate()
+
+        def warn(line: str) -> None:
+            report.skipped_lines += 1
+            if self.warn is not None:
+                self.warn(line)
+
+        if self.tracer is not None and manifest is not None:
+            self.tracer.emit(
+                EventType.SWEEP_SHARD,
+                0.0,
+                grid_digest=manifest.grid_digest,
+                shard_index=manifest.shard_index,
+                shard_count=manifest.shard_count,
+                shard_specs=len(manifest.spec_hashes),
+                grid_size=manifest.grid_size,
+            )
+
+        # ---------------------------------------- resume reconciliation
+        foreign = 0
+        for spec_hash, _digest, record in spool.scan(warn):
+            index = hash_to_index.get(spec_hash)
+            if index is None:
+                foreign += 1
+                if self.warn is not None:
+                    self.warn(
+                        f"{spool.path}: warning: spooled spec "
+                        f"{spec_hash[:12]} is not in this grid; ignored"
+                    )
+                continue
+            aggregate.add(record)
+            report.resumed += 1
+            report.sources[index] = "spool"
+            self._emit(started, index, total, specs[index], "spool", 0.0, report)
+        if self.tracer is not None and (
+            report.resumed or report.skipped_lines or foreign
+        ):
+            self.tracer.emit(
+                EventType.SWEEP_RESUME,
+                time.perf_counter() - started,
+                resumed=report.resumed,
+                skipped_lines=report.skipped_lines,
+                foreign=foreign,
+                remaining=total - len(report.sources),
+            )
+
+        previous_sigterm = None
+        if threading.current_thread() is threading.main_thread():
+            def _on_sigterm(signum, frame):  # pragma: no cover - signal path
+                raise KeyboardInterrupt
+            previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
+
+        def on_record(
+            index: int, spec: ScenarioSpec, record: RunRecord,
+            source: str, seconds: float,
+        ) -> None:
+            # Cache before spooling: if the spool append is the crash
+            # point (the rig's kill hook lives there), the result is
+            # already durable in the cache for the resumed run.
+            if self.cache is not None and source != "cache":
+                self.cache.put(spec, record)
+            spool.append(record)
+            aggregate.add(record)
+            self._emit(started, index, total, spec, source, seconds, report)
+
+        try:
+            pending: List[Tuple[int, ScenarioSpec]] = []
+            for index, spec in enumerate(specs):
+                if index in report.sources:
+                    continue  # restored from the spool above
+                cached = self.cache.get(spec) if self.cache is not None else None
+                if cached is not None:
+                    report.cache_hits += 1
+                    report.sources[index] = "cache"
+                    on_record(index, spec, cached, "cache", 0.0)
+                else:
+                    pending.append((index, spec))
+
+            if pending and (self.workers or 1) > 1 and len(pending) > 1:
+                pending = self._run_pool(pending, on_record, report)
+                report.fell_back_serial = len(pending)
+
+            for index, spec in pending:
+                attempt_started = time.perf_counter()
+                record = self._run_serial_one(spec, report)
+                report.executed += 1
+                report.sources[index] = "serial"
+                on_record(
+                    index, spec, record, "serial",
+                    time.perf_counter() - attempt_started,
+                )
+        except KeyboardInterrupt:
+            # Everything completed so far is already flushed to the spool
+            # (and cache) — a re-run resumes from the interruption point.
+            report.wall_seconds = time.perf_counter() - started
+            self.last_report = report
+            raise
+        finally:
+            if previous_sigterm is not None:
+                signal.signal(signal.SIGTERM, previous_sigterm)
+            spool.close()
+
+        report.wall_seconds = time.perf_counter() - started
+        if self.tracer is not None:
+            self.tracer.emit(
+                EventType.SWEEP_SUMMARY,
+                report.wall_seconds,
+                total=report.total,
+                cache_hits=report.cache_hits,
+                executed=report.executed,
+                resumed=report.resumed,
+                serial_fallbacks=report.fell_back_serial,
+                wall_seconds=round(report.wall_seconds, 6),
+            )
+        self.last_report = report
+        return aggregate

@@ -100,6 +100,123 @@ class TestSweep:
         assert "beta=0.1" in out and "beta=0.3" in out
 
 
+class TestShardFlags:
+    """--shards/--shard-index validation exits 2 with a one-line message."""
+
+    GRID = ["sweep", "--jobs", "grep:1", "--dry-run", "--no-cache"]
+
+    @pytest.mark.parametrize(
+        "flags,fragment",
+        [
+            (["--shards", "2"], "given together"),
+            (["--shard-index", "0"], "given together"),
+            (["--shards", "0", "--shard-index", "0"], "--shards must be at least 1"),
+            (["--shards", "2", "--shard-index", "2"], "in [0, 2)"),
+            (["--shards", "2", "--shard-index", "-1"], "in [0, 2)"),
+            (["--manifest-out", "m.json"], "requires --shards"),
+        ],
+    )
+    def test_bad_shard_flags_exit_2(self, flags, fragment, capsys):
+        assert main(self.GRID + flags) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and fragment in err
+
+    def test_sharded_dry_run_lists_only_the_shard(self, capsys):
+        full = ["sweep", "--jobs", "grep:1", "--seeds", "0", "1",
+                "--schedulers", "fifo", "fair", "--dry-run", "--no-cache"]
+        shard = full + ["--shards", "2", "--shard-index", "0"]
+        assert main(shard) == 0
+        out = capsys.readouterr().out
+        assert "# shard 1/2 of grid" in out
+        assert "# 2 specs" in out
+
+    def test_manifest_out_writes_loadable_manifest(self, capsys, tmp_path):
+        from repro.runner import load_manifest
+
+        path = tmp_path / "m.json"
+        assert main(["sweep", "--jobs", "grep:1", "--seeds", "0", "1",
+                     "--schedulers", "fifo", "fair", "--dry-run", "--no-cache",
+                     "--shards", "2", "--shard-index", "1",
+                     "--manifest-out", str(path)]) == 0
+        manifest = load_manifest(path)
+        assert manifest.shard_count == 2 and manifest.shard_index == 1
+        assert manifest.grid_size == 4 and len(manifest.spec_hashes) == 2
+
+
+class TestSweepMergeFlags:
+    def test_missing_spool_exits_2(self, capsys):
+        assert main(["sweep-merge", "/nonexistent/spool.jsonl"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_corrupt_manifest_exits_2(self, capsys, tmp_path):
+        spool = tmp_path / "s.jsonl"
+        spool.write_text("")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["sweep-merge", str(spool),
+                     "--check-manifest", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_mismatched_manifest_grids_exit_2(self, capsys, tmp_path):
+        from repro.runner import ShardManifest
+
+        spool = tmp_path / "s.jsonl"
+        spool.write_text("")
+        paths = []
+        for grid in ("a", "b"):
+            manifest = ShardManifest(
+                grid_digest=grid * 64, shard_count=1, shard_index=0,
+                spec_hashes=(), grid_size=0,
+            )
+            paths.append(str(manifest.write(tmp_path / f"{grid}.json")))
+        assert main(["sweep-merge", str(spool),
+                     "--check-manifest", paths[0],
+                     "--check-manifest", paths[1]]) == 2
+        assert "different grids" in capsys.readouterr().err
+
+    def test_uncovered_manifest_exits_1(self, capsys, tmp_path):
+        from repro.runner import ShardManifest
+
+        spool = tmp_path / "s.jsonl"
+        spool.write_text("")
+        manifest = ShardManifest(
+            grid_digest="c" * 64, shard_count=1, shard_index=0,
+            spec_hashes=("d" * 64,), grid_size=1,
+        )
+        manifest.write(tmp_path / "m.json")
+        assert main(["sweep-merge", str(spool),
+                     "--check-manifest", str(tmp_path / "m.json")]) == 1
+        err = capsys.readouterr().err
+        assert "missing" in err and "d" * 64 in err
+
+    def test_empty_spools_merge_to_zero_specs(self, capsys, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        a.write_text("")
+        b.write_text("")
+        assert main(["sweep-merge", str(a), str(b)]) == 0
+        assert "0 specs" in capsys.readouterr().out
+
+
+class TestCacheFlags:
+    def test_bad_gc_bounds_exit_2(self, capsys, tmp_path):
+        base = ["cache", "gc", "--cache-dir", str(tmp_path)]
+        assert main(base + ["--max-age-days", "-1"]) == 2
+        assert "--max-age-days" in capsys.readouterr().err
+        assert main(base + ["--max-size-mb", "nan"]) == 2
+        assert "--max-size-mb" in capsys.readouterr().err
+
+    def test_gc_corrupt_keep_manifest_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]")
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                     "--max-size-mb", "1", "--keep-manifest", str(bad)]) == 2
+        assert "JSON object" in capsys.readouterr().err
+
+    def test_info_on_empty_cache(self, capsys, tmp_path):
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        assert "empty" in capsys.readouterr().out
+
+
 class TestTrackerExpiry:
     """--tracker-expiry shares the job-token contract: bad values exit 2
     with a one-line message (float() quietly accepts nan/inf/negatives)."""

@@ -220,3 +220,34 @@ class TestInterruption:
             assert signal.getsignal(signal.SIGTERM) is signal.SIG_DFL
         finally:
             signal.signal(signal.SIGTERM, sentinel)
+
+
+class TestSpooledPoolPath:
+    """run_spooled over a real pool: windowed submission, same results."""
+
+    def test_pooled_spooled_matches_serial_spooled(self, tmp_path):
+        from repro.runner import ResultSpool
+
+        specs = micro_specs(3)
+        serial = SweepRunner(workers=1).run_spooled(
+            specs, ResultSpool(tmp_path / "serial.jsonl")
+        )
+        pooled_runner = SweepRunner(workers=2)
+        pooled = pooled_runner.run_spooled(
+            specs, ResultSpool(tmp_path / "pooled.jsonl")
+        )
+        assert pooled.digest() == serial.digest()
+        assert pooled_runner.last_report.executed == len(specs)
+        # Both spools hold a valid line per spec.
+        assert len(ResultSpool(tmp_path / "pooled.jsonl").completed()) == len(specs)
+
+    def test_duplicate_specs_collapse(self, tmp_path):
+        from repro.runner import ResultSpool
+
+        specs = micro_specs(1)
+        runner = SweepRunner(workers=1)
+        aggregate = runner.run_spooled(
+            specs + specs, ResultSpool(tmp_path / "s.jsonl")
+        )
+        assert aggregate.records == len(specs)
+        assert runner.last_report.total == len(specs)

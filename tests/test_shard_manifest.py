@@ -1,0 +1,159 @@
+"""Shard-manifest properties: exact partition, content-addressed identity.
+
+The sharding layer's whole contract is that shard membership is a pure
+function of the grid's *content* — hypothesis drives grids of arbitrary
+shapes and enumeration orders through :func:`repro.runner.shard_specs`
+and checks the partition laws directly.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner import (
+    ScenarioSpec,
+    ShardError,
+    ShardManifest,
+    grid_digest,
+    load_manifest,
+    shard_specs,
+)
+from repro.workloads import puma_job
+
+
+def grid(n: int) -> list:
+    """``n`` distinct specs (seed-indexed) — cheap, never executed."""
+    return [
+        ScenarioSpec(
+            jobs=(puma_job("grep", 0.25),),
+            scheduler="fifo",
+            seed=seed,
+            label=f"fifo@{seed}",
+        )
+        for seed in range(n)
+    ]
+
+
+# --------------------------------------------------------------- properties
+@settings(max_examples=40, deadline=None)
+@given(
+    n_specs=st.integers(min_value=1, max_value=24),
+    shard_count=st.integers(min_value=1, max_value=8),
+    order_seed=st.randoms(use_true_random=False),
+)
+def test_shards_partition_the_grid_exactly(n_specs, shard_count, order_seed):
+    """Every spec lands in exactly one shard; no overlap, no loss; shard
+    sizes differ by at most one."""
+    specs = grid(n_specs)
+    order_seed.shuffle(specs)
+    all_hashes = {spec.spec_hash() for spec in specs}
+
+    seen: dict = {}
+    sizes = []
+    for index in range(shard_count):
+        manifest, members = shard_specs(specs, shard_count, index)
+        assert manifest.grid_size == len(all_hashes)
+        assert [m.spec_hash() for m in members] == list(manifest.spec_hashes)
+        sizes.append(len(members))
+        for member in members:
+            digest = member.spec_hash()
+            assert digest not in seen, "spec appears in two shards"
+            seen[digest] = index
+    assert set(seen) == all_hashes, "union of shards is not the grid"
+    assert max(sizes) - min(sizes) <= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_specs=st.integers(min_value=1, max_value=24),
+    shard_count=st.integers(min_value=1, max_value=8),
+    order_seed=st.randoms(use_true_random=False),
+)
+def test_manifest_identity_is_order_invariant(n_specs, shard_count, order_seed):
+    """Shuffling (and duplicating) the grid's enumeration changes nothing:
+    same grid digest, same shard membership, same member order."""
+    specs = grid(n_specs)
+    shuffled = list(specs) + specs[: n_specs // 2]  # duplicates collapse too
+    order_seed.shuffle(shuffled)
+    for index in range(shard_count):
+        canonical, members_a = shard_specs(specs, shard_count, index)
+        scrambled, members_b = shard_specs(shuffled, shard_count, index)
+        assert canonical == scrambled
+        assert [m.spec_hash() for m in members_a] == [
+            m.spec_hash() for m in members_b
+        ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    hashes=st.lists(
+        st.text(alphabet="0123456789abcdef", min_size=8, max_size=8),
+        min_size=1,
+        max_size=32,
+    ),
+    order_seed=st.randoms(use_true_random=False),
+)
+def test_grid_digest_is_a_set_digest(hashes, order_seed):
+    """Order and multiplicity vanish from the grid digest."""
+    shuffled = list(hashes) + hashes[: len(hashes) // 2]
+    order_seed.shuffle(shuffled)
+    assert grid_digest(hashes) == grid_digest(shuffled)
+    assert grid_digest(hashes) == grid_digest(sorted(set(hashes)))
+
+
+# ----------------------------------------------------------- JSON round-trip
+def test_manifest_roundtrips_through_json(tmp_path):
+    manifest, _members = shard_specs(grid(7), 3, 1)
+    path = tmp_path / "shard.json"
+    manifest.write(path)
+    assert load_manifest(path) == manifest
+    # The file itself is canonical: rewriting produces identical bytes.
+    first = path.read_bytes()
+    manifest.write(path)
+    assert path.read_bytes() == first
+
+
+def test_manifest_sorts_member_hashes_on_construction():
+    manifest = ShardManifest(
+        grid_digest="d" * 64,
+        shard_count=2,
+        shard_index=0,
+        spec_hashes=("bbb", "aaa"),
+        grid_size=4,
+    )
+    assert manifest.spec_hashes == ("aaa", "bbb")
+
+
+# ------------------------------------------------------------------- errors
+@pytest.mark.parametrize(
+    "count,index",
+    [(0, 0), (-1, 0), (2, 2), (2, -1), (3, 7)],
+)
+def test_bad_coordinates_raise(count, index):
+    with pytest.raises(ShardError):
+        shard_specs(grid(3), count, index)
+
+
+def test_load_manifest_rejects_damage(tmp_path):
+    path = tmp_path / "m.json"
+    path.write_text("not json", encoding="utf-8")
+    with pytest.raises(ShardError, match="not valid JSON"):
+        load_manifest(path)
+    path.write_text("[1, 2]", encoding="utf-8")
+    with pytest.raises(ShardError, match="JSON object"):
+        load_manifest(path)
+    manifest, _ = shard_specs(grid(3), 2, 0)
+    data = manifest.to_json_dict()
+    data["manifest_version"] = 99
+    path.write_text(json.dumps(data), encoding="utf-8")
+    with pytest.raises(ShardError, match="manifest_version"):
+        load_manifest(path)
+    del data["grid_digest"]
+    data["manifest_version"] = 1
+    path.write_text(json.dumps(data), encoding="utf-8")
+    with pytest.raises(ShardError, match="malformed"):
+        load_manifest(path)
+    with pytest.raises(ShardError, match="cannot read"):
+        load_manifest(tmp_path / "absent.json")
